@@ -1,0 +1,72 @@
+"""Ablation: partial (per-operation) power management under tight budgets.
+
+The paper's Figure-3 algorithm is all-or-nothing per multiplexor; §II-B's
+prose describes a finer fallback when resources are scarce.  This bench
+quantifies what the fallback buys: for each circuit at its critical path
+(where whole cones rarely fit) and at +1 step, compare the datapath power
+reduction of the strict pass against the partial pass, both slack-only and
+under the minimum single-unit allocation (one execution unit per class —
+the harshest realistic resource constraint).
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.circuits import build
+from repro.core import PMOptions, apply_power_management
+from repro.power import static_power
+from repro.sched import critical_path_length, single_unit_allocation
+
+CIRCUITS = ("dealer", "gcd", "vender")
+
+
+def regenerate_partial_ablation():
+    rows = []
+    for name in CIRCUITS:
+        graph = build(name)
+        cp = critical_path_length(graph)
+        single = single_unit_allocation(graph)
+        for steps in (cp, cp + 1, cp + 2):
+            def reduction(options: PMOptions) -> tuple[float, int]:
+                result = apply_power_management(graph, steps, options)
+                return (static_power(result).reduction_pct,
+                        result.managed_count)
+
+            strict, strict_m = reduction(PMOptions())
+            partial, partial_m = reduction(PMOptions(partial=True))
+            strict_ra, _ = reduction(PMOptions(allocation=single))
+            partial_ra, _ = reduction(
+                PMOptions(allocation=single, partial=True))
+            rows.append({
+                "name": name, "steps": steps,
+                "strict": strict, "strict_m": strict_m,
+                "partial": partial, "partial_m": partial_m,
+                "strict_ra": strict_ra, "partial_ra": partial_ra,
+            })
+    return rows
+
+
+def test_bench_ablation_partial(benchmark):
+    rows = benchmark(regenerate_partial_ablation)
+
+    print_table(
+        "Partial-PM ablation: datapath power reduction % (muxes)",
+        ["Circuit", "Steps", "strict", "partial",
+         "strict+1-unit", "partial+1-unit"],
+        [[r["name"], r["steps"],
+          f"{r['strict']:.2f} ({r['strict_m']})",
+          f"{r['partial']:.2f} ({r['partial_m']})",
+          f"{r['strict_ra']:.2f}", f"{r['partial_ra']:.2f}"]
+         for r in rows])
+
+    for row in rows:
+        # Partial never loses to strict, with or without resources.
+        assert row["partial"] >= row["strict"] - 1e-9
+        assert row["partial_ra"] >= row["strict_ra"] - 1e-9
+        # Resource constraints never increase savings.
+        assert row["strict_ra"] <= row["strict"] + 1e-9
+        assert row["partial_ra"] <= row["partial"] + 1e-9
+    # Somewhere, the fallback must actually help (the paper's motivation).
+    assert any(row["partial_ra"] > row["strict_ra"] + 1e-9 for row in rows) \
+        or any(row["partial"] > row["strict"] + 1e-9 for row in rows)

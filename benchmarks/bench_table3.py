@@ -1,0 +1,85 @@
+"""Paper Table III: simulation-based ("gate-level") power estimation.
+
+The paper synthesized both designs with Synopsys Design Compiler and
+measured power with DesignPower on random vectors.  Our stand-in: the
+cycle-accurate RTL simulator with switching-activity-weighted energy.
+
+Workloads: dealer and vender use uniform random vectors (the paper's
+method).  For gcd, uniform 8-bit pairs almost never satisfy ``a == b``, so
+the done-branch savings would vanish; we use the balanced-condition
+workload that realizes the paper's equal-probability select assumption in
+actual stimulus (EXPERIMENTS.md discusses the sensitivity, including real
+GCD iteration traces).
+"""
+
+from __future__ import annotations
+
+from conftest import print_table
+
+from repro.circuits import PAPER_TABLE3, TABLE3_BUDGETS, build
+from repro.flow import synthesize_pair
+from repro.power import measure_power
+from repro.sim import balanced_condition_vectors, random_vectors
+
+N_VECTORS = 192
+
+
+def regenerate_table3():
+    rows = []
+    for name, steps in TABLE3_BUDGETS.items():
+        graph = build(name)
+        pair = synthesize_pair(graph, steps)
+        if name == "gcd":
+            vectors = balanced_condition_vectors(graph, count=N_VECTORS)
+        else:
+            vectors = random_vectors(graph, N_VECTORS)
+        orig = measure_power(pair.baseline.design, vectors=vectors,
+                             power_management=False)
+        new = measure_power(pair.managed.design, vectors=vectors,
+                            power_management=True)
+        rows.append({
+            "name": name,
+            "steps": steps,
+            "area_orig": pair.baseline.design.area().total,
+            "area_new": pair.managed.design.area().total,
+            "power_orig": orig.total,
+            "power_new": new.total,
+            "red": 100.0 * (orig.total - new.total) / orig.total,
+        })
+    return rows
+
+
+def test_bench_table3(benchmark):
+    measured = benchmark(regenerate_table3)
+
+    paper = {r.name: r for r in PAPER_TABLE3}
+    display = []
+    for row in measured:
+        p = paper[row["name"]]
+        display.append([
+            row["name"], row["steps"],
+            f"{row['area_orig']}/{p.area_orig}",
+            f"{row['area_new']}/{p.area_new}",
+            f"{row['area_new'] / row['area_orig']:.2f}/{p.area_increase:.2f}",
+            f"{row['power_orig']:.1f}/{p.power_orig:.1f}",
+            f"{row['power_new']:.1f}/{p.power_new:.1f}",
+            f"{row['red']:.1f}/{p.power_reduction_pct:.1f}",
+        ])
+    print_table(
+        "Table III: simulated power (measured/paper; absolute units differ)",
+        ["Circuit", "Steps", "AreaOrig", "AreaNew", "AreaIncr",
+         "PowerOrig", "PowerNew", "Red%"],
+        display)
+
+    by_name = {r["name"]: r for r in measured}
+    # Shape: every circuit saves power at the gate-level analog...
+    assert all(r["red"] > 0 for r in measured)
+    # ...dealer and vender save > 15% (paper: 24.5 / 32.8)...
+    assert by_name["dealer"]["red"] > 15.0
+    assert by_name["vender"]["red"] > 15.0
+    # ...gcd saves the least, single digits (paper: 10.0)...
+    assert by_name["gcd"]["red"] < by_name["dealer"]["red"]
+    # ...and area moves by at most ~15% either way (paper: 0.98-1.11).
+    for row in measured:
+        ratio = row["area_new"] / row["area_orig"]
+        assert 0.85 <= ratio <= 1.2

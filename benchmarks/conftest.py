@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures and prints
+paper-vs-measured rows (run with ``pytest benchmarks/ --benchmark-only -s``
+to see them); the pytest-benchmark fixture times the regeneration itself.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, headers: list[str],
+                rows: list[list[object]]) -> None:
+    """Fixed-width table printer used by all benches."""
+    widths = [len(h) for h in headers]
+    text_rows = [[_fmt(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in text_rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

@@ -1,0 +1,69 @@
+"""Design-space exploration on the gcd benchmark.
+
+Sweeps the throughput budget, compares MUX-ordering strategies against the
+exhaustive optimum (paper §IV-A), and shows how workload-profiled select
+probabilities change the power prediction — uniform random operands almost
+never make gcd's done-branch true, real GCD iteration traces hit it a few
+percent of the time, and the paper's uniform-probability assumption sits
+in between.
+
+Run:  python examples/gcd_design_space.py
+"""
+
+from repro import SelectModel, gcd, static_power, synthesize_pair
+from repro.core import (
+    apply_power_management,
+    exhaustive_search,
+    gated_weight,
+    strategy_search,
+)
+from repro.power import profile_selects
+from repro.sim import gcd_trace_vectors, random_vectors
+
+
+def sweep_budgets(graph) -> None:
+    print("=== throughput sweep (steps -> PM muxes, power, area) ===")
+    for steps in range(5, 10):
+        pair = synthesize_pair(graph, steps)
+        report = static_power(pair.managed.pm)
+        print(f"  {steps} steps: {pair.managed.pm.managed_count} managed "
+              f"muxes, {report.reduction_pct:5.2f}% datapath power saved, "
+              f"area x{pair.area_increase:.2f}")
+
+
+def compare_orderings(graph) -> None:
+    print("\n=== MUX ordering strategies at 7 steps (paper SIV-A) ===")
+    outcome = strategy_search(graph, 7)
+    for label, (weight, muxes) in outcome.scores.items():
+        print(f"  {label:13s}: gated weight {weight:5.2f}, {muxes} muxes")
+    optimum = exhaustive_search(graph, 7, limit=6)
+    print(f"  exhaustive   : gated weight "
+          f"{gated_weight(optimum.best):5.2f} "
+          f"(order {optimum.best_label})")
+
+
+def profile_workloads(graph) -> None:
+    print("\n=== select-probability models at 7 steps ===")
+    pm = apply_power_management(graph, 7)
+    models = {
+        "paper (uniform 0.5)": SelectModel(),
+        "profiled: random operands":
+            profile_selects(graph, random_vectors(graph, 300)),
+        "profiled: GCD iteration traces":
+            profile_selects(graph, gcd_trace_vectors(graph, n_runs=40)),
+    }
+    for label, model in models.items():
+        report = static_power(pm, selects=model)
+        print(f"  {label:32s}: {report.reduction_pct:5.2f}% predicted")
+
+
+def main() -> None:
+    graph = gcd()
+    print(f"gcd circuit: {graph.op_counts()}\n")
+    sweep_budgets(graph)
+    compare_orderings(graph)
+    profile_workloads(graph)
+
+
+if __name__ == "__main__":
+    main()

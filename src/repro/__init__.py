@@ -1,0 +1,85 @@
+"""repro: reproduction of "Scheduling Techniques to Enable Power Management"
+(Monteiro, Devadas, Ashar, Mauskar — DAC 1996).
+
+A behavioral-synthesis flow with a power-management-aware scheduling pass:
+operations that compute conditional-select signals are scheduled before the
+operations they control, so the generated controller can keep the input
+latches of unneeded execution units disabled.
+
+Quick start::
+
+    from repro import abs_diff, synthesize, PMOptions
+    result = synthesize(abs_diff(), n_steps=3)
+    print(result.design.summary())
+    print(result.static_report().reduction_pct)   # % datapath power saved
+"""
+
+from repro.circuits import abs_diff, build, cordic, dealer, diffeq, gcd, vender
+from repro.core import (
+    PMOptions,
+    PMResult,
+    apply_power_management,
+    compute_cones,
+    describe_decisions,
+)
+from repro.flow import SynthesisPair, SynthesisResult, synthesize, synthesize_pair
+from repro.ir import CDFG, GraphBuilder, Op, ResourceClass, unroll
+from repro.power import (
+    PowerWeights,
+    SelectModel,
+    compare_designs,
+    expected_op_counts,
+    measure_power,
+    static_power,
+)
+from repro.rtl import generate_vhdl
+from repro.sched import (
+    Allocation,
+    Schedule,
+    critical_path_length,
+    list_schedule,
+    minimize_resources,
+)
+from repro.sim import RTLSimulator, evaluate, random_vectors
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Allocation",
+    "CDFG",
+    "GraphBuilder",
+    "Op",
+    "PMOptions",
+    "PMResult",
+    "PowerWeights",
+    "RTLSimulator",
+    "ResourceClass",
+    "Schedule",
+    "SelectModel",
+    "SynthesisPair",
+    "SynthesisResult",
+    "__version__",
+    "abs_diff",
+    "apply_power_management",
+    "build",
+    "compare_designs",
+    "compute_cones",
+    "cordic",
+    "critical_path_length",
+    "dealer",
+    "describe_decisions",
+    "diffeq",
+    "evaluate",
+    "expected_op_counts",
+    "gcd",
+    "generate_vhdl",
+    "list_schedule",
+    "measure_power",
+    "minimize_resources",
+    "random_vectors",
+    "static_power",
+    "synthesize",
+    "synthesize_pair",
+    "unroll",
+    "vender",
+]

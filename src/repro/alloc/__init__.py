@@ -1,0 +1,27 @@
+"""Allocation and binding: execution units, registers, interconnect."""
+
+from repro.alloc.fu_binding import Binding, FUInstance, bind_operations
+from repro.alloc.interconnect import Interconnect, PortSource, build_interconnect
+from repro.alloc.lifetimes import (
+    Lifetime,
+    SourceRef,
+    resolve_source,
+    value_lifetimes,
+)
+from repro.alloc.register_alloc import Register, RegisterFile, allocate_registers
+
+__all__ = [
+    "Binding",
+    "FUInstance",
+    "Interconnect",
+    "Lifetime",
+    "PortSource",
+    "Register",
+    "RegisterFile",
+    "SourceRef",
+    "allocate_registers",
+    "bind_operations",
+    "build_interconnect",
+    "resolve_source",
+    "value_lifetimes",
+]

@@ -1,0 +1,52 @@
+"""Analyses: circuit statistics, area model, mutual exclusion."""
+
+from repro.analysis.area import (
+    AreaBreakdown,
+    CONTROLLER_LITERAL_AREA,
+    FU_AREA,
+    INTERCONNECT_MUX_AREA,
+    REGISTER_AREA,
+    allocation_area,
+    area_ratio,
+)
+from repro.analysis.condition_graph import (
+    ConditionGraph,
+    ConditionSet,
+    Relation,
+    build_condition_graph,
+)
+from repro.analysis.mutex import (
+    are_mutually_exclusive,
+    can_share,
+    guard_requirements,
+    mutually_exclusive_pairs,
+)
+from repro.analysis.stats import CircuitStats, circuit_stats
+from repro.analysis.verify_gating import (
+    GatingUnsoundError,
+    is_gating_sound,
+    verify_gating,
+)
+
+__all__ = [
+    "AreaBreakdown",
+    "ConditionGraph",
+    "ConditionSet",
+    "Relation",
+    "build_condition_graph",
+    "CONTROLLER_LITERAL_AREA",
+    "CircuitStats",
+    "FU_AREA",
+    "INTERCONNECT_MUX_AREA",
+    "REGISTER_AREA",
+    "allocation_area",
+    "area_ratio",
+    "are_mutually_exclusive",
+    "can_share",
+    "GatingUnsoundError",
+    "circuit_stats",
+    "is_gating_sound",
+    "verify_gating",
+    "guard_requirements",
+    "mutually_exclusive_pairs",
+]

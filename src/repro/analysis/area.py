@@ -1,0 +1,62 @@
+"""Area model.
+
+Execution-unit areas follow the same relative scale as the paper's power
+weights (a multiplier dwarfs an adder); registers, interconnect multiplexors
+and controller literals are charged separately so the Table III comparison
+(original vs power-managed design, where the PM controller is *more
+complex*) has the right ingredients.  Absolute units are arbitrary; all
+reproduced quantities are ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.ops import ResourceClass
+from repro.sched.resources import Allocation
+
+# Area units per execution unit of each class (8-bit datapath flavour).
+FU_AREA: dict[ResourceClass, int] = {
+    ResourceClass.MUX: 12,
+    ResourceClass.COMP: 48,
+    ResourceClass.ADD: 36,
+    ResourceClass.SUB: 36,
+    ResourceClass.MUL: 240,
+    ResourceClass.LOGIC: 24,
+}
+
+REGISTER_AREA = 10       # one datapath-width register
+INTERCONNECT_MUX_AREA = 4  # per steered input of an operand multiplexor
+CONTROLLER_LITERAL_AREA = 2  # per literal in the control-logic expressions
+
+
+def allocation_area(allocation: Allocation) -> int:
+    """Area of the execution units alone."""
+    return sum(FU_AREA[cls] * n for cls, n in allocation.counts.items())
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Datapath + controller area of one synthesized design."""
+
+    functional_units: int
+    registers: int
+    interconnect: int
+    controller: int
+
+    @property
+    def datapath(self) -> int:
+        return self.functional_units + self.registers + self.interconnect
+
+    @property
+    def total(self) -> int:
+        return self.datapath + self.controller
+
+
+def area_ratio(new: AreaBreakdown | int, orig: AreaBreakdown | int) -> float:
+    """Table II/III 'Area Incr.' column: new / original."""
+    new_total = new.total if isinstance(new, AreaBreakdown) else new
+    orig_total = orig.total if isinstance(orig, AreaBreakdown) else orig
+    if orig_total == 0:
+        raise ValueError("original area is zero")
+    return new_total / orig_total

@@ -1,0 +1,118 @@
+"""Condition graphs (Juan, Chaiyakul & Gajski, ICCAD'94 — the paper's [5]).
+
+A hierarchical representation of the conditions under which each operation
+executes, built from multiplexor nesting: every node carries a *condition
+set* — the conjunction of ``(select driver, value)`` literals that must
+hold for its result to be consumed.  The structure answers the relational
+queries the classical mutual-exclusiveness literature uses:
+
+* ``disjoint(a, b)``  — never both needed (sharable / paper's §II-C);
+* ``subsumes(a, b)``  — whenever b is needed, a is too;
+* ``independent(a, b)`` — conditions constrain different drivers.
+
+This generalizes :mod:`repro.analysis.mutex` (which answers only
+disjointness) and gives the PM pass's gating a second, independently
+derived source of truth — the test suite cross-checks them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.cones import compute_all_cones
+from repro.ir.graph import CDFG
+
+
+class Relation(Enum):
+    DISJOINT = "disjoint"        # condition sets contradict
+    EQUAL = "equal"              # identical condition sets
+    A_SUBSUMES_B = "a-subsumes-b"  # a's conditions are a subset of b's
+    B_SUBSUMES_A = "b-subsumes-a"
+    OVERLAPPING = "overlapping"  # compatible, neither contains the other
+
+
+@dataclass(frozen=True)
+class ConditionSet:
+    """Conjunction of (driver, value) literals; empty = unconditional."""
+
+    literals: frozenset[tuple[int, int]] = frozenset()
+
+    @property
+    def is_unconditional(self) -> bool:
+        return not self.literals
+
+    def contradicts(self, other: "ConditionSet") -> bool:
+        """True if no assignment satisfies both conjunctions.
+
+        A self-contradictory set (dead code: the same driver required to
+        be 0 and 1) contradicts everything, itself included.
+        """
+        seen: dict[int, int] = {}
+        for driver, value in self.literals | other.literals:
+            if seen.setdefault(driver, value) != value:
+                return True
+        return False
+
+    def conjoin(self, other: "ConditionSet") -> "ConditionSet | None":
+        """Conjunction, or None if contradictory."""
+        if self.contradicts(other):
+            return None
+        return ConditionSet(self.literals | other.literals)
+
+
+@dataclass
+class ConditionGraph:
+    """Per-operation condition sets for one CDFG."""
+
+    graph: CDFG
+    conditions: dict[int, ConditionSet] = field(default_factory=dict)
+
+    def condition_of(self, nid: int) -> ConditionSet:
+        return self.conditions.get(nid, ConditionSet())
+
+    def relation(self, a: int, b: int) -> Relation:
+        ca, cb = self.condition_of(a), self.condition_of(b)
+        if ca.contradicts(cb):
+            return Relation.DISJOINT
+        if ca.literals == cb.literals:
+            return Relation.EQUAL
+        if ca.literals <= cb.literals:
+            return Relation.A_SUBSUMES_B
+        if cb.literals <= ca.literals:
+            return Relation.B_SUBSUMES_A
+        return Relation.OVERLAPPING
+
+    def disjoint(self, a: int, b: int) -> bool:
+        return self.relation(a, b) is Relation.DISJOINT
+
+    def execution_probability(self, nid: int, p_one: float = 0.5) -> float:
+        """Probability the op is needed, assuming independent drivers."""
+        prob = 1.0
+        for _driver, value in self.condition_of(nid).literals:
+            prob *= p_one if value == 1 else 1.0 - p_one
+        return prob
+
+
+def build_condition_graph(graph: CDFG) -> ConditionGraph:
+    """Derive condition sets from every MUX's shut-down cones.
+
+    An op in the side-``s`` cone of a mux gains the literal
+    ``(select driver, s)``; literals accumulate across nested muxes.
+    Contradictory accumulation (op needed under c=0 by one mux and c=1 by
+    another) marks dead code — the condition set keeps both literals and
+    ``contradicts(self)`` callers observe the impossibility via
+    probability 0 through :meth:`execution_probability` consumers.
+    """
+    cg = ConditionGraph(graph=graph)
+    literal_sets: dict[int, set[tuple[int, int]]] = {}
+    for mux_id, cones in compute_all_cones(graph).items():
+        driver = graph.node(mux_id).select_operand
+        for side in (0, 1):
+            for nid in cones.shutdown[side]:
+                literal_sets.setdefault(nid, set()).add((driver, side))
+    cg.conditions = {
+        nid: ConditionSet(frozenset(literals))
+        for nid, literals in literal_sets.items()
+    }
+    return cg

@@ -1,0 +1,82 @@
+"""Mutually exclusive operation identification (paper §II-C).
+
+Two operations are mutually exclusive when, whatever the inputs, the result
+of only one of them is used.  In CDFG terms: they sit in *opposite* shut-
+down cones of the same multiplexor, or more generally their accumulated
+guard requirements contradict on some shared select driver.
+
+The paper points out its power-management view is *more general* than the
+classical resource-sharing use (ops need not be identical), but the same
+analysis enables the classical optimization too: :func:`can_share` answers
+whether two operations of one resource class may share an execution unit in
+the same control step, which the binding stage exploits.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.core.cones import compute_all_cones
+from repro.ir.graph import CDFG
+
+
+def guard_requirements(graph: CDFG) -> dict[int, dict[int, set[int]]]:
+    """For every node: select-driver id -> set of required select values,
+    derived from *every* mux cone (independent of PM selection)."""
+    requirements: dict[int, dict[int, set[int]]] = {}
+    for mux_id, cones in compute_all_cones(graph).items():
+        driver = graph.node(mux_id).select_operand
+        for side in (0, 1):
+            for nid in cones.shutdown[side]:
+                req = requirements.setdefault(nid, {})
+                req.setdefault(driver, set()).add(side)
+    return requirements
+
+
+def mutually_exclusive_pairs(graph: CDFG) -> set[frozenset[int]]:
+    """All unordered pairs of schedulable ops that can never both be needed."""
+    requirements = guard_requirements(graph)
+    ops = [n.nid for n in graph.operations() if n.nid in requirements]
+    pairs: set[frozenset[int]] = set()
+    for a, b in combinations(ops, 2):
+        if are_mutually_exclusive(graph, a, b, requirements):
+            pairs.add(frozenset((a, b)))
+    return pairs
+
+
+def are_mutually_exclusive(
+    graph: CDFG,
+    a: int,
+    b: int,
+    requirements: dict[int, dict[int, set[int]]] | None = None,
+) -> bool:
+    """True if ops ``a`` and ``b`` are needed under contradictory conditions.
+
+    Sufficient condition: some select driver must be 0 for one op and 1 for
+    the other (sound, not complete — correlated conditions computed by
+    different drivers are not detected, same as the condition-graph methods
+    the paper cites).
+    """
+    if requirements is None:
+        requirements = guard_requirements(graph)
+    req_a = requirements.get(a, {})
+    req_b = requirements.get(b, {})
+    for driver, sides_a in req_a.items():
+        sides_b = req_b.get(driver)
+        if sides_b is None:
+            continue
+        # Required values are ANDed per node; if each node pins the driver
+        # to a single, different value the two can never coexist.
+        if len(sides_a) == 1 and len(sides_b) == 1 and sides_a != sides_b:
+            return True
+    return False
+
+
+def can_share(graph: CDFG, a: int, b: int) -> bool:
+    """May ``a`` and ``b`` share one execution unit in the same step?"""
+    node_a, node_b = graph.node(a), graph.node(b)
+    if not (node_a.is_schedulable and node_b.is_schedulable):
+        return False
+    if node_a.resource != node_b.resource:
+        return False
+    return are_mutually_exclusive(graph, a, b)

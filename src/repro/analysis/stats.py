@@ -1,0 +1,42 @@
+"""Circuit statistics (paper Table I)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.graph import CDFG
+from repro.ir.ops import ResourceClass
+from repro.sched.timing import critical_path_length
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Measured counterpart of a paper Table I row."""
+
+    name: str
+    critical_path: int
+    mux: int
+    comp: int
+    add: int
+    sub: int
+    mul: int
+
+    def as_row(self) -> tuple:
+        return (self.name, self.critical_path, self.mux, self.comp,
+                self.add, self.sub, self.mul)
+
+
+def circuit_stats(graph: CDFG) -> CircuitStats:
+    """Critical path (minimum control steps) and operation counts."""
+    counts = {cls: 0 for cls in ResourceClass}
+    for node in graph.operations():
+        counts[node.resource] += 1
+    return CircuitStats(
+        name=graph.name,
+        critical_path=critical_path_length(graph),
+        mux=counts[ResourceClass.MUX],
+        comp=counts[ResourceClass.COMP],
+        add=counts[ResourceClass.ADD],
+        sub=counts[ResourceClass.SUB],
+        mul=counts[ResourceClass.MUL],
+    )

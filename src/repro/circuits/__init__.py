@@ -1,0 +1,41 @@
+"""Benchmark circuits: the paper's four Silage designs, reconstructed."""
+
+from repro.circuits.abs_diff import abs_diff
+from repro.circuits.cordic import ANGLE_TABLE, N_ITERATIONS, cordic
+from repro.circuits.dealer import dealer
+from repro.circuits.diffeq import diffeq
+from repro.circuits.gcd import gcd
+from repro.circuits.suite import (
+    CIRCUITS,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    TABLE2_BUDGETS,
+    TABLE3_BUDGETS,
+    Table1Row,
+    Table2Row,
+    Table3Row,
+    build,
+)
+from repro.circuits.vender import vender
+
+__all__ = [
+    "ANGLE_TABLE",
+    "CIRCUITS",
+    "N_ITERATIONS",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "TABLE2_BUDGETS",
+    "TABLE3_BUDGETS",
+    "Table1Row",
+    "Table2Row",
+    "Table3Row",
+    "abs_diff",
+    "build",
+    "cordic",
+    "dealer",
+    "diffeq",
+    "gcd",
+    "vender",
+]

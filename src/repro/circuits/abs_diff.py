@@ -1,0 +1,25 @@
+"""The paper's running example (§II-B, Figs. 1-2): compute ``|a - b|``.
+
+One comparison ``a > b`` selects between ``a - b`` and ``b - a``.  With two
+control steps the schedule is unique (Fig. 1) and no power management is
+possible; with three, the comparison can run first and exactly one
+subtractor's operands are loaded (Fig. 2(b)).
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import CDFG
+
+
+def abs_diff() -> CDFG:
+    """CDFG of |a-b|: one COMP, two SUBs, one MUX (paper Fig. 1)."""
+    b = GraphBuilder("abs_diff")
+    a = b.input("a")
+    bb = b.input("b")
+    c = b.gt(a, bb, name="c")          # a > b
+    d0 = b.sub(bb, a, name="b_minus_a")  # used when c == 0
+    d1 = b.sub(a, bb, name="a_minus_b")  # used when c == 1
+    result = b.mux(c, d0, d1, name="abs")
+    b.output(result, "result")
+    return b.build()

@@ -1,0 +1,86 @@
+"""``cordic`` benchmark reconstruction (paper Table I row 4).
+
+A 16-iteration vectoring-mode CORDIC: each iteration tests the sign of the
+``y`` residual and rotates ``(x, y)`` toward the x-axis while accumulating
+the angle in ``z``.  Both rotation directions are computed (an adder and a
+subtractor per channel) and a multiplexor picks the one matching the sign
+test — the structure the paper's power management exploits, since only one
+of each add/sub pair is ever consumed.
+
+Constant shifts (``y >> i``) are wiring, not scheduled operations, matching
+the paper's operation table which lists no shifters.
+
+Reconstruction choices that pin the operation counts to the paper's
+(47 MUX, 16 COMP, 43 ``+``, 46 ``-``):
+
+* the last iteration drops the ``y`` channel (the residual is not needed
+  beyond iteration 15): -1 MUX, -1 ``+``, -1 ``-``;
+* late iterations 11-14 use a truncated ``y`` update whose grow-candidate
+  is a pass-through wire instead of an adder: -4 ``+``;
+* iteration 0 starts from ``z = 0``, so the negative-angle candidate of the
+  ``z`` channel is a wire: -1 ``-``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.ir.builder import GraphBuilder, Value
+from repro.ir.graph import CDFG
+
+N_ITERATIONS = 16
+
+# atan(2^-i) in 1/64ths of a right angle (fits an 8-bit datapath).
+ANGLE_TABLE = [max(0, round(math.degrees(math.atan(2.0 ** -i)) * 64 / 90))
+               for i in range(N_ITERATIONS)]
+
+# Iterations whose y-update drops the adder candidate (see module docstring).
+_TRUNCATED_Y = frozenset({11, 12, 13, 14})
+# Iteration dropping the subtractor candidate of the z-update.
+_WIRED_Z_SUB = frozenset({0})
+# Iterations with no y channel at all.
+_NO_Y = frozenset({N_ITERATIONS - 1})
+
+
+def cordic(n_iterations: int = N_ITERATIONS, width: int = 8) -> CDFG:
+    """Vectoring CORDIC CDFG.  ``n_iterations=16`` reproduces Table I."""
+    if n_iterations < 1:
+        raise ValueError("cordic needs at least one iteration")
+    b = GraphBuilder("cordic")
+    x: Value = b.input("x0")
+    y: Value = b.input("y0")
+    z: Value = b.input("z0")
+
+    full = n_iterations == N_ITERATIONS
+    for i in range(n_iterations):
+        shift = min(i, width - 1)
+        angle = ANGLE_TABLE[i % len(ANGLE_TABLE)]
+        c = b.gt(y, 0, name=f"c{i}")           # COMP: rotate down if y > 0
+        ys = b.shr(y, shift, name=f"ys{i}")    # wiring
+        xs = b.shr(x, shift, name=f"xs{i}")    # wiring
+
+        xa = b.add(x, ys, name=f"xa{i}")       # + : x grows when y > 0
+        xb = b.sub(x, ys, name=f"xb{i}")       # - : x shrinks otherwise
+        x = b.mux(c, xb, xa, name=f"x{i + 1}")
+
+        if not (full and i in _NO_Y):
+            yb = b.sub(y, xs, name=f"yb{i}")   # - : y shrinks when y > 0
+            if full and i in _TRUNCATED_Y:
+                ya: Value = y                  # truncated update: wire
+            else:
+                ya = b.add(y, xs, name=f"ya{i}")  # +
+            y = b.mux(c, ya, yb, name=f"y{i + 1}")
+
+        za = b.add(z, angle, name=f"za{i}")    # + : angle accumulates
+        if full and i in _WIRED_Z_SUB:
+            # z enters iteration 0 as 0, so z - e0 is the constant -e0:
+            # the subtractor is constant-folded away (one fewer '-').
+            zb: Value = b.const(-angle)
+        else:
+            zb = b.sub(z, angle, name=f"zb{i}")  # -
+        z = b.mux(c, zb, za, name=f"z{i + 1}")
+
+    b.output(x, "magnitude")
+    b.output(y, "y_residual")
+    b.output(z, "angle")
+    return b.build()

@@ -1,0 +1,44 @@
+"""``dealer`` benchmark reconstruction (paper Table I row 1).
+
+A card-dealing payout circuit: the player's standing total ``p`` is checked
+against the bust limit; the dealer draws to ``H`` (hit: ``d + c``, stand:
+``d``); the payout is the win margin ``p - d`` when the player is ahead,
+otherwise the dealer's final total, and zero on a bust.
+
+Operation counts match the paper exactly: 3 MUX, 3 COMP, 2 ``+``, 1 ``-``,
+critical path 4 control steps.  The dataflow shape is our reconstruction
+(the paper does not publish the Silage source).
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import CDFG
+
+BUST_LIMIT = 21
+DEALER_STAND = 17
+
+
+def dealer() -> CDFG:
+    b = GraphBuilder("dealer")
+    p = b.input("p")      # player total
+    d = b.input("d")      # dealer total
+    c = b.input("c")      # next card
+
+    total = b.add(p, c, name="total")            # + : new player total
+    c_bust = b.gt(p, BUST_LIMIT, name="c_bust")  # COMP: busted already?
+    c_hi = b.gt(d, DEALER_STAND, name="c_hi")    # COMP: dealer stands?
+    hit = b.add(d, c, name="hit")                # + : dealer hits
+    # c_hi == 1 -> stand on d, else take the hit.
+    dealer_final = b.mux(c_hi, hit, d, name="dealer_final")
+    c_win = b.gt(p, d, name="c_win")             # COMP: player ahead?
+    margin = b.sub(p, d, name="margin")          # - : win margin
+    # c_win == 1 -> margin, else dealer's final total.
+    payout = b.mux(c_win, dealer_final, margin, name="payout")
+    # c_bust == 1 -> zero payout.
+    final = b.mux(c_bust, payout, 0, name="final")
+
+    b.output(final, "payout")
+    b.output(total, "total")
+    b.output(dealer_final, "dealer_total")
+    return b.build()

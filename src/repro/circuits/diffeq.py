@@ -1,0 +1,43 @@
+"""``diffeq`` — the classic HLS differential-equation benchmark
+(Paulin & Knight), included as a *negative control*.
+
+One Euler step of ``y'' + 3xy' + 3y = 0``:
+
+    x1 = x + dx
+    u1 = u - 3*x*u*dx - 3*y*dx
+    y1 = y + u*dx
+
+The circuit has no conditionals at all: every operation is always needed,
+so the PM pass must select zero multiplexors and the power-managed design
+must be identical in power to the baseline.  It also stress-tests the
+scheduler/binding on a multiplier-heavy dataflow (6 x, 2 +, 2 -).
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import CDFG
+
+
+def diffeq() -> CDFG:
+    b = GraphBuilder("diffeq")
+    x = b.input("x")
+    y = b.input("y")
+    u = b.input("u")
+    dx = b.input("dx")
+
+    x1 = b.add(x, dx, name="x1")               # +
+    t1 = b.mul(3, x, name="t1")                # * : 3x
+    t2 = b.mul(u, dx, name="t2")               # * : u*dx
+    t3 = b.mul(t1, t2, name="t3")              # * : 3x*u*dx
+    t4 = b.mul(3, y, name="t4")                # * : 3y
+    t5 = b.mul(t4, dx, name="t5")              # * : 3y*dx
+    t6 = b.sub(u, t3, name="t6")               # -
+    u1 = b.sub(t6, t5, name="u1")              # -
+    t7 = b.mul(u, dx, name="t7")               # * : u*dx (no CSE, as in
+    y1 = b.add(y, t7, name="y1")               # +   the classic benchmark)
+
+    b.output(x1, "x1")
+    b.output(u1, "u1")
+    b.output(y1, "y1")
+    return b.build()

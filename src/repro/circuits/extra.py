@@ -1,0 +1,105 @@
+"""Additional circuits beyond the paper's four benchmarks.
+
+* :func:`ewf` — the fifth-order elliptic wave filter (Kung/HYPER-era HLS
+  benchmark): 26 additions and 8 multiplications, *no conditionals*.  A
+  large negative control: the PM pass must select nothing, and the rest of
+  the flow must still schedule/bind/simulate it correctly.
+
+* :func:`sparse_fir` — an n-tap FIR whose per-tap multiplies are skipped
+  when the sample magnitude is below a threshold (a common DSP power
+  optimization).  Parameterized PM workload: n comparisons gate n
+  multiplier/adder pairs, so managed muxes and savings scale with n.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder, Value
+from repro.ir.graph import CDFG
+
+# Feedback taps of the canonical EWF dataflow are modelled as inputs
+# (sv = state variables), as HLS benchmarks traditionally do.
+
+
+def ewf() -> CDFG:
+    """Fifth-order elliptic wave filter body (26 +, 8 *)."""
+    b = GraphBuilder("ewf")
+    inp = b.input("inp")
+    sv2 = b.input("sv2")
+    sv13 = b.input("sv13")
+    sv18 = b.input("sv18")
+    sv26 = b.input("sv26")
+    sv33 = b.input("sv33")
+    sv38 = b.input("sv38")
+    sv39 = b.input("sv39")
+
+    def coeff_mul(value: Value, name: str) -> Value:
+        return b.mul(value, 3, name=name)  # fixed filter coefficient
+
+    t1 = b.add(inp, sv2, name="t1")
+    t2 = b.add(t1, sv33, name="t2")
+    t3 = b.add(t2, sv39, name="t3")
+    m1 = coeff_mul(t3, "m1")
+    t4 = b.add(m1, sv13, name="t4")
+    t5 = b.add(t4, sv26, name="t5")
+    m2 = coeff_mul(t5, "m2")
+    t6 = b.add(m2, t1, name="t6")
+    t7 = b.add(t6, sv18, name="t7")
+    m3 = coeff_mul(t7, "m3")
+    t8 = b.add(m3, t2, name="t8")
+    t9 = b.add(t8, sv38, name="t9")
+    m4 = coeff_mul(t9, "m4")
+    t10 = b.add(m4, t5, name="t10")
+    t11 = b.add(t10, t7, name="t11")
+    m5 = coeff_mul(t11, "m5")
+    t12 = b.add(m5, t9, name="t12")
+    t13 = b.add(t12, t3, name="t13")
+    m6 = coeff_mul(t13, "m6")
+    t14 = b.add(m6, t11, name="t14")
+    t15 = b.add(t14, t4, name="t15")
+    m7 = coeff_mul(t15, "m7")
+    t16 = b.add(m7, t13, name="t16")
+    t17 = b.add(t16, t6, name="t17")
+    m8 = coeff_mul(t17, "m8")
+    t18 = b.add(m8, t15, name="t18")
+    t19 = b.add(t18, t8, name="t19")
+    t20 = b.add(t19, t10, name="t20")
+    t21 = b.add(t20, t12, name="t21")
+    t22 = b.add(t21, t14, name="t22")
+    t23 = b.add(t22, t16, name="t23")
+    t24 = b.add(t23, t17, name="t24")
+    t25 = b.add(t24, t19, name="t25")
+    t26 = b.add(t25, t21, name="t26")
+
+    b.output(t26, "outp")
+    b.output(t20, "sv_next_a")
+    b.output(t24, "sv_next_b")
+    return b.build()
+
+
+def sparse_fir(n_taps: int = 8, threshold: int = 4) -> CDFG:
+    """FIR filter that skips taps whose sample is below ``threshold``.
+
+    Per tap i: ``c_i = |x_i| > threshold`` (approximated as the two-sided
+    compare ``x_i > t  OR-free form``: we test ``x_i > t`` only, keeping
+    the circuit single-condition per tap), ``p_i = x_i * k_i`` and the
+    accumulated term is ``c_i ? p_i : 0``.  Each multiplier sits alone in
+    its mux's shut-down cone, so power management gates all ``n_taps``
+    multipliers once one extra control step is available.
+    """
+    if n_taps < 1:
+        raise ValueError("a FIR needs at least one tap")
+    b = GraphBuilder(f"sparse_fir{n_taps}")
+    taps = [b.input(f"x{i}") for i in range(n_taps)]
+
+    accumulator: Value | None = None
+    for i, x in enumerate(taps):
+        c = b.gt(x, threshold, name=f"c{i}")
+        p = b.mul(x, 2 * i + 1, name=f"p{i}")       # per-tap coefficient
+        term = b.mux(c, 0, p, name=f"term{i}")      # skip small samples
+        if accumulator is None:
+            accumulator = term
+        else:
+            accumulator = b.add(accumulator, term, name=f"acc{i}")
+
+    b.output(accumulator, "y")
+    return b.build()

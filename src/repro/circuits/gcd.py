@@ -1,0 +1,41 @@
+"""``gcd`` benchmark reconstruction (paper Table I row 2).
+
+One unrolled step of subtractive GCD in the max/min formulation: compute
+``big = max(a, b)``, ``small = min(a, b)``, replace the pair by
+``(big - small, small)`` until ``a == b``.  A done flag and the current
+maximum are exported alongside.  The Silage-style nested conditional
+``a != b ? (... diff ...) : a`` lowers to the two chained multiplexors
+(``next_a``, ``gcd``) that give the subtractor its shut-down guards.
+
+Operation counts match the paper exactly: 6 MUX, 2 COMP, 1 ``-``,
+critical path 5 control steps.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import CDFG
+
+
+def gcd() -> CDFG:
+    b = GraphBuilder("gcd")
+    a = b.input("a")
+    bb = b.input("b")
+
+    c_run = b.ne(a, bb, name="c_run")   # COMP: not finished (a != b)
+    c_gt = b.gt(a, bb, name="c_gt")     # COMP: a > b
+    big = b.mux(c_gt, bb, a, name="big")      # MUX: max(a, b)
+    small = b.mux(c_gt, a, bb, name="small")  # MUX: min(a, b)
+    diff = b.sub(big, small, name="diff")     # - : big - small
+    next_a = b.mux(c_run, a, diff, name="next_a")   # MUX: new max operand
+    next_b = b.mux(c_run, bb, small, name="next_b")  # MUX: new min operand
+    # Redundant re-select from the nested source conditional: when still
+    # running the result register tracks next_a, otherwise it holds a.
+    result = b.mux(c_run, a, next_a, name="gcd")     # MUX
+    done = b.mux(c_run, 1, 0, name="done")           # MUX: done flag
+
+    b.output(result, "gcd")
+    b.output(next_b, "next_b")
+    b.output(done, "done")
+    b.output(big, "max")
+    return b.build()

@@ -1,0 +1,82 @@
+"""Benchmark circuits as language sources.
+
+The same designs as the builder-API modules, written in the Silage-like
+DSL.  Tests assert that compiling these yields identical operation counts
+and identical input/output behaviour to the builder versions — exercising
+the whole frontend on realistic programs.
+"""
+
+ABS_DIFF_SRC = """
+# |a - b| — the paper's running example (Figs. 1-2).
+circuit abs_diff {
+    input a, b;
+    c = a > b;
+    output result = c ? a - b : b - a;
+}
+"""
+
+DEALER_SRC = """
+# Card-dealing payout (paper Table I: 3 MUX, 3 COMP, 2 +, 1 -).
+circuit dealer {
+    input p, d, c;
+    total = p + c;
+    c_bust = p > 21;
+    c_hi = d > 17;
+    hit = d + c;
+    dealer_final = c_hi ? d : hit;
+    c_win = p > d;
+    margin = p - d;
+    payout = c_win ? margin : dealer_final;
+    output final = c_bust ? 0 : payout;
+    output total_out = total;
+    output dealer_total = dealer_final;
+}
+"""
+
+GCD_SRC = """
+# Subtractive GCD step (paper Table I: 6 MUX, 2 COMP, 1 -).
+circuit gcd {
+    input a, b;
+    c_run = a != b;
+    c_gt = a > b;
+    big = c_gt ? a : b;
+    small = c_gt ? b : a;
+    diff = big - small;
+    next_a = c_run ? diff : a;
+    output gcd_out = c_run ? next_a : a;
+    output next_b = c_run ? small : b;
+    output done = c_run ? 0 : 1;
+    output max_out = big;
+}
+"""
+
+VENDER_SRC = """
+# Vending machine (paper Table I: 6 MUX, 3 COMP, 3 +, 3 -, 2 *).
+circuit vender {
+    input coins, credit, price, sel;
+    c_two = sel > 1;
+    p2 = price * 2;
+    p3 = price * 3;
+    cost = c_two ? p3 : p2;
+    funds = coins + credit;
+    c_pay = funds > 6;
+    change = funds - cost;
+    short = cost - funds;
+    output amount = c_pay ? change : short;
+    output vend = c_pay ? 1 : 0;
+    account = c_two ? credit : coins;
+    t2 = funds + sel;
+    balance = t2 + account;
+    c_ovf = balance > 100;
+    wrapped = balance - 100;
+    output newbal = c_ovf ? wrapped : balance;
+    output ovf = c_ovf ? 0 : 1;
+}
+"""
+
+SOURCES = {
+    "abs_diff": ABS_DIFF_SRC,
+    "dealer": DEALER_SRC,
+    "gcd": GCD_SRC,
+    "vender": VENDER_SRC,
+}

@@ -1,0 +1,136 @@
+"""Benchmark-circuit registry and the paper's published numbers.
+
+``CIRCUITS`` maps name -> builder for the paper's four benchmarks;
+``PAPER_TABLE1`` / ``PAPER_TABLE2`` / ``PAPER_TABLE3`` hold the numbers
+printed in the paper, so benches and EXPERIMENTS.md can put *paper* and
+*measured* side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.circuits.abs_diff import abs_diff
+from repro.circuits.cordic import cordic
+from repro.circuits.dealer import dealer
+from repro.circuits.gcd import gcd
+from repro.circuits.vender import vender
+from repro.ir.graph import CDFG
+
+CIRCUITS: dict[str, Callable[[], CDFG]] = {
+    "dealer": dealer,
+    "gcd": gcd,
+    "vender": vender,
+    "cordic": cordic,
+}
+
+
+def build(name: str) -> CDFG:
+    """Build a registered benchmark circuit by name."""
+    try:
+        return CIRCUITS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown circuit {name!r}; choose from {sorted(CIRCUITS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """Paper Table I: circuit statistics."""
+
+    name: str
+    critical_path: int
+    mux: int
+    comp: int
+    add: int
+    sub: int
+    mul: int
+
+
+PAPER_TABLE1: dict[str, Table1Row] = {
+    "dealer": Table1Row("dealer", 4, 3, 3, 2, 1, 0),
+    "gcd": Table1Row("gcd", 5, 6, 2, 0, 1, 0),
+    "vender": Table1Row("vender", 5, 6, 3, 3, 3, 2),
+    "cordic": Table1Row("cordic", 48, 47, 16, 43, 46, 0),
+}
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """Paper Table II: power-managed scheduling results."""
+
+    name: str
+    control_steps: int
+    pm_muxes: int
+    area_increase: float
+    avg_mux: float
+    avg_comp: float
+    avg_add: float
+    avg_sub: float
+    avg_mul: float
+    power_reduction_pct: float
+
+
+PAPER_TABLE2: list[Table2Row] = [
+    Table2Row("dealer", 4, 1, 1.20, 2.00, 2.00, 2.00, 0.50, 0.00, 27.00),
+    Table2Row("dealer", 5, 1, 1.00, 2.00, 2.00, 2.00, 0.50, 0.00, 27.00),
+    Table2Row("dealer", 6, 2, 1.00, 2.00, 2.00, 1.75, 0.25, 0.00, 33.33),
+    Table2Row("gcd", 5, 1, 1.00, 5.50, 2.00, 0.00, 0.50, 0.00, 11.76),
+    Table2Row("gcd", 6, 1, 1.00, 5.50, 2.00, 0.00, 0.50, 0.00, 11.76),
+    Table2Row("gcd", 7, 2, 1.05, 5.50, 2.00, 0.00, 0.25, 0.00, 16.18),
+    Table2Row("vender", 5, 4, 1.04, 4.50, 2.50, 1.50, 1.00, 1.00, 41.67),
+    Table2Row("vender", 6, 4, 1.00, 4.50, 2.50, 1.50, 1.00, 1.00, 41.67),
+    Table2Row("cordic", 48, 38, 1.00, 47.00, 16.00, 24.00, 27.00, 0.00, 30.16),
+    Table2Row("cordic", 52, 46, 1.17, 47.00, 16.00, 22.00, 23.00, 0.00, 34.92),
+]
+
+# Control-step budgets evaluated per circuit in Table II.
+TABLE2_BUDGETS: dict[str, tuple[int, ...]] = {
+    "dealer": (4, 5, 6),
+    "gcd": (5, 6, 7),
+    "vender": (5, 6),
+    "cordic": (48, 52),
+}
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """Paper Table III: Synopsys gate-level estimation."""
+
+    name: str
+    control_steps: int
+    area_orig: int
+    area_new: int
+    area_increase: float
+    power_orig: float
+    power_new: float
+    power_reduction_pct: float
+
+
+PAPER_TABLE3: list[Table3Row] = [
+    Table3Row("dealer", 6, 895, 946, 1.06, 46.5, 35.1, 24.5),
+    Table3Row("gcd", 7, 806, 892, 1.11, 31.9, 28.7, 10.0),
+    Table3Row("vender", 6, 2338, 2283, 0.98, 106.2, 71.4, 32.8),
+]
+
+TABLE3_BUDGETS: dict[str, int] = {"dealer": 6, "gcd": 7, "vender": 6}
+
+__all__ = [
+    "CIRCUITS",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "TABLE2_BUDGETS",
+    "TABLE3_BUDGETS",
+    "Table1Row",
+    "Table2Row",
+    "Table3Row",
+    "abs_diff",
+    "build",
+    "cordic",
+    "dealer",
+    "gcd",
+    "vender",
+]

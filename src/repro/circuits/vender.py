@@ -1,0 +1,53 @@
+"""``vender`` benchmark reconstruction (paper Table I row 3).
+
+A vending-machine transaction: the selected item's cost is a multiple of
+the base price (the two multipliers — only one of which is ever needed);
+the machine compares the inserted funds against the acceptance threshold
+and shows either the change or the amount short; a loyalty balance is
+accumulated and wrapped at a limit.
+
+Operation counts match the paper exactly: 6 MUX, 3 COMP, 3 ``+``, 3 ``-``,
+2 ``*``, critical path 5 control steps.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import CDFG
+
+ACCEPT_THRESHOLD = 6
+BALANCE_LIMIT = 100
+
+
+def vender() -> CDFG:
+    b = GraphBuilder("vender")
+    coins = b.input("coins")
+    credit = b.input("credit")
+    price = b.input("price")
+    sel = b.input("sel")
+
+    c_two = b.gt(sel, 1, name="c_two")          # COMP: premium item?
+    p2 = b.mul(price, 2, name="p2")             # * : standard cost
+    p3 = b.mul(price, 3, name="p3")             # * : premium cost
+    cost = b.mux(c_two, p2, p3, name="cost")    # MUX: chosen cost
+
+    funds = b.add(coins, credit, name="funds")  # + : available funds
+    c_pay = b.gt(funds, ACCEPT_THRESHOLD, name="c_pay")  # COMP: accepted?
+    change = b.sub(funds, cost, name="change")  # - : change due
+    short = b.sub(cost, funds, name="short")    # - : amount missing
+    amount = b.mux(c_pay, short, change, name="amount")  # MUX: display
+    vend = b.mux(c_pay, 0, 1, name="vend")      # MUX: dispense flag
+
+    account = b.mux(c_two, coins, credit, name="account")  # MUX: bonus src
+    t2 = b.add(funds, sel, name="t2")           # + : funds + item count
+    balance = b.add(t2, account, name="balance")  # + : loyalty balance
+    c_ovf = b.gt(balance, BALANCE_LIMIT, name="c_ovf")  # COMP: wrapped?
+    wrapped = b.sub(balance, BALANCE_LIMIT, name="wrapped")  # - : wrap
+    newbal = b.mux(c_ovf, balance, wrapped, name="newbal")   # MUX
+    ovf = b.mux(c_ovf, 1, 0, name="ovf")        # MUX: overflow flag
+
+    b.output(amount, "amount")
+    b.output(vend, "vend")
+    b.output(newbal, "balance")
+    b.output(ovf, "ovf")
+    return b.build()

@@ -1,0 +1,189 @@
+"""Command-line interface.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro stats dealer                    # Table I row
+    python -m repro synthesize gcd --steps 7        # full report
+    python -m repro synthesize my.circ --steps 6 --partial --ordering savings
+    python -m repro vhdl vender --steps 6 -o vender.vhd
+    python -m repro simulate dealer --steps 6 --vectors 256
+    python -m repro tables                          # Tables I-III summary
+
+Circuit arguments are either a registered benchmark name (dealer, gcd,
+vender, cordic) or a path to a ``.circ``/``.txt`` file in the description
+language.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.analysis.stats import circuit_stats
+from repro.circuits import CIRCUITS, build
+from repro.core.pm_pass import PMOptions
+from repro.flow import synthesize, synthesize_pair
+from repro.ir.graph import CDFG
+from repro.lang.lower import compile_circuit
+from repro.power.simulated import compare_designs
+from repro.report import full_report
+from repro.rtl.vhdl import generate_vhdl
+from repro.sched.timing import critical_path_length
+
+
+def load_circuit(spec: str) -> CDFG:
+    """Registered benchmark name or a DSL source file path."""
+    if spec in CIRCUITS:
+        return build(spec)
+    path = pathlib.Path(spec)
+    if path.exists():
+        return compile_circuit(path.read_text())
+    raise SystemExit(
+        f"error: {spec!r} is neither a known circuit "
+        f"({', '.join(sorted(CIRCUITS))}) nor a readable file")
+
+
+def _pm_options(args: argparse.Namespace) -> PMOptions:
+    return PMOptions(
+        ordering=args.ordering,
+        partial=args.partial,
+        enabled=not args.no_pm,
+    )
+
+
+def _steps_for(graph: CDFG, args: argparse.Namespace) -> int:
+    if args.steps is not None:
+        return args.steps
+    return critical_path_length(graph) + args.slack
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    graph = load_circuit(args.circuit)
+    stats = circuit_stats(graph)
+    print(f"circuit {stats.name!r}")
+    print(f"  critical path : {stats.critical_path} control steps")
+    print(f"  operations    : MUX {stats.mux}, COMP {stats.comp}, "
+          f"+ {stats.add}, - {stats.sub}, * {stats.mul}")
+    return 0
+
+
+def cmd_synthesize(args: argparse.Namespace) -> int:
+    graph = load_circuit(args.circuit)
+    steps = _steps_for(graph, args)
+    result = synthesize(graph, steps, options=_pm_options(args))
+    print(full_report(result))
+    return 0
+
+
+def cmd_vhdl(args: argparse.Namespace) -> int:
+    graph = load_circuit(args.circuit)
+    steps = _steps_for(graph, args)
+    result = synthesize(graph, steps, options=_pm_options(args))
+    text = generate_vhdl(result.design)
+    if args.output:
+        pathlib.Path(args.output).write_text(text)
+        print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    graph = load_circuit(args.circuit)
+    steps = _steps_for(graph, args)
+    pair = synthesize_pair(graph, steps, options=_pm_options(args))
+    cmp = compare_designs(pair.baseline.design, pair.managed.design,
+                          n_vectors=args.vectors, seed=args.seed)
+    print(f"{graph.name} @ {steps} steps, {args.vectors} random vectors")
+    print(f"  baseline : {cmp.orig.total:8.3f} energy/sample, "
+          f"area {cmp.area_orig}")
+    print(f"  managed  : {cmp.managed.total:8.3f} energy/sample, "
+          f"area {cmp.area_new}")
+    print(f"  saved    : {cmp.reduction_pct:.1f}% total "
+          f"({cmp.datapath_reduction_pct:.1f}% datapath), "
+          f"area x{cmp.area_increase:.2f}")
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    from repro.circuits import PAPER_TABLE1, PAPER_TABLE2
+    from repro.paper_tables import measure_table1, measure_table2
+
+    print("Table I (measured/paper):")
+    for name, stats in measure_table1().items():
+        paper = PAPER_TABLE1[name]
+        print(f"  {name:8s} cp {stats.critical_path}/{paper.critical_path}"
+              f"  mux {stats.mux}/{paper.mux} comp {stats.comp}/{paper.comp}"
+              f" + {stats.add}/{paper.add} - {stats.sub}/{paper.sub}"
+              f" * {stats.mul}/{paper.mul}")
+    print("\nTable II (managed muxes, datapath power reduction,"
+          " measured/paper):")
+    paper2 = {(r.name, r.control_steps): r for r in PAPER_TABLE2}
+    for row in measure_table2():
+        p = paper2[(row.name, row.control_steps)]
+        print(f"  {row.name:8s} @{row.control_steps:2d}: "
+              f"{row.pm_muxes:2d}/{p.pm_muxes:2d} muxes, "
+              f"{row.power_reduction_pct:5.2f}%/"
+              f"{p.power_reduction_pct:5.2f}%")
+    print("\n(run `pytest benchmarks/ --benchmark-only -s` for the full "
+          "paper-vs-measured tables, including Table III)")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Power-management-aware behavioral synthesis "
+                    "(Monteiro et al., DAC 1996)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("circuit", help="benchmark name or DSL file")
+        p.add_argument("--steps", type=int, default=None,
+                       help="control-step budget (default: critical path "
+                            "+ --slack)")
+        p.add_argument("--slack", type=int, default=1,
+                       help="extra steps over the critical path when "
+                            "--steps is omitted (default 1)")
+        p.add_argument("--ordering", default="output_first",
+                       choices=("output_first", "input_first", "savings"),
+                       help="MUX processing order (paper SIV-A)")
+        p.add_argument("--partial", action="store_true",
+                       help="enable per-operation fallback gating")
+        p.add_argument("--no-pm", action="store_true",
+                       help="disable power management (baseline design)")
+
+    p_stats = sub.add_parser("stats", help="circuit statistics (Table I)")
+    p_stats.add_argument("circuit")
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_synth = sub.add_parser("synthesize", help="run the flow, print report")
+    common(p_synth)
+    p_synth.set_defaults(func=cmd_synthesize)
+
+    p_vhdl = sub.add_parser("vhdl", help="emit VHDL")
+    common(p_vhdl)
+    p_vhdl.add_argument("-o", "--output", default=None)
+    p_vhdl.set_defaults(func=cmd_vhdl)
+
+    p_sim = sub.add_parser("simulate",
+                           help="simulate baseline vs managed power")
+    common(p_sim)
+    p_sim.add_argument("--vectors", type=int, default=256)
+    p_sim.add_argument("--seed", type=int, default=1996)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_tables = sub.add_parser("tables", help="paper tables summary")
+    p_tables.set_defaults(func=cmd_tables)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

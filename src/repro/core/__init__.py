@@ -1,0 +1,51 @@
+"""The paper's contribution: power-management-aware scheduling (Fig. 3)."""
+
+from repro.core.cones import MuxCones, compute_all_cones, compute_cones
+from repro.core.ordering import (
+    STRATEGIES,
+    estimated_savings_weight,
+    exhaustive_orderings,
+    order_muxes,
+)
+from repro.core.pm_pass import (
+    MuxDecision,
+    PMOptions,
+    PMResult,
+    REASON_CYCLE,
+    REASON_LIMIT,
+    REASON_NOTHING_TO_GATE,
+    REASON_NO_SLACK,
+    REASON_SELECTED,
+    apply_power_management,
+)
+from repro.core.reordering import (
+    ReorderOutcome,
+    exhaustive_search,
+    gated_weight,
+    strategy_search,
+)
+from repro.core.report import describe_decisions
+
+__all__ = [
+    "MuxCones",
+    "MuxDecision",
+    "PMOptions",
+    "PMResult",
+    "REASON_CYCLE",
+    "REASON_LIMIT",
+    "REASON_NOTHING_TO_GATE",
+    "REASON_NO_SLACK",
+    "REASON_SELECTED",
+    "ReorderOutcome",
+    "STRATEGIES",
+    "apply_power_management",
+    "compute_all_cones",
+    "compute_cones",
+    "describe_decisions",
+    "estimated_savings_weight",
+    "exhaustive_orderings",
+    "exhaustive_search",
+    "gated_weight",
+    "order_muxes",
+    "strategy_search",
+]

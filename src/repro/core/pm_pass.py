@@ -1,0 +1,284 @@
+"""The power-management scheduling pass — paper Figure 3.
+
+Given a CDFG and a control-step budget (throughput constraint), decide for
+each multiplexor whether its data-cone operations can be scheduled *after*
+its select signal, and if so commit precedence ("control") edges from the
+select driver to the top nodes of the 0/1 shut-down cones.  A downstream
+resource-minimizing scheduler (step 11) then produces the final schedule,
+and the controller generator turns the gating information into conditional
+register-load enables.
+
+Implementation note: the paper commits tightened ASAP/ALAP values per
+selected MUX (steps 4-8).  We instead keep the tentative control edges of
+every selected MUX in the working graph and recompute ASAP/ALAP globally —
+the recomputed values equal the paper's committed ones, constraints
+accumulate across MUXes identically, and reverting a rejected MUX is just
+removing its edges.
+
+Two opt-in generalizations beyond the Figure-3 pseudo-code:
+
+* ``PMOptions.allocation`` makes the feasibility test *resource-aware*: a
+  MUX is only selected if the augmented graph still list-schedules under
+  the given execution-unit allocation (the pseudo-code checks slack only).
+* ``PMOptions.partial`` implements the fallback the paper describes in
+  §II-B for the one-subtractor |a-b| schedule ("the operation in the first
+  control step will always be computed, but we can still disable the one
+  in the second"): when the whole cone cannot be re-timed, gate the subset
+  of cone operations that can individually be scheduled after the select
+  signal.  Gating a subset is functionally safe — an ungated consumer of a
+  gated (stale) value only feeds paths the MUX deselects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.cones import MuxCones, compute_cones
+from repro.core.ordering import order_muxes
+from repro.ir.graph import CDFG, CDFGError
+from repro.sched.resources import UNIT_COST, Allocation
+from repro.sched.timing import critical_path_length, try_timing
+
+# Rejection reasons recorded on MuxDecision.
+REASON_SELECTED = "selected"
+REASON_PARTIAL = "partially-selected"
+REASON_NOTHING_TO_GATE = "nothing-to-gate"
+REASON_NO_SLACK = "insufficient-slack"
+REASON_CYCLE = "would-create-cycle"
+REASON_LIMIT = "mux-limit-reached"
+
+
+@dataclass(frozen=True)
+class MuxDecision:
+    """Outcome of the paper's steps 3-8 for one multiplexor.
+
+    ``gated`` lists the operations actually gated for this MUX — the whole
+    eligible cone when fully selected, a subset under partial selection.
+    """
+
+    mux: int
+    selected: bool
+    reason: str
+    cones: MuxCones
+    added_edges: tuple[tuple[int, int], ...] = ()
+    gated: frozenset[int] = frozenset()
+
+
+@dataclass
+class PMResult:
+    """Everything the rest of the flow needs after the PM pass.
+
+    ``graph`` is a copy of the input augmented with the control edges of
+    every selected MUX; ``gating`` maps a node id to the (mux, side) guards
+    under which it executes — the controller loads its operands only when
+    every guard's select register holds the required side.
+    """
+
+    graph: CDFG
+    n_steps: int
+    decisions: list[MuxDecision] = field(default_factory=list)
+    gating: dict[int, tuple[tuple[int, int], ...]] = field(default_factory=dict)
+
+    @property
+    def selected_muxes(self) -> list[int]:
+        return [d.mux for d in self.decisions if d.selected]
+
+    @property
+    def fully_selected_muxes(self) -> list[int]:
+        return [d.mux for d in self.decisions
+                if d.selected and d.reason == REASON_SELECTED]
+
+    @property
+    def partially_selected_muxes(self) -> list[int]:
+        return [d.mux for d in self.decisions
+                if d.selected and d.reason == REASON_PARTIAL]
+
+    @property
+    def rejected_muxes(self) -> list[int]:
+        return [d.mux for d in self.decisions if not d.selected]
+
+    @property
+    def managed_count(self) -> int:
+        """Paper Table II column 3: number of power-managed multiplexors."""
+        return len(self.selected_muxes)
+
+    def decision_for(self, mux_id: int) -> MuxDecision:
+        for decision in self.decisions:
+            if decision.mux == mux_id:
+                return decision
+        raise KeyError(f"no decision recorded for mux {mux_id}")
+
+    def gated_ops(self) -> set[int]:
+        """All operations with at least one shut-down guard."""
+        return set(self.gating)
+
+
+@dataclass(frozen=True)
+class PMOptions:
+    """Knobs for the PM pass.
+
+    ordering:     MUX processing order strategy (see repro.core.ordering).
+    given_order:  explicit order for strategy "given".
+    max_muxes:    stop selecting after this many MUXes (None = unlimited).
+    enabled:      False turns the pass into a no-op (the paper's baseline:
+                  traditional scheduling, everything always executes).
+    allocation:   when given, feasibility additionally requires the
+                  augmented graph to list-schedule under this allocation
+                  (resource-aware power management).
+    partial:      allow per-operation fallback when a whole cone does not
+                  fit (see module docstring).
+    """
+
+    ordering: str = "output_first"
+    given_order: Sequence[int] | None = None
+    max_muxes: int | None = None
+    enabled: bool = True
+    allocation: Allocation | None = None
+    partial: bool = False
+
+
+def _feasible(work: CDFG, n_steps: int, options: PMOptions) -> bool:
+    """Slack feasibility, plus resource feasibility when requested."""
+    if try_timing(work, n_steps) is None:
+        return False
+    if options.allocation is not None:
+        from repro.sched.list_scheduler import (
+            ListSchedulingFailure,
+            list_schedule,
+        )
+        from repro.sched.timing import InfeasibleScheduleError
+        try:
+            list_schedule(work, n_steps, options.allocation)
+        except (ListSchedulingFailure, InfeasibleScheduleError):
+            return False
+    return True
+
+
+def apply_power_management(
+    graph: CDFG,
+    n_steps: int,
+    options: PMOptions = PMOptions(),
+) -> PMResult:
+    """Run the paper's Figure-3 algorithm on ``graph`` for ``n_steps``.
+
+    The input graph is not modified; the result holds an augmented copy.
+    Raises :class:`~repro.sched.timing.InfeasibleScheduleError` if even the
+    unconstrained graph misses the step budget.
+    """
+    cp = critical_path_length(graph)
+    if n_steps < cp:
+        from repro.sched.timing import InfeasibleScheduleError
+        raise InfeasibleScheduleError(
+            f"{n_steps} steps < critical path {cp} of {graph.name!r}"
+        )
+
+    work = graph.copy()
+    result = PMResult(graph=work, n_steps=n_steps)
+    if not options.enabled:
+        return result
+
+    order = order_muxes(work, options.ordering, options.given_order)
+    gating: dict[int, list[tuple[int, int]]] = {}
+
+    for mux_id in order:
+        if (options.max_muxes is not None
+                and result.managed_count >= options.max_muxes):
+            cones = compute_cones(work, mux_id)
+            result.decisions.append(MuxDecision(
+                mux=mux_id, selected=False, reason=REASON_LIMIT, cones=cones))
+            continue
+
+        cones = compute_cones(work, mux_id)
+        gatable = cones.all_shutdown_ops(work)
+        if not gatable:
+            result.decisions.append(MuxDecision(
+                mux=mux_id, selected=False, reason=REASON_NOTHING_TO_GATE,
+                cones=cones))
+            continue
+
+        decision = _try_full_selection(work, n_steps, options, mux_id, cones)
+        if not decision.selected and options.partial \
+                and decision.reason == REASON_NO_SLACK:
+            decision = _try_partial_selection(work, n_steps, options,
+                                              mux_id, cones)
+        result.decisions.append(decision)
+        if decision.selected:
+            for side in (0, 1):
+                for nid in cones.shutdown_ops(work, side):
+                    if nid in decision.gated:
+                        gating.setdefault(nid, []).append((mux_id, side))
+
+    result.gating = {nid: tuple(guards) for nid, guards in gating.items()}
+    return result
+
+
+def _try_full_selection(work: CDFG, n_steps: int, options: PMOptions,
+                        mux_id: int, cones: MuxCones) -> MuxDecision:
+    """Paper steps 4-8: re-time the whole cone or revert."""
+    driver = work.node(mux_id).select_operand
+    edges: list[tuple[int, int]] = []
+    reason = REASON_SELECTED
+    feasible = True
+    try:
+        for side in (0, 1):
+            for top in sorted(cones.top_nodes(work, side)):
+                # add_control_edge refuses self-edges and cycles, which
+                # surfaces as CDFGError and rejects this MUX.
+                if top not in work.control_succs(driver):
+                    work.add_control_edge(driver, top)
+                    edges.append((driver, top))
+    except CDFGError:
+        feasible = False
+        reason = REASON_CYCLE
+
+    if feasible and not _feasible(work, n_steps, options):
+        feasible = False
+        reason = REASON_NO_SLACK
+
+    if not feasible:
+        for src, dst in edges:
+            work.remove_control_edge(src, dst)
+        return MuxDecision(mux=mux_id, selected=False, reason=reason,
+                           cones=cones)
+    return MuxDecision(
+        mux=mux_id, selected=True, reason=REASON_SELECTED, cones=cones,
+        added_edges=tuple(edges), gated=cones.all_shutdown_ops(work))
+
+
+def _try_partial_selection(work: CDFG, n_steps: int, options: PMOptions,
+                           mux_id: int, cones: MuxCones) -> MuxDecision:
+    """§II-B fallback: gate the individually re-timable cone subset.
+
+    Greedy by power weight (most expensive units first), so under a tight
+    budget the multiplier is disabled before an adder.  Each candidate gets
+    a direct control edge from the select driver; infeasible candidates
+    are reverted independently.
+    """
+    driver = work.node(mux_id).select_operand
+    candidates = sorted(
+        cones.all_shutdown_ops(work),
+        key=lambda nid: (-UNIT_COST[work.node(nid).resource], nid),
+    )
+    edges: list[tuple[int, int]] = []
+    gated: set[int] = set()
+    for nid in candidates:
+        pre_existing = nid in work.control_succs(driver)
+        try:
+            if not pre_existing:
+                work.add_control_edge(driver, nid)
+        except CDFGError:
+            continue
+        if _feasible(work, n_steps, options):
+            gated.add(nid)
+            if not pre_existing:
+                edges.append((driver, nid))
+        elif not pre_existing:
+            work.remove_control_edge(driver, nid)
+
+    if not gated:
+        return MuxDecision(mux=mux_id, selected=False,
+                           reason=REASON_NO_SLACK, cones=cones)
+    return MuxDecision(
+        mux=mux_id, selected=True, reason=REASON_PARTIAL, cones=cones,
+        added_edges=tuple(edges), gated=frozenset(gated))

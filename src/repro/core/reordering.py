@@ -1,0 +1,78 @@
+"""Multiplexor reordering search (paper §IV-A).
+
+The paper notes that the greedy output-first order may block better
+selections and sketches a reordering pre-process as work in progress.  We
+implement it two ways:
+
+* :func:`strategy_search` — run the PM pass under each built-in ordering
+  strategy and keep the best result;
+* :func:`exhaustive_search` — try every MUX permutation (small circuits),
+  giving the true optimum the heuristics can be judged against.
+
+"Best" means the largest total gated power weight (expected datapath power
+saved), with the number of managed MUXes as tie-break.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ordering import STRATEGIES, exhaustive_orderings
+from repro.core.pm_pass import PMOptions, PMResult, apply_power_management
+from repro.ir.graph import CDFG
+from repro.sched.resources import UNIT_COST
+
+
+def gated_weight(result: PMResult) -> float:
+    """Expected power weight saved: each gated op skipped w.p. 1/2 per guard."""
+    total = 0.0
+    for nid, guards in result.gating.items():
+        weight = UNIT_COST[result.graph.node(nid).resource]
+        total += weight * (1.0 - 0.5 ** len(guards))
+    return total
+
+
+def _score(result: PMResult) -> tuple[float, int]:
+    return (gated_weight(result), result.managed_count)
+
+
+@dataclass(frozen=True)
+class ReorderOutcome:
+    best: PMResult
+    best_label: str
+    scores: dict[str, tuple[float, int]]
+
+
+def strategy_search(graph: CDFG, n_steps: int) -> ReorderOutcome:
+    """Run every ordering strategy; return the best PM result."""
+    best: PMResult | None = None
+    best_label = ""
+    scores: dict[str, tuple[float, int]] = {}
+    for strategy in STRATEGIES:
+        if strategy == "given":
+            continue
+        result = apply_power_management(
+            graph, n_steps, PMOptions(ordering=strategy))
+        scores[strategy] = _score(result)
+        if best is None or _score(result) > _score(best):
+            best, best_label = result, strategy
+    assert best is not None
+    return ReorderOutcome(best=best, best_label=best_label, scores=scores)
+
+
+def exhaustive_search(graph: CDFG, n_steps: int, limit: int = 8) -> ReorderOutcome:
+    """Try all MUX permutations (guarded by ``limit``); return the optimum."""
+    best: PMResult | None = None
+    best_label = ""
+    scores: dict[str, tuple[float, int]] = {}
+    for order in exhaustive_orderings(graph, limit=limit):
+        result = apply_power_management(
+            graph, n_steps,
+            PMOptions(ordering="given", given_order=order))
+        label = ">".join(str(m) for m in order)
+        score = _score(result)
+        scores[label] = score
+        if best is None or score > _score(best):
+            best, best_label = result, label
+    assert best is not None
+    return ReorderOutcome(best=best, best_label=best_label, scores=scores)

@@ -1,0 +1,54 @@
+"""CDFG intermediate representation: operations, nodes, graphs, transforms."""
+
+from repro.ir.builder import GraphBuilder, Value
+from repro.ir.compose import unroll
+from repro.ir.graph import CDFG, CDFGError
+from repro.ir.node import MUX_IN0, MUX_IN1, MUX_SELECT, Node
+from repro.ir.ops import (
+    Op,
+    OpSemantics,
+    ResourceClass,
+    arity,
+    default_latency,
+    is_commutative,
+    is_comparison,
+    is_schedulable,
+    is_structural,
+    is_wiring,
+    resource_class,
+)
+from repro.ir.serialize import dumps as graph_dumps
+from repro.ir.serialize import loads as graph_loads
+from repro.ir.transform import eliminate_dead_nodes, fold_constants, rebuild
+from repro.ir.validate import validate
+from repro.ir.dot import to_dot
+
+__all__ = [
+    "CDFG",
+    "CDFGError",
+    "GraphBuilder",
+    "MUX_IN0",
+    "MUX_IN1",
+    "MUX_SELECT",
+    "Node",
+    "Op",
+    "OpSemantics",
+    "ResourceClass",
+    "Value",
+    "arity",
+    "default_latency",
+    "eliminate_dead_nodes",
+    "fold_constants",
+    "graph_dumps",
+    "graph_loads",
+    "is_commutative",
+    "is_comparison",
+    "is_schedulable",
+    "is_structural",
+    "is_wiring",
+    "rebuild",
+    "resource_class",
+    "to_dot",
+    "unroll",
+    "validate",
+]

@@ -1,0 +1,193 @@
+"""Fluent construction API for CDFGs.
+
+``GraphBuilder`` wraps a :class:`~repro.ir.graph.CDFG` with value handles so
+circuits can be written as straight-line Python::
+
+    b = GraphBuilder("abs_diff")
+    a, bb = b.input("a"), b.input("b")
+    c = b.gt(a, bb, name="c")
+    d0 = b.sub(bb, a, name="b_minus_a")
+    d1 = b.sub(a, bb, name="a_minus_b")
+    out = b.mux(c, d0, d1, name="abs")
+    b.output(out, "result")
+    graph = b.build()
+
+Handles support operator overloading (``a + b``, ``a > b`` ...), which the
+benchmark circuit definitions and the language lowering both use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.graph import CDFG
+from repro.ir.ops import Op
+from repro.ir.validate import validate
+
+
+@dataclass(frozen=True)
+class Value:
+    """Handle to a node's result within a particular builder."""
+
+    builder: "GraphBuilder"
+    nid: int
+
+    def _binary(self, op: Op, other: "Value | int", name: str = "") -> "Value":
+        return self.builder._binary(op, self, other, name)
+
+    def __add__(self, other):
+        return self._binary(Op.ADD, other)
+
+    def __sub__(self, other):
+        return self._binary(Op.SUB, other)
+
+    def __mul__(self, other):
+        return self._binary(Op.MUL, other)
+
+    def __gt__(self, other):
+        return self._binary(Op.GT, other)
+
+    def __lt__(self, other):
+        return self._binary(Op.LT, other)
+
+    def __ge__(self, other):
+        return self._binary(Op.GE, other)
+
+    def __le__(self, other):
+        return self._binary(Op.LE, other)
+
+    def __and__(self, other):
+        return self._binary(Op.AND, other)
+
+    def __or__(self, other):
+        return self._binary(Op.OR, other)
+
+    def __xor__(self, other):
+        return self._binary(Op.XOR, other)
+
+    def __lshift__(self, amount: int):
+        return self.builder.shl(self, amount)
+
+    def __rshift__(self, amount: int):
+        return self.builder.shr(self, amount)
+
+    # NOTE: __eq__/__ne__ stay identity comparisons so Values can live in
+    # sets/dicts; use builder.eq()/builder.ne() for the dataflow operations.
+
+
+class GraphBuilder:
+    """Incrementally builds a CDFG; ``build()`` validates and returns it."""
+
+    def __init__(self, name: str = "cdfg") -> None:
+        self._graph = CDFG(name=name)
+        self._const_cache: dict[int, int] = {}
+
+    # -- leaves ---------------------------------------------------------
+
+    def input(self, name: str) -> Value:
+        return Value(self, self._graph.add_node(Op.INPUT, name=name))
+
+    def const(self, value: int, name: str = "") -> Value:
+        """Constants are hash-consed: one node per distinct value."""
+        if not name and value in self._const_cache:
+            return Value(self, self._const_cache[value])
+        nid = self._graph.add_node(Op.CONST, value=value, name=name)
+        if not name:
+            self._const_cache[value] = nid
+        return Value(self, nid)
+
+    def output(self, value: "Value | int", name: str) -> Value:
+        v = self._coerce(value)
+        return Value(self, self._graph.add_node(Op.OUTPUT, [v.nid], name=name))
+
+    # -- operations -----------------------------------------------------
+
+    def _coerce(self, value: "Value | int") -> Value:
+        if isinstance(value, Value):
+            if value.builder is not self:
+                raise ValueError("value belongs to a different builder")
+            return value
+        if isinstance(value, int):
+            return self.const(value)
+        raise TypeError(f"expected Value or int, got {type(value).__name__}")
+
+    def _binary(self, op: Op, lhs, rhs, name: str = "") -> Value:
+        a, b = self._coerce(lhs), self._coerce(rhs)
+        return Value(self, self._graph.add_node(op, [a.nid, b.nid], name=name))
+
+    def add(self, a, b, name: str = "") -> Value:
+        return self._binary(Op.ADD, a, b, name)
+
+    def sub(self, a, b, name: str = "") -> Value:
+        return self._binary(Op.SUB, a, b, name)
+
+    def mul(self, a, b, name: str = "") -> Value:
+        return self._binary(Op.MUL, a, b, name)
+
+    def gt(self, a, b, name: str = "") -> Value:
+        return self._binary(Op.GT, a, b, name)
+
+    def lt(self, a, b, name: str = "") -> Value:
+        return self._binary(Op.LT, a, b, name)
+
+    def ge(self, a, b, name: str = "") -> Value:
+        return self._binary(Op.GE, a, b, name)
+
+    def le(self, a, b, name: str = "") -> Value:
+        return self._binary(Op.LE, a, b, name)
+
+    def eq(self, a, b, name: str = "") -> Value:
+        return self._binary(Op.EQ, a, b, name)
+
+    def ne(self, a, b, name: str = "") -> Value:
+        return self._binary(Op.NE, a, b, name)
+
+    def and_(self, a, b, name: str = "") -> Value:
+        return self._binary(Op.AND, a, b, name)
+
+    def or_(self, a, b, name: str = "") -> Value:
+        return self._binary(Op.OR, a, b, name)
+
+    def xor(self, a, b, name: str = "") -> Value:
+        return self._binary(Op.XOR, a, b, name)
+
+    def not_(self, a, name: str = "") -> Value:
+        v = self._coerce(a)
+        return Value(self, self._graph.add_node(Op.NOT, [v.nid], name=name))
+
+    def mux(self, select, in0, in1, name: str = "") -> Value:
+        """``select == 0`` routes ``in0``; ``select == 1`` routes ``in1``."""
+        s, a, b = self._coerce(select), self._coerce(in0), self._coerce(in1)
+        nid = self._graph.add_node(Op.MUX, [s.nid, a.nid, b.nid], name=name)
+        return Value(self, nid)
+
+    def select(self, cond, if_true, if_false, name: str = "") -> Value:
+        """C-style ternary ``cond ? if_true : if_false`` (sugar over mux)."""
+        return self.mux(cond, if_false, if_true, name=name)
+
+    def shl(self, a, amount: int, name: str = "") -> Value:
+        return self._shift(Op.SHL, a, amount, name)
+
+    def shr(self, a, amount: int, name: str = "") -> Value:
+        """Arithmetic right shift by a constant — free wiring, latency 0."""
+        return self._shift(Op.SHR, a, amount, name)
+
+    def _shift(self, op: Op, a, amount: int, name: str) -> Value:
+        if not isinstance(amount, int) or amount < 0:
+            raise ValueError("shift amount must be a non-negative constant")
+        v = self._coerce(a)
+        amt = self.const(amount)
+        nid = self._graph.add_node(op, [v.nid, amt.nid], name=name)
+        return Value(self, nid)
+
+    # -- finish ---------------------------------------------------------
+
+    @property
+    def graph(self) -> CDFG:
+        """The graph under construction (not yet validated)."""
+        return self._graph
+
+    def build(self, validate_graph: bool = True) -> CDFG:
+        if validate_graph:
+            validate(self._graph)
+        return self._graph

@@ -1,0 +1,83 @@
+"""Graph composition: loop unrolling by feedback stitching.
+
+The paper's introduction names loop unrolling (with pipelining) among the
+throughput transformations that interact with power-aware synthesis.  For
+circuits that implement one iteration of a loop (like the ``gcd`` step),
+``unroll`` builds the k-iteration body by instantiating the graph k times
+and wiring selected outputs of copy i into the matching inputs of copy
+i+1.  All other inputs are shared across copies; intermediate fed-back
+outputs become internal nodes, and the last copy's outputs (plus any
+non-fed-back outputs of every copy, suffixed by iteration) are exported.
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import CDFG, CDFGError
+from repro.ir.ops import Op
+
+
+def unroll(graph: CDFG, n: int, feedback: dict[str, str],
+           name: str | None = None) -> CDFG:
+    """Unroll ``graph`` ``n`` times, feeding output->input per ``feedback``.
+
+    ``feedback`` maps *output port name* -> *input port name*.  Every input
+    name must appear exactly once; shared (non-fed-back) inputs are created
+    once and reused by every copy.
+    """
+    if n < 1:
+        raise ValueError("unroll factor must be at least 1")
+    out_names = {o.name for o in graph.outputs()}
+    in_names = {i.name for i in graph.inputs()}
+    for out_name, in_name in feedback.items():
+        if out_name not in out_names:
+            raise CDFGError(f"feedback source {out_name!r} is not an output")
+        if in_name not in in_names:
+            raise CDFGError(f"feedback target {in_name!r} is not an input")
+    if len(set(feedback.values())) != len(feedback):
+        raise CDFGError("two feedback outputs drive the same input")
+
+    result = CDFG(name=name or f"{graph.name}_x{n}")
+    shared_inputs: dict[str, int] = {}
+    for node in graph.inputs():
+        if node.name not in feedback.values():
+            shared_inputs[node.name] = result.add_node(Op.INPUT,
+                                                       name=node.name)
+
+    fed_by = {in_name: out_name for out_name, in_name in feedback.items()}
+    # Value feeding each fed-back input of the next copy: starts at a fresh
+    # primary input (iteration 0 consumes the original inputs).
+    current: dict[str, int] = {}
+    for in_name in fed_by:
+        current[in_name] = result.add_node(Op.INPUT, name=in_name)
+
+    for k in range(n):
+        mapping: dict[int, int] = {}
+        copy_outputs: dict[str, int] = {}
+        for nid in graph.topological_order(include_control=False):
+            node = graph.node(nid)
+            if node.op is Op.INPUT:
+                if node.name in fed_by:
+                    mapping[nid] = current[node.name]
+                else:
+                    mapping[nid] = shared_inputs[node.name]
+                continue
+            if node.op is Op.OUTPUT:
+                copy_outputs[node.name] = mapping[node.operands[0]]
+                continue
+            operands = [mapping[p] for p in node.operands]
+            suffix = f"_i{k}" if node.name else ""
+            mapping[nid] = result.add_node(
+                node.op, operands, name=f"{node.name}{suffix}",
+                value=node.value, latency=node.latency)
+
+        last = k == n - 1
+        for out_name, producer in copy_outputs.items():
+            if out_name in feedback and not last:
+                current[feedback[out_name]] = producer
+            elif out_name in feedback:
+                result.add_node(Op.OUTPUT, [producer], name=out_name)
+            else:
+                # Non-fed-back outputs are observable per iteration.
+                result.add_node(Op.OUTPUT, [producer],
+                                name=f"{out_name}_i{k}")
+    return result

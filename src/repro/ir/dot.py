@@ -1,0 +1,47 @@
+"""Graphviz DOT export for CDFGs and schedules (paper Figs. 1 and 2 style).
+
+Data edges are solid; control edges (the PM pass's added precedence) are
+dashed, matching the dashed arrows of paper Fig. 2(b).
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import CDFG
+from repro.ir.ops import Op
+
+_SHAPES = {
+    Op.INPUT: "ellipse",
+    Op.OUTPUT: "ellipse",
+    Op.CONST: "plaintext",
+    Op.MUX: "trapezium",
+}
+
+
+def to_dot(graph: CDFG, schedule: dict[int, int] | None = None) -> str:
+    """Render the CDFG as DOT.  If ``schedule`` (node id -> control step) is
+    given, nodes are ranked into one cluster per control step, mirroring the
+    paper's figures."""
+    lines = [f'digraph "{graph.name}" {{', "  rankdir=TB;"]
+    by_step: dict[int, list[int]] = {}
+    for node in graph:
+        shape = _SHAPES.get(node.op, "box")
+        label = node.label().replace('"', r"\"")
+        if schedule and node.nid in schedule:
+            step = schedule[node.nid]
+            label += f"\\nstep {step + 1}"
+            by_step.setdefault(step, []).append(node.nid)
+        lines.append(f'  n{node.nid} [label="{label}", shape={shape}];')
+    for node in graph:
+        for pos, producer in enumerate(node.operands):
+            attrs = ""
+            if node.op is Op.MUX:
+                port = ["sel", "0", "1"][pos]
+                attrs = f' [label="{port}"]'
+            lines.append(f"  n{producer} -> n{node.nid}{attrs};")
+    for src, dst in graph.control_edges():
+        lines.append(f"  n{src} -> n{dst} [style=dashed, color=red];")
+    for step in sorted(by_step):
+        same = "; ".join(f"n{nid}" for nid in by_step[step])
+        lines.append(f"  {{ rank=same; {same}; }}")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,279 @@
+"""The Control Data Flow Graph (CDFG).
+
+Nodes are operations; data edges are implied by each node's ordered operand
+list.  In addition the graph carries *control edges* — pure precedence
+constraints with no data flow — which is exactly what the paper's step 10
+inserts between a MUX's select driver and the top nodes of its data cones.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Iterator
+
+from repro.ir.node import Node
+from repro.ir.ops import Op
+
+
+class CDFGError(Exception):
+    """Raised for structurally invalid CDFG operations."""
+
+
+class CDFG:
+    """A directed acyclic graph of operations.
+
+    Edge kinds:
+        * data edges — ``u`` is an operand of ``v`` (implied by operands);
+        * control edges — scheduling precedence only (added by the PM pass).
+
+    Both kinds constrain scheduling; only data edges carry values.
+    """
+
+    def __init__(self, name: str = "cdfg") -> None:
+        self.name = name
+        self._nodes: dict[int, Node] = {}
+        self._succs: dict[int, list[int]] = {}
+        self._control_succs: dict[int, set[int]] = {}
+        self._control_preds: dict[int, set[int]] = {}
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_node(
+        self,
+        op: Op,
+        operands: Iterable[int] = (),
+        name: str = "",
+        value: int | None = None,
+        latency: int = -1,
+    ) -> int:
+        """Create a node and return its id.  Operands must already exist."""
+        operands = list(operands)
+        for producer in operands:
+            if producer not in self._nodes:
+                raise CDFGError(f"operand {producer} does not exist")
+        nid = self._next_id
+        self._next_id += 1
+        node = Node(nid=nid, op=op, operands=operands, name=name, value=value,
+                    latency=latency)
+        self._nodes[nid] = node
+        self._succs[nid] = []
+        for producer in operands:
+            self._succs[producer].append(nid)
+        return nid
+
+    def add_control_edge(self, src: int, dst: int) -> None:
+        """Add a pure precedence edge ``src`` -> ``dst`` (paper step 10)."""
+        if src not in self._nodes or dst not in self._nodes:
+            raise CDFGError(f"control edge {src}->{dst}: unknown node")
+        if src == dst:
+            raise CDFGError(f"control self-edge on node {src}")
+        self._control_succs.setdefault(src, set()).add(dst)
+        self._control_preds.setdefault(dst, set()).add(src)
+        if self._creates_cycle():
+            self._control_succs[src].discard(dst)
+            self._control_preds[dst].discard(src)
+            raise CDFGError(f"control edge {src}->{dst} creates a cycle")
+
+    def remove_control_edge(self, src: int, dst: int) -> None:
+        self._control_succs.get(src, set()).discard(dst)
+        self._control_preds.get(dst, set()).discard(src)
+
+    def clear_control_edges(self) -> None:
+        self._control_succs.clear()
+        self._control_preds.clear()
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def node(self, nid: int) -> Node:
+        try:
+            return self._nodes[nid]
+        except KeyError:
+            raise CDFGError(f"no node with id {nid}") from None
+
+    def __contains__(self, nid: int) -> bool:
+        return nid in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    @property
+    def node_ids(self) -> list[int]:
+        return list(self._nodes)
+
+    def nodes(self, predicate: Callable[[Node], bool] | None = None) -> list[Node]:
+        """All nodes, optionally filtered."""
+        if predicate is None:
+            return list(self._nodes.values())
+        return [n for n in self._nodes.values() if predicate(n)]
+
+    def inputs(self) -> list[Node]:
+        return self.nodes(lambda n: n.op is Op.INPUT)
+
+    def outputs(self) -> list[Node]:
+        return self.nodes(lambda n: n.op is Op.OUTPUT)
+
+    def constants(self) -> list[Node]:
+        return self.nodes(lambda n: n.op is Op.CONST)
+
+    def muxes(self) -> list[Node]:
+        return self.nodes(lambda n: n.op is Op.MUX)
+
+    def operations(self) -> list[Node]:
+        """Schedulable operation nodes (what Tables I/II count)."""
+        return self.nodes(lambda n: n.is_schedulable)
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+
+    def data_preds(self, nid: int) -> list[int]:
+        """Operand producers (with duplicates collapsed, order preserved)."""
+        seen: set[int] = set()
+        result = []
+        for producer in self.node(nid).operands:
+            if producer not in seen:
+                seen.add(producer)
+                result.append(producer)
+        return result
+
+    def data_succs(self, nid: int) -> list[int]:
+        """Consumers of this node's value (duplicates collapsed)."""
+        seen: set[int] = set()
+        result = []
+        for consumer in self._succs[nid]:
+            if consumer not in seen:
+                seen.add(consumer)
+                result.append(consumer)
+        return result
+
+    def control_preds(self, nid: int) -> set[int]:
+        return set(self._control_preds.get(nid, ()))
+
+    def control_succs(self, nid: int) -> set[int]:
+        return set(self._control_succs.get(nid, ()))
+
+    def control_edges(self) -> list[tuple[int, int]]:
+        return [(u, v) for u, vs in self._control_succs.items() for v in sorted(vs)]
+
+    def preds(self, nid: int) -> list[int]:
+        """All predecessors: data + control (scheduling constraints)."""
+        result = self.data_preds(nid)
+        extra = self._control_preds.get(nid)
+        if extra:
+            result.extend(p for p in sorted(extra) if p not in result)
+        return result
+
+    def succs(self, nid: int) -> list[int]:
+        """All successors: data + control."""
+        result = self.data_succs(nid)
+        extra = self._control_succs.get(nid)
+        if extra:
+            result.extend(s for s in sorted(extra) if s not in result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+
+    def topological_order(self, include_control: bool = True) -> list[int]:
+        """Kahn topological sort; raises CDFGError on cycles."""
+        indegree = {nid: 0 for nid in self._nodes}
+        succs_of = self.succs if include_control else self.data_succs
+        preds_of = self.preds if include_control else self.data_preds
+        for nid in self._nodes:
+            indegree[nid] = len(preds_of(nid))
+        ready = deque(sorted(n for n, d in indegree.items() if d == 0))
+        order: list[int] = []
+        while ready:
+            nid = ready.popleft()
+            order.append(nid)
+            for succ in succs_of(nid):
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self._nodes):
+            raise CDFGError("graph contains a cycle")
+        return order
+
+    def _creates_cycle(self) -> bool:
+        try:
+            self.topological_order()
+        except CDFGError:
+            return True
+        return False
+
+    def transitive_fanin(self, nid: int, include_self: bool = False) -> set[int]:
+        """All nodes from which ``nid`` is reachable via data edges."""
+        return self._reach(nid, self.data_preds, include_self)
+
+    def transitive_fanout(self, nid: int, include_self: bool = False) -> set[int]:
+        """All nodes reachable from ``nid`` via data edges."""
+        return self._reach(nid, self.data_succs, include_self)
+
+    def _reach(self, start: int, step, include_self: bool) -> set[int]:
+        self.node(start)  # validate
+        seen: set[int] = set()
+        frontier = deque(step(start))
+        while frontier:
+            nid = frontier.popleft()
+            if nid in seen:
+                continue
+            seen.add(nid)
+            frontier.extend(step(nid))
+        if include_self:
+            seen.add(start)
+        return seen
+
+    def longest_path_to_output(self) -> dict[int, int]:
+        """Weighted longest path (sum of latencies) from each node to any
+        graph sink, over data+control edges.  Used to order MUX processing
+        (paper: closest to the outputs first = smallest distance)."""
+        dist: dict[int, int] = {}
+        for nid in reversed(self.topological_order()):
+            succs = self.succs(nid)
+            node = self._nodes[nid]
+            if not succs:
+                dist[nid] = node.latency
+            else:
+                dist[nid] = node.latency + max(dist[s] for s in succs)
+        return dist
+
+    # ------------------------------------------------------------------
+    # Utility
+    # ------------------------------------------------------------------
+
+    def copy(self, name: str | None = None) -> "CDFG":
+        """Deep copy (nodes, data and control edges), preserving node ids."""
+        clone = CDFG(name=name or self.name)
+        clone._next_id = self._next_id
+        for nid, node in self._nodes.items():
+            clone._nodes[nid] = Node(
+                nid=node.nid, op=node.op, operands=list(node.operands),
+                name=node.name, value=node.value, latency=node.latency,
+            )
+            clone._succs[nid] = list(self._succs[nid])
+        for src, dsts in self._control_succs.items():
+            clone._control_succs[src] = set(dsts)
+        for dst, srcs in self._control_preds.items():
+            clone._control_preds[dst] = set(srcs)
+        return clone
+
+    def op_counts(self) -> dict[str, int]:
+        """Schedulable operation counts by resource class (Table I columns)."""
+        counts: dict[str, int] = {}
+        for node in self.operations():
+            key = node.resource.value
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"CDFG({self.name!r}, {len(self._nodes)} nodes, "
+                f"{len(self.control_edges())} control edges)")

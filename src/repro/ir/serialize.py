@@ -1,0 +1,82 @@
+"""CDFG (de)serialization to JSON-compatible dictionaries.
+
+Round-trips the complete graph — nodes with ordered operands, names,
+constant values, latencies, and the PM pass's control edges — so designs
+can be saved, diffed and reloaded across sessions or shipped to other
+tools.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.ir.graph import CDFG
+from repro.ir.ops import Op
+
+FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: CDFG) -> dict:
+    """Plain-data representation of ``graph``."""
+    return {
+        "format": FORMAT_VERSION,
+        "name": graph.name,
+        "nodes": [
+            {
+                "id": node.nid,
+                "op": node.op.name,
+                "operands": list(node.operands),
+                **({"name": node.name} if node.name else {}),
+                **({"value": node.value} if node.value is not None else {}),
+                **({"latency": node.latency}
+                   if node.latency != _default_latency(node.op) else {}),
+            }
+            for node in sorted(graph, key=lambda n: n.nid)
+        ],
+        "control_edges": [list(edge) for edge in graph.control_edges()],
+    }
+
+
+def _default_latency(op: Op) -> int:
+    from repro.ir.ops import default_latency
+    return default_latency(op)
+
+
+def graph_from_dict(data: dict) -> CDFG:
+    """Rebuild a CDFG from :func:`graph_to_dict` output.
+
+    Node ids are renumbered densely in the stored order; operand
+    references are remapped accordingly.
+    """
+    if data.get("format") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported CDFG format {data.get('format')!r} "
+            f"(expected {FORMAT_VERSION})")
+    graph = CDFG(name=data.get("name", "cdfg"))
+    mapping: dict[int, int] = {}
+    for entry in data["nodes"]:
+        try:
+            op = Op[entry["op"]]
+        except KeyError:
+            raise ValueError(f"unknown op {entry['op']!r}") from None
+        operands = [mapping[ref] for ref in entry["operands"]]
+        mapping[entry["id"]] = graph.add_node(
+            op,
+            operands,
+            name=entry.get("name", ""),
+            value=entry.get("value"),
+            latency=entry.get("latency", -1),
+        )
+    for src, dst in data.get("control_edges", ()):
+        graph.add_control_edge(mapping[src], mapping[dst])
+    return graph
+
+
+def dumps(graph: CDFG, indent: int | None = 2) -> str:
+    """Serialize to a JSON string."""
+    return json.dumps(graph_to_dict(graph), indent=indent)
+
+
+def loads(text: str) -> CDFG:
+    """Deserialize from a JSON string."""
+    return graph_from_dict(json.loads(text))

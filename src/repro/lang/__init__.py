@@ -1,0 +1,45 @@
+"""Silage-like behavioral description language: lexer, parser, lowering."""
+
+from repro.lang.ast_nodes import (
+    BinOp,
+    Definition,
+    Expr,
+    Ident,
+    InputDecl,
+    IntLit,
+    Program,
+    Statement,
+    Ternary,
+    UnaryOp,
+)
+from repro.lang.errors import LangError
+from repro.lang.lexer import Token, tokenize
+from repro.lang.lower import compile_circuit, lower
+from repro.lang.parser import Parser, parse
+from repro.lang.printer import graph_to_source, print_expr, print_program
+from repro.lang.semantic import SemanticInfo, analyze
+
+__all__ = [
+    "BinOp",
+    "Definition",
+    "Expr",
+    "Ident",
+    "InputDecl",
+    "IntLit",
+    "LangError",
+    "Parser",
+    "Program",
+    "SemanticInfo",
+    "Statement",
+    "Ternary",
+    "Token",
+    "UnaryOp",
+    "analyze",
+    "compile_circuit",
+    "lower",
+    "graph_to_source",
+    "parse",
+    "print_expr",
+    "print_program",
+    "tokenize",
+]

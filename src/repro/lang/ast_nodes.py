@@ -1,0 +1,82 @@
+"""Abstract syntax tree of the circuit description language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Expr:
+    # Source positions are diagnostics only: excluded from equality so a
+    # parse -> print -> parse round trip yields an equal AST.
+    line: int = field(default=0, kw_only=True, compare=False)
+    col: int = field(default=0, kw_only=True, compare=False)
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class Ident(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str            # '-' or '~'
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str            # '+', '-', '*', comparisons, logic, shifts
+    lhs: Expr
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class Ternary(Expr):
+    """``cond ? if_true : if_false`` — lowers to mux(cond, if_false, if_true)."""
+
+    cond: Expr
+    if_true: Expr
+    if_false: Expr
+
+
+@dataclass(frozen=True)
+class Statement:
+    line: int = field(default=0, kw_only=True, compare=False)
+    col: int = field(default=0, kw_only=True, compare=False)
+
+
+@dataclass(frozen=True)
+class InputDecl(Statement):
+    names: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Definition(Statement):
+    name: str
+    expr: Expr
+    is_output: bool = False
+
+
+@dataclass(frozen=True)
+class Program:
+    name: str
+    statements: tuple[Statement, ...]
+
+    @property
+    def inputs(self) -> list[str]:
+        names: list[str] = []
+        for stmt in self.statements:
+            if isinstance(stmt, InputDecl):
+                names.extend(stmt.names)
+        return names
+
+    @property
+    def outputs(self) -> list[str]:
+        return [s.name for s in self.statements
+                if isinstance(s, Definition) and s.is_output]

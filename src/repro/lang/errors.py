@@ -1,0 +1,14 @@
+"""Diagnostics for the behavioral-description language."""
+
+from __future__ import annotations
+
+
+class LangError(Exception):
+    """A lexical, syntactic or semantic error with source position."""
+
+    def __init__(self, message: str, line: int = 0, col: int = 0) -> None:
+        self.message = message
+        self.line = line
+        self.col = col
+        where = f" at line {line}, col {col}" if line else ""
+        super().__init__(f"{message}{where}")

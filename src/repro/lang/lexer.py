@@ -1,0 +1,86 @@
+"""Tokenizer for the Silage-like circuit description language.
+
+The language is a single-assignment dataflow notation: a ``circuit`` block
+containing ``input`` declarations, value definitions and ``output``
+definitions.  Conditionals are C-style ternaries, which lower to MUX nodes
+exactly as Silage conditionals did in HYPER.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lang.errors import LangError
+
+KEYWORDS = frozenset({"circuit", "input", "output"})
+
+# Longest-match-first operator table.
+OPERATORS = (
+    "<<", ">>", "<=", ">=", "==", "!=",
+    "+", "-", "*", "<", ">", "&", "|", "^", "~",
+    "?", ":", "=", ";", ",", "(", ")", "{", "}",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str      # 'ident' | 'int' | 'keyword' | an operator literal | 'eof'
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.kind!r}, {self.text!r}, {self.line}:{self.col})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; raises LangError on unknown characters."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    line, col = 1, 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "#" or source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            text = source[start:i]
+            yield Token("int", text, line, col)
+            col += len(text)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            yield Token(kind, text, line, col)
+            col += len(text)
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                yield Token(op, op, line, col)
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            raise LangError(f"unexpected character {ch!r}", line, col)
+    yield Token("eof", "", line, col)

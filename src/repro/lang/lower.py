@@ -1,0 +1,85 @@
+"""Lowering: AST -> CDFG.
+
+Ternaries become MUX nodes with the paper's operand convention
+(``c ? t : e`` => ``mux(c, e, t)``: select 1 routes the then-branch).
+Unary minus becomes ``0 - x`` (a real subtractor — negation is not free
+hardware); ``~`` becomes a NOT node on a LOGIC unit.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import GraphBuilder, Value
+from repro.ir.graph import CDFG
+from repro.lang.ast_nodes import (
+    BinOp,
+    Definition,
+    Expr,
+    Ident,
+    InputDecl,
+    IntLit,
+    Program,
+    Ternary,
+    UnaryOp,
+)
+from repro.lang.errors import LangError
+from repro.lang.parser import parse
+from repro.lang.semantic import analyze
+
+_BINARY_BUILDERS = {
+    "+": "add", "-": "sub", "*": "mul",
+    ">": "gt", "<": "lt", ">=": "ge", "<=": "le",
+    "==": "eq", "!=": "ne",
+    "&": "and_", "|": "or_", "^": "xor",
+}
+
+
+def lower(program: Program) -> CDFG:
+    """Lower an analyzed program to a validated CDFG."""
+    analyze(program)
+    builder = GraphBuilder(program.name)
+    env: dict[str, Value] = {}
+
+    for stmt in program.statements:
+        if isinstance(stmt, InputDecl):
+            for name in stmt.names:
+                env[name] = builder.input(name)
+        elif isinstance(stmt, Definition):
+            value = _lower_expr(stmt.expr, builder, env, name=stmt.name)
+            env[stmt.name] = value
+            if stmt.is_output:
+                builder.output(value, stmt.name)
+    return builder.build()
+
+
+def _lower_expr(expr: Expr, builder: GraphBuilder,
+                env: dict[str, Value], name: str = "") -> Value:
+    if isinstance(expr, IntLit):
+        return builder.const(expr.value)
+    if isinstance(expr, Ident):
+        return env[expr.name]
+    if isinstance(expr, UnaryOp):
+        operand = _lower_expr(expr.operand, builder, env)
+        if expr.op == "-":
+            return builder.sub(builder.const(0), operand, name=name)
+        return builder.not_(operand, name=name)
+    if isinstance(expr, BinOp):
+        lhs = _lower_expr(expr.lhs, builder, env)
+        if expr.op in ("<<", ">>"):
+            if not isinstance(expr.rhs, IntLit):  # pragma: no cover
+                raise LangError("non-constant shift", expr.line, expr.col)
+            method = builder.shl if expr.op == "<<" else builder.shr
+            return method(lhs, expr.rhs.value, name=name)
+        rhs = _lower_expr(expr.rhs, builder, env)
+        method = getattr(builder, _BINARY_BUILDERS[expr.op])
+        return method(lhs, rhs, name=name)
+    if isinstance(expr, Ternary):
+        cond = _lower_expr(expr.cond, builder, env)
+        if_true = _lower_expr(expr.if_true, builder, env)
+        if_false = _lower_expr(expr.if_false, builder, env)
+        return builder.mux(cond, if_false, if_true, name=name)
+    raise LangError(f"cannot lower {expr!r}")  # pragma: no cover
+
+
+def compile_circuit(source: str) -> CDFG:
+    """Parse, analyze and lower a circuit description in one call."""
+    return lower(parse(source))

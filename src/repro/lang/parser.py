@@ -1,0 +1,166 @@
+"""Recursive-descent parser.
+
+Grammar::
+
+    program   := 'circuit' ident '{' statement* '}'
+    statement := 'input' ident (',' ident)* ';'
+               | 'output'? ident '=' expr ';'
+    expr      := ternary
+    ternary   := or_ ('?' expr ':' expr)?
+    or_       := xor_ ('|' xor_)*
+    xor_      := and_ ('^' and_)*
+    and_      := equality ('&' equality)*
+    equality  := relational (('=='|'!=') relational)*
+    relational:= shift (('<'|'>'|'<='|'>=') shift)*
+    shift     := additive (('<<'|'>>') additive)*
+    additive  := multiplicative (('+'|'-') multiplicative)*
+    multiplicative := unary ('*' unary)*
+    unary     := ('-'|'~') unary | primary
+    primary   := int | ident | '(' expr ')'
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast_nodes import (
+    BinOp,
+    Definition,
+    Expr,
+    Ident,
+    InputDecl,
+    IntLit,
+    Program,
+    Statement,
+    Ternary,
+    UnaryOp,
+)
+from repro.lang.errors import LangError
+from repro.lang.lexer import Token, tokenize
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _check(self, kind: str, text: str | None = None) -> bool:
+        token = self._current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def _accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self._check(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        token = self._accept(kind, text)
+        if token is None:
+            want = text or kind
+            got = self._current.text or self._current.kind
+            raise LangError(f"expected {want!r}, found {got!r}",
+                            self._current.line, self._current.col)
+        return token
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        self._expect("keyword", "circuit")
+        name = self._expect("ident").text
+        self._expect("{")
+        statements: list[Statement] = []
+        while not self._check("}"):
+            statements.append(self._statement())
+        self._expect("}")
+        self._expect("eof")
+        return Program(name=name, statements=tuple(statements))
+
+    def _statement(self) -> Statement:
+        token = self._current
+        if self._accept("keyword", "input"):
+            names = [self._expect("ident").text]
+            while self._accept(","):
+                names.append(self._expect("ident").text)
+            self._expect(";")
+            return InputDecl(names=tuple(names), line=token.line, col=token.col)
+        is_output = bool(self._accept("keyword", "output"))
+        name = self._expect("ident").text
+        self._expect("=")
+        expr = self._expression()
+        self._expect(";")
+        return Definition(name=name, expr=expr, is_output=is_output,
+                          line=token.line, col=token.col)
+
+    def _expression(self) -> Expr:
+        return self._ternary()
+
+    def _ternary(self) -> Expr:
+        cond = self._binary(0)
+        question = self._accept("?")
+        if question is None:
+            return cond
+        if_true = self._expression()
+        self._expect(":")
+        if_false = self._expression()
+        return Ternary(cond=cond, if_true=if_true, if_false=if_false,
+                       line=question.line, col=question.col)
+
+    _LEVELS: tuple[tuple[str, ...], ...] = (
+        ("|",), ("^",), ("&",),
+        ("==", "!="), ("<", ">", "<=", ">="),
+        ("<<", ">>"), ("+", "-"), ("*",),
+    )
+
+    def _binary(self, level: int) -> Expr:
+        if level >= len(self._LEVELS):
+            return self._unary()
+        expr = self._binary(level + 1)
+        while any(self._check(op) for op in self._LEVELS[level]):
+            token = self._advance()
+            rhs = self._binary(level + 1)
+            expr = BinOp(op=token.text, lhs=expr, rhs=rhs,
+                         line=token.line, col=token.col)
+        return expr
+
+    def _unary(self) -> Expr:
+        for op in ("-", "~"):
+            token = self._accept(op)
+            if token is not None:
+                operand = self._unary()
+                if op == "-" and isinstance(operand, IntLit):
+                    return IntLit(value=-operand.value,
+                                  line=token.line, col=token.col)
+                return UnaryOp(op=op, operand=operand,
+                               line=token.line, col=token.col)
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        token = self._current
+        if self._accept("("):
+            expr = self._expression()
+            self._expect(")")
+            return expr
+        if token.kind == "int":
+            self._advance()
+            return IntLit(value=int(token.text), line=token.line, col=token.col)
+        if token.kind == "ident":
+            self._advance()
+            return Ident(name=token.text, line=token.line, col=token.col)
+        raise LangError(
+            f"expected an expression, found {token.text or token.kind!r}",
+            token.line, token.col)
+
+
+def parse(source: str) -> Program:
+    """Parse a circuit description into its AST."""
+    return Parser(tokenize(source)).parse_program()

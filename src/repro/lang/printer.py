@@ -1,0 +1,159 @@
+"""AST pretty-printer: the inverse of the parser.
+
+``print_program(parse(src))`` re-parses to an identical AST (tested by
+round-trip property tests), and ``graph_to_source`` decompiles a CDFG back
+into the description language — useful for exporting builder-made or
+transformed (e.g. unrolled) circuits as editable sources.
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import CDFG
+from repro.ir.node import MUX_IN0, MUX_IN1
+from repro.ir.ops import Op
+from repro.lang.ast_nodes import (
+    BinOp,
+    Definition,
+    Expr,
+    Ident,
+    InputDecl,
+    IntLit,
+    Program,
+    Ternary,
+    UnaryOp,
+)
+
+# Higher binds tighter; mirrors Parser._LEVELS.
+_PRECEDENCE = {
+    "|": 1, "^": 2, "&": 3,
+    "==": 4, "!=": 4,
+    "<": 5, ">": 5, "<=": 5, ">=": 5,
+    "<<": 6, ">>": 6,
+    "+": 7, "-": 7,
+    "*": 8,
+}
+_TERNARY_PRECEDENCE = 0
+_UNARY_PRECEDENCE = 9
+
+
+def print_expr(expr: Expr, parent_precedence: int = -1) -> str:
+    """Render an expression, parenthesizing only where required."""
+    if isinstance(expr, IntLit):
+        return str(expr.value)
+    if isinstance(expr, Ident):
+        return expr.name
+    if isinstance(expr, UnaryOp):
+        inner = print_expr(expr.operand, _UNARY_PRECEDENCE)
+        text = f"{expr.op}{inner}"
+        return f"({text})" if parent_precedence >= _UNARY_PRECEDENCE else text
+    if isinstance(expr, BinOp):
+        mine = _PRECEDENCE[expr.op]
+        lhs = print_expr(expr.lhs, mine - 1)   # left-assoc: equal ok on left
+        rhs = print_expr(expr.rhs, mine)       # parenthesize equal on right
+        text = f"{lhs} {expr.op} {rhs}"
+        return f"({text})" if parent_precedence >= mine else text
+    if isinstance(expr, Ternary):
+        cond = print_expr(expr.cond, _TERNARY_PRECEDENCE)
+        if_true = print_expr(expr.if_true, -1)
+        if_false = print_expr(expr.if_false, -1)
+        text = f"{cond} ? {if_true} : {if_false}"
+        return f"({text})" if parent_precedence >= 0 else text
+    raise TypeError(f"cannot print {expr!r}")
+
+
+def print_program(program: Program) -> str:
+    """Render a whole program as parseable source."""
+    lines = [f"circuit {program.name} {{"]
+    for stmt in program.statements:
+        if isinstance(stmt, InputDecl):
+            lines.append(f"    input {', '.join(stmt.names)};")
+        elif isinstance(stmt, Definition):
+            prefix = "output " if stmt.is_output else ""
+            lines.append(
+                f"    {prefix}{stmt.name} = {print_expr(stmt.expr)};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+_OP_TOKENS = {
+    Op.ADD: "+", Op.SUB: "-", Op.MUL: "*",
+    Op.GT: ">", Op.LT: "<", Op.GE: ">=", Op.LE: "<=",
+    Op.EQ: "==", Op.NE: "!=",
+    Op.AND: "&", Op.OR: "|", Op.XOR: "^",
+    Op.SHL: "<<", Op.SHR: ">>",
+}
+
+
+def graph_to_source(graph: CDFG) -> str:
+    """Decompile a CDFG into description-language source.
+
+    Every schedulable and wiring node becomes one definition (names are
+    preserved where present, generated otherwise), so the output re-compiles
+    to a graph with identical operation structure and behaviour.
+    """
+    lines = [f"circuit {_safe_name(graph.name)} {{"]
+    inputs = [n.name for n in graph.inputs()]
+    if inputs:
+        lines.append(f"    input {', '.join(inputs)};")
+
+    names: dict[int, str] = {}
+    used: set[str] = set(inputs)
+
+    def name_of(nid: int) -> str:
+        node = graph.node(nid)
+        if node.op is Op.INPUT:
+            return node.name
+        if node.op is Op.CONST:
+            if node.value is not None and node.value < 0:
+                return f"({node.value})"
+            return str(node.value)
+        return names[nid]
+
+    for nid in graph.topological_order(include_control=False):
+        node = graph.node(nid)
+        if node.op in (Op.INPUT, Op.CONST, Op.OUTPUT):
+            continue
+        target = _fresh(_safe_name(node.name) or f"v{nid}", used)
+        names[nid] = target
+        if node.op is Op.MUX:
+            sel = name_of(node.operands[0])
+            in0 = name_of(node.operands[MUX_IN0])
+            in1 = name_of(node.operands[MUX_IN1])
+            rhs = f"{sel} ? {in1} : {in0}"
+        elif node.op is Op.NOT:
+            rhs = f"~{name_of(node.operands[0])}"
+        elif node.op is Op.PASS:
+            rhs = name_of(node.operands[0])
+        else:
+            token = _OP_TOKENS[node.op]
+            rhs = (f"{name_of(node.operands[0])} {token} "
+                   f"{name_of(node.operands[1])}")
+        lines.append(f"    {target} = {rhs};")
+
+    # Outputs last, in their original declaration (node id) order so the
+    # recompiled graph exposes ports in the same sequence.
+    for node in graph.outputs():
+        out_name = _fresh(_safe_name(node.name) or f"out{node.nid}", used)
+        lines.append(
+            f"    output {out_name} = {name_of(node.operands[0])};")
+
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _safe_name(text: str) -> str:
+    cleaned = "".join(ch if ch.isalnum() or ch == "_" else "_"
+                      for ch in text)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "v_" + cleaned
+    return cleaned
+
+
+def _fresh(base: str, used: set[str]) -> str:
+    name = base or "v"
+    counter = 0
+    while name in used:
+        counter += 1
+        name = f"{base}_{counter}"
+    used.add(name)
+    return name

@@ -1,0 +1,100 @@
+"""Semantic analysis: single-assignment and def-before-use checking.
+
+The language is declarative dataflow, but we require definitions to appear
+before their uses (like HYPER's Silage frontend effectively did after its
+own ordering pass) — it makes diagnostics precise and guarantees the
+lowering is single-pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.ast_nodes import (
+    BinOp,
+    Definition,
+    Expr,
+    Ident,
+    InputDecl,
+    IntLit,
+    Program,
+    Ternary,
+    UnaryOp,
+)
+from repro.lang.errors import LangError
+
+
+@dataclass
+class SemanticInfo:
+    """Result of analysis: symbol tables plus non-fatal warnings."""
+
+    inputs: list[str] = field(default_factory=list)
+    definitions: list[str] = field(default_factory=list)
+    outputs: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+
+def analyze(program: Program) -> SemanticInfo:
+    """Validate ``program``; raises LangError on the first fatal problem."""
+    info = SemanticInfo()
+    defined: set[str] = set()
+    used: set[str] = set()
+
+    for stmt in program.statements:
+        if isinstance(stmt, InputDecl):
+            for name in stmt.names:
+                if name in defined:
+                    raise LangError(f"{name!r} defined twice",
+                                    stmt.line, stmt.col)
+                defined.add(name)
+                info.inputs.append(name)
+        elif isinstance(stmt, Definition):
+            _check_expr(stmt.expr, defined, used)
+            if stmt.name in defined:
+                raise LangError(
+                    f"{stmt.name!r} defined twice (single assignment)",
+                    stmt.line, stmt.col)
+            defined.add(stmt.name)
+            info.definitions.append(stmt.name)
+            if stmt.is_output:
+                info.outputs.append(stmt.name)
+        else:  # pragma: no cover - parser produces only the two kinds
+            raise LangError(f"unknown statement {stmt!r}")
+
+    if not info.outputs:
+        raise LangError(f"circuit {program.name!r} has no outputs")
+    if not info.inputs:
+        info.warnings.append(f"circuit {program.name!r} has no inputs")
+    for name in info.definitions:
+        if name not in used and name not in info.outputs:
+            info.warnings.append(f"value {name!r} is never used")
+    return info
+
+
+def _check_expr(expr: Expr, defined: set[str], used: set[str]) -> None:
+    if isinstance(expr, IntLit):
+        return
+    if isinstance(expr, Ident):
+        if expr.name not in defined:
+            raise LangError(f"{expr.name!r} used before definition",
+                            expr.line, expr.col)
+        used.add(expr.name)
+        return
+    if isinstance(expr, UnaryOp):
+        _check_expr(expr.operand, defined, used)
+        return
+    if isinstance(expr, BinOp):
+        _check_expr(expr.lhs, defined, used)
+        _check_expr(expr.rhs, defined, used)
+        if expr.op in ("<<", ">>") and not isinstance(expr.rhs, IntLit):
+            raise LangError(
+                "shift amounts must be integer constants "
+                "(shifts are wiring, not execution units)",
+                expr.line, expr.col)
+        return
+    if isinstance(expr, Ternary):
+        _check_expr(expr.cond, defined, used)
+        _check_expr(expr.if_true, defined, used)
+        _check_expr(expr.if_false, defined, used)
+        return
+    raise LangError(f"unknown expression {expr!r}")  # pragma: no cover

@@ -1,0 +1,34 @@
+"""Power models: paper weights, static expectation, simulated activity."""
+
+from repro.power.profile import profile_selects
+from repro.power.simulated import (
+    PowerComparison,
+    SimulatedPower,
+    compare_designs,
+    measure_power,
+)
+from repro.power.static import (
+    SelectModel,
+    StaticPowerReport,
+    all_execution_probabilities,
+    execution_probability,
+    expected_op_counts,
+    static_power,
+)
+from repro.power.weights import PAPER_WEIGHTS, PowerWeights
+
+__all__ = [
+    "PAPER_WEIGHTS",
+    "PowerComparison",
+    "PowerWeights",
+    "SimulatedPower",
+    "compare_designs",
+    "measure_power",
+    "profile_selects",
+    "SelectModel",
+    "StaticPowerReport",
+    "all_execution_probabilities",
+    "execution_probability",
+    "expected_op_counts",
+    "static_power",
+]

@@ -1,0 +1,132 @@
+"""Simulation-based power estimation (paper Table III).
+
+The paper synthesized both designs to gates and measured them with
+Synopsys DesignPower.  Our stand-in: run the cycle-accurate RTL simulator
+on random input vectors for the original and power-managed designs and
+convert switching activity into weighted energy:
+
+* execution units: ``class weight x toggled-bit fraction`` per activation
+  (a shut-down unit sees zero toggles and is charged nothing);
+* registers: a per-toggled-bit charge;
+* controller: a per-literal-per-cycle charge, so the power-managed
+  controller — which the paper notes is "slightly more complex" — eats
+  part of the datapath savings exactly as Table III shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.ops import ResourceClass
+from repro.power.weights import PowerWeights
+from repro.rtl.design import SynthesizedDesign
+from repro.sim.simulator import RTLSimulator
+from repro.sim.vectors import random_vectors
+
+# Energy per toggled register bit, relative to the paper's unit weights.
+REGISTER_BIT_ENERGY = 0.10
+# Energy per controller literal per cycle.
+CONTROLLER_LITERAL_ENERGY = 0.012
+
+
+@dataclass(frozen=True)
+class SimulatedPower:
+    """Average energy per processed sample, by component."""
+
+    fu_energy: dict[ResourceClass, float]
+    register_energy: float
+    controller_energy: float
+    samples: int
+
+    @property
+    def datapath(self) -> float:
+        return sum(self.fu_energy.values()) + self.register_energy
+
+    @property
+    def total(self) -> float:
+        return self.datapath + self.controller_energy
+
+
+def measure_power(
+    design: SynthesizedDesign,
+    vectors: list[dict[str, int]] | None = None,
+    n_vectors: int = 256,
+    seed: int = 1996,
+    power_management: bool = True,
+    weights: PowerWeights = PowerWeights(),
+) -> SimulatedPower:
+    """Average per-sample energy of ``design`` over random vectors."""
+    graph = design.graph
+    if vectors is None:
+        vectors = random_vectors(graph, n_vectors, width=design.width,
+                                 seed=seed)
+    simulator = RTLSimulator(design, power_management=power_management)
+    _, activity = simulator.run_many(vectors)
+    samples = len(vectors)
+
+    fu_energy: dict[ResourceClass, float] = {}
+    for cls, toggles in activity.fu_input_toggles.items():
+        out = activity.fu_output_toggles.get(cls, 0)
+        # Toggled fraction of the unit's 3 datapath-width interfaces.
+        activity_factor = (toggles + out) / (3.0 * design.width)
+        fu_energy[cls] = weights.of(cls) * activity_factor / samples
+
+    register_energy = REGISTER_BIT_ENERGY * activity.register_toggles / samples
+    controller_energy = (
+        CONTROLLER_LITERAL_ENERGY * activity.controller_literals / samples
+    )
+    return SimulatedPower(
+        fu_energy=fu_energy,
+        register_energy=register_energy,
+        controller_energy=controller_energy,
+        samples=samples,
+    )
+
+
+@dataclass(frozen=True)
+class PowerComparison:
+    """Table III row: original vs power-managed design."""
+
+    orig: SimulatedPower
+    managed: SimulatedPower
+    area_orig: int
+    area_new: int
+
+    @property
+    def area_increase(self) -> float:
+        return self.area_new / self.area_orig if self.area_orig else 0.0
+
+    @property
+    def reduction_pct(self) -> float:
+        if self.orig.total == 0:
+            return 0.0
+        return 100.0 * (self.orig.total - self.managed.total) / self.orig.total
+
+    @property
+    def datapath_reduction_pct(self) -> float:
+        if self.orig.datapath == 0:
+            return 0.0
+        return 100.0 * (self.orig.datapath - self.managed.datapath) \
+            / self.orig.datapath
+
+
+def compare_designs(
+    orig: SynthesizedDesign,
+    managed: SynthesizedDesign,
+    n_vectors: int = 256,
+    seed: int = 1996,
+    weights: PowerWeights = PowerWeights(),
+) -> PowerComparison:
+    """Simulate both designs on the *same* vector set and compare."""
+    vectors = random_vectors(orig.graph, n_vectors, width=orig.width,
+                             seed=seed)
+    power_orig = measure_power(orig, vectors=vectors,
+                               power_management=False, weights=weights)
+    power_new = measure_power(managed, vectors=vectors,
+                              power_management=True, weights=weights)
+    return PowerComparison(
+        orig=power_orig,
+        managed=power_new,
+        area_orig=orig.area().total,
+        area_new=managed.area().total,
+    )

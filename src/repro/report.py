@@ -1,0 +1,108 @@
+"""Text reports for synthesis results.
+
+``full_report`` renders everything a designer would want to inspect after
+a run: the PM decision log, the schedule as a step table, execution-unit
+utilization, the register map with lifetimes, controller statistics and
+the power estimates.  Used by the CLI and handy in notebooks/tests.
+"""
+
+from __future__ import annotations
+
+from repro.core.report import describe_decisions
+from repro.flow import SynthesisResult
+from repro.power.static import SelectModel, static_power
+from repro.power.weights import PowerWeights
+
+
+def schedule_gantt(result: SynthesisResult) -> str:
+    """Unit-by-step occupancy chart ('.' idle, '#' busy, '?' guarded)."""
+    design = result.design
+    schedule = result.schedule
+    graph = design.graph
+    lines = ["unit      " + " ".join(f"s{i + 1:<2d}" for i in
+                                     range(schedule.n_steps))]
+    for unit in design.binding.units:
+        cells = ["..."] * schedule.n_steps
+        for nid in design.binding.ops_on(unit):
+            node = graph.node(nid)
+            start = schedule.step_of(nid)
+            guarded = not design.guards[nid].is_unconditional
+            mark = node.label()[:3]
+            if guarded:
+                mark = mark.upper() + "?" if len(mark) < 3 else mark[:2] + "?"
+            for step in range(start, start + node.latency):
+                cells[step] = f"{mark:<3.3s}"
+        lines.append(f"{unit.name:<9s} " + " ".join(cells))
+    return "\n".join(lines)
+
+
+def register_map(result: SynthesisResult) -> str:
+    """Register -> values with lifetimes."""
+    design = result.design
+    graph = design.graph
+    lines = []
+    registers = sorted(set(design.registers.assignment.values()),
+                       key=lambda r: r.index)
+    for register in registers:
+        values = design.registers.values_in(register)
+        parts = []
+        for value in values:
+            lifetime = design.registers.lifetimes[value]
+            parts.append(f"{graph.node(value).label()}"
+                         f"[{lifetime.born}..{lifetime.last_read}]")
+        lines.append(f"  {register.name}: " + ", ".join(parts))
+    return "\n".join(lines)
+
+
+def utilization(result: SynthesisResult) -> dict[str, float]:
+    """Fraction of steps each unit is busy."""
+    design = result.design
+    schedule = result.schedule
+    graph = design.graph
+    usage: dict[str, float] = {}
+    for unit in design.binding.units:
+        busy = sum(graph.node(nid).latency
+                   for nid in design.binding.ops_on(unit))
+        usage[unit.name] = busy / schedule.n_steps
+    return usage
+
+
+def full_report(result: SynthesisResult,
+                weights: PowerWeights = PowerWeights(),
+                selects: SelectModel = SelectModel()) -> str:
+    """The complete human-readable synthesis report."""
+    design = result.design
+    sections = [design.summary(), ""]
+
+    sections.append("power-management decisions:")
+    sections.append(describe_decisions(result.pm))
+    sections.append("")
+
+    sections.append("schedule:")
+    sections.append(schedule_gantt(result))
+    sections.append("")
+
+    sections.append("unit utilization:")
+    for name, fraction in sorted(utilization(result).items()):
+        sections.append(f"  {name}: {100 * fraction:.0f}%")
+    sections.append("")
+
+    sections.append("registers:")
+    sections.append(register_map(result))
+    sections.append("")
+
+    area = design.area()
+    sections.append(
+        f"area: units {area.functional_units} + registers {area.registers}"
+        f" + interconnect {area.interconnect} + controller"
+        f" {area.controller} = {area.total}")
+
+    report = static_power(result.pm, weights=weights, selects=selects)
+    sections.append(
+        f"expected datapath power: {report.managed:.2f} of "
+        f"{report.baseline:.2f} weighted units "
+        f"({report.reduction_pct:.1f}% saved)")
+    sections.append(
+        f"controller: {design.controller.literal_count} literals over "
+        f"{design.controller.n_states} states")
+    return "\n".join(sections)

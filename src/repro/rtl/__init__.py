@@ -1,0 +1,20 @@
+"""RTL generation: guards, controller FSM, design assembly, VHDL backend."""
+
+from repro.rtl.controller import Controller, LoadSignal, SteerSignal, build_controller
+from repro.rtl.design import SynthesizedDesign, elaborate
+from repro.rtl.guards import Guard, GuardTerm, all_guards, guard_of
+from repro.rtl.vhdl import generate_vhdl
+
+__all__ = [
+    "Controller",
+    "Guard",
+    "GuardTerm",
+    "LoadSignal",
+    "SteerSignal",
+    "SynthesizedDesign",
+    "all_guards",
+    "build_controller",
+    "elaborate",
+    "generate_vhdl",
+    "guard_of",
+]

@@ -1,0 +1,92 @@
+"""The synthesized design: everything downstream of scheduling in one place.
+
+``elaborate`` assembles binding, register allocation, interconnect,
+controller and the area breakdown for a scheduled (and optionally
+power-managed) CDFG — the object the RTL simulator executes and the VHDL
+backend prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alloc.fu_binding import Binding, bind_operations
+from repro.alloc.interconnect import Interconnect, build_interconnect
+from repro.alloc.register_alloc import RegisterFile, allocate_registers
+from repro.analysis.area import (
+    AreaBreakdown,
+    CONTROLLER_LITERAL_AREA,
+    FU_AREA,
+    REGISTER_AREA,
+)
+from repro.core.pm_pass import PMResult
+from repro.rtl.controller import Controller, build_controller
+from repro.rtl.guards import Guard, all_guards
+from repro.sched.schedule import Schedule
+
+
+@dataclass
+class SynthesizedDesign:
+    """A complete RTL design: datapath structure + FSM controller."""
+
+    name: str
+    pm: PMResult
+    schedule: Schedule
+    binding: Binding
+    registers: RegisterFile
+    interconnect: Interconnect
+    controller: Controller
+    guards: dict[int, Guard]
+    width: int = 8
+
+    @property
+    def graph(self):
+        return self.schedule.graph
+
+    @property
+    def is_power_managed(self) -> bool:
+        return any(not g.is_unconditional for g in self.guards.values())
+
+    def area(self) -> AreaBreakdown:
+        fu_area = sum(FU_AREA[unit.resource] for unit in self.binding.units)
+        reg_area = REGISTER_AREA * (
+            self.registers.count + len(self.graph.inputs())
+        )
+        return AreaBreakdown(
+            functional_units=fu_area,
+            registers=reg_area,
+            interconnect=self.interconnect.area(),
+            controller=CONTROLLER_LITERAL_AREA * self.controller.literal_count,
+        )
+
+    def summary(self) -> str:
+        area = self.area()
+        units = ", ".join(u.name for u in self.binding.units)
+        return (
+            f"design {self.name!r}: {self.schedule.n_steps} steps, "
+            f"{len(self.binding.units)} units [{units}], "
+            f"{self.registers.count} value registers, "
+            f"{self.controller.literal_count} controller literals, "
+            f"area {area.total} ({'PM' if self.is_power_managed else 'baseline'})"
+        )
+
+
+def elaborate(pm: PMResult, schedule: Schedule, width: int = 8,
+              mutex_sharing: bool = False) -> SynthesizedDesign:
+    """Bind, allocate, interconnect and control a scheduled PM result."""
+    binding = bind_operations(schedule, mutex_sharing=mutex_sharing)
+    registers = allocate_registers(schedule)
+    interconnect = build_interconnect(binding, registers)
+    guards = all_guards(pm)
+    controller = build_controller(binding, registers, interconnect, guards)
+    return SynthesizedDesign(
+        name=schedule.graph.name,
+        pm=pm,
+        schedule=schedule,
+        binding=binding,
+        registers=registers,
+        interconnect=interconnect,
+        controller=controller,
+        guards=guards,
+        width=width,
+    )

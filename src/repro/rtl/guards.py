@@ -1,0 +1,138 @@
+"""Guard expressions: the conditions under which a gated operation's input
+latches are loaded.
+
+The PM pass records per-node guards as ``(mux, side)`` pairs; the
+controller needs them in terms of *stored condition values*: the mux's
+select driver register must hold ``side``.  A guard is a conjunction of
+such terms.  Guards over constant drivers fold away at build time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alloc.lifetimes import resolve_source
+from repro.core.pm_pass import PMResult
+from repro.ir.graph import CDFG
+from repro.ir.ops import Op
+
+
+@dataclass(frozen=True)
+class GuardTerm:
+    """One conjunct: node ``driver``'s value must equal ``value`` (0/1)."""
+
+    driver: int
+    value: int
+
+
+@dataclass(frozen=True)
+class Guard:
+    """Conjunction of terms; empty terms = always load (unguarded).
+
+    ``never=True`` marks a contradiction (the op is provably never needed);
+    synthesis keeps the op but its latches are never enabled.
+    """
+
+    terms: tuple[GuardTerm, ...] = ()
+    never: bool = False
+
+    @property
+    def is_unconditional(self) -> bool:
+        return not self.terms and not self.never
+
+    @property
+    def literal_count(self) -> int:
+        """Literals this guard contributes to the controller equations."""
+        return 0 if self.never else len(self.terms)
+
+    def evaluate(self, values: dict[int, int]) -> bool:
+        """True if the guarded op should execute given driver ``values``.
+
+        Drivers produce comparison results; any nonzero value counts as 1.
+        """
+        if self.never:
+            return False
+        for term in self.terms:
+            actual = 1 if values.get(term.driver, 0) else 0
+            if actual != term.value:
+                return False
+        return True
+
+    def describe(self, graph: CDFG) -> str:
+        if self.never:
+            return "never"
+        if not self.terms:
+            return "always"
+        return " & ".join(
+            f"{graph.node(t.driver).label()}={t.value}" for t in self.terms
+        )
+
+
+def _required_terms(result: PMResult, nid: int,
+                    memo: dict[int, dict[int, int] | None]) -> dict[int, int] | None:
+    """Driver -> required value map for ``nid``, transitively closed.
+
+    If a guard's select driver is itself a gated operation, its condition
+    register is only valid when the driver's own guard held — so the
+    driver's requirements are conjoined in.  Returns None for a
+    contradiction (the op is never needed).
+    """
+    if nid in memo:
+        return memo[nid]
+    memo[nid] = {}  # break (impossible) cycles defensively
+    graph = result.graph
+    required: dict[int, int] = {}
+
+    def merge(extra: dict[int, int] | None) -> bool:
+        if extra is None:
+            return False
+        for driver, value in extra.items():
+            if driver in required and required[driver] != value:
+                return False
+            required[driver] = value
+        return True
+
+    for mux_id, side in result.gating.get(nid, ()):
+        driver = graph.node(mux_id).select_operand
+        driver_node = graph.node(driver)
+        if driver_node.op is Op.CONST:
+            actual = 1 if driver_node.value else 0
+            if actual != side:
+                memo[nid] = None
+                return None
+            continue  # constant condition satisfied: fold the term away
+        if not merge({driver: side}):
+            memo[nid] = None
+            return None
+        # Transitive validity: the driver's value is only trustworthy when
+        # the driver itself was computed.  Resolve wiring (e.g. a shifted
+        # condition) down to the operation that actually latches the value.
+        root = resolve_source(graph, driver).root
+        if root in result.gating and not merge(
+                _required_terms(result, root, memo)):
+            memo[nid] = None
+            return None
+
+    memo[nid] = required
+    return required
+
+
+def guard_of(result: PMResult, nid: int,
+             _memo: dict[int, dict[int, int] | None] | None = None) -> Guard:
+    """Build the load guard of node ``nid`` from the PM pass's gating map."""
+    memo = _memo if _memo is not None else {}
+    required = _required_terms(result, nid, memo)
+    if required is None:
+        return Guard(never=True)
+    terms = tuple(GuardTerm(driver, value)
+                  for driver, value in sorted(required.items()))
+    return Guard(terms=terms)
+
+
+def all_guards(result: PMResult) -> dict[int, Guard]:
+    """Guard for every schedulable operation (unconditional if ungated)."""
+    memo: dict[int, dict[int, int] | None] = {}
+    return {
+        node.nid: guard_of(result, node.nid, memo)
+        for node in result.graph.operations()
+    }

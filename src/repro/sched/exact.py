@@ -1,0 +1,118 @@
+"""Exact time-constrained, resource-minimizing scheduling (branch & bound).
+
+A reference implementation for small graphs: enumerates start-step
+assignments within each op's [ASAP, ALAP] window in topological order,
+pruning on (a) precedence violations, (b) a running peak-usage cost bound,
+and (c) an admissible lower bound (the cost of the usage accumulated so
+far can only grow).  Exponential in the worst case — intended to certify
+the heuristics (`minimize_resources`, force-directed) on the paper's small
+benchmarks and in property tests, not for production use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.graph import CDFG
+from repro.ir.ops import ResourceClass
+from repro.sched.resources import Allocation, UNIT_COST
+from repro.sched.schedule import Schedule
+from repro.sched.timing import TimingFrame
+
+
+@dataclass(frozen=True)
+class ExactResult:
+    schedule: Schedule
+    allocation: Allocation
+    explored: int  # search nodes visited
+
+
+def exact_minimum_schedule(graph: CDFG, n_steps: int,
+                           node_limit: int = 200_000) -> ExactResult:
+    """Provably minimum-cost allocation schedule for ``graph``.
+
+    Raises ``InfeasibleScheduleError`` via TimingFrame when ``n_steps`` is
+    below the critical path, and ``RuntimeError`` when the search exceeds
+    ``node_limit`` nodes (graph too large for exact search).
+    """
+    frame = TimingFrame.compute(graph, n_steps)
+    ops = [nid for nid in graph.topological_order()
+           if graph.node(nid).is_schedulable]
+
+    best_cost: list[float] = [float("inf")]
+    best_assignment: dict[int, int] = {}
+    found = [False]
+    explored = [0]
+
+    # usage[(slot, class)] running occupancy; peak[class] running max.
+    usage: dict[tuple[int, ResourceClass], int] = {}
+    peak: dict[ResourceClass, int] = {}
+
+    def cost_of(peaks: dict[ResourceClass, int]) -> int:
+        return sum(UNIT_COST[cls] * n for cls, n in peaks.items())
+
+    assignment: dict[int, int] = {}
+
+    def available(nid: int) -> int:
+        """Step the value of (possibly zero-latency) ``nid`` is ready."""
+        node = graph.node(nid)
+        if node.is_schedulable:
+            return assignment[nid] + node.latency
+        preds = graph.preds(nid)
+        return max((available(p) for p in preds), default=0)
+
+    def earliest(nid: int) -> int:
+        early = frame.asap[nid]
+        for pred in graph.preds(nid):
+            early = max(early, available(pred))
+        return early
+
+    def search(index: int) -> None:
+        explored[0] += 1
+        if explored[0] > node_limit:
+            raise RuntimeError(
+                f"exact search exceeded {node_limit} nodes; "
+                "graph too large for exact scheduling")
+        if cost_of(peak) >= best_cost[0]:
+            return  # admissible bound: peaks never shrink
+        if index == len(ops):
+            best_cost[0] = cost_of(peak)
+            best_assignment.clear()
+            best_assignment.update(assignment)
+            found[0] = True
+            return
+        nid = ops[index]
+        node = graph.node(nid)
+        for step in range(earliest(nid), frame.alap[nid] + 1):
+            # Occupy.
+            touched: list[tuple[int, ResourceClass]] = []
+            peak_backup = peak.get(node.resource, 0)
+            for s in range(step, step + node.latency):
+                key = (s, node.resource)
+                usage[key] = usage.get(key, 0) + 1
+                touched.append(key)
+                if usage[key] > peak.get(node.resource, 0):
+                    peak[node.resource] = usage[key]
+            assignment[nid] = step
+            search(index + 1)
+            # Release.
+            del assignment[nid]
+            for key in touched:
+                usage[key] -= 1
+            peak[node.resource] = peak_backup
+
+    search(0)
+    assert found[0], "TimingFrame guaranteed at least one schedule"
+
+    start = dict(best_assignment)
+    for nid in graph.topological_order():
+        if nid in start:
+            continue
+        preds = graph.preds(nid)
+        start[nid] = max(
+            (start[p] + graph.node(p).latency for p in preds), default=0)
+    schedule = Schedule(graph=graph, n_steps=n_steps, start=start)
+    schedule.verify()
+    return ExactResult(schedule=schedule,
+                       allocation=schedule.resource_usage(),
+                       explored=explored[0])

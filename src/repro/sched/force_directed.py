@@ -1,0 +1,115 @@
+"""Force-directed scheduling (Paulin & Knight, 1989).
+
+Time-constrained scheduling that balances operation concurrency: each
+unplaced op has a uniform placement probability over its [ASAP, ALAP]
+window; distribution graphs accumulate expected usage per (class, step);
+the op/step pair with the lowest total force (self force + effects on
+predecessors and successors) is fixed first.
+
+We provide FDS as an alternative base scheduler to study whether the PM
+pass's results depend on the underlying scheduler (ablation
+``bench_ablation_scheduler``); HYPER's own scheduler is different from
+both, but the paper's algorithm only requires *some* resource-minimizing
+time-constrained scheduler.
+"""
+
+from __future__ import annotations
+
+from repro.ir.graph import CDFG
+from repro.ir.ops import ResourceClass
+from repro.sched.schedule import Schedule
+from repro.sched.timing import TimingFrame, alap_times, asap_times
+
+
+def _windows(graph: CDFG, asap: dict[int, int], alap: dict[int, int],
+             fixed: dict[int, int]) -> tuple[dict[int, int], dict[int, int]]:
+    """Recompute ASAP/ALAP windows given already-fixed start steps."""
+    new_asap: dict[int, int] = {}
+    for nid in graph.topological_order():
+        if nid in fixed:
+            new_asap[nid] = fixed[nid]
+            continue
+        preds = graph.preds(nid)
+        if not preds:
+            new_asap[nid] = asap[nid]
+        else:
+            new_asap[nid] = max(
+                (new_asap[p] + graph.node(p).latency for p in preds),
+                default=asap[nid],
+            )
+    new_alap: dict[int, int] = {}
+    for nid in reversed(graph.topological_order()):
+        if nid in fixed:
+            new_alap[nid] = fixed[nid]
+            continue
+        node = graph.node(nid)
+        succs = graph.succs(nid)
+        if not succs:
+            new_alap[nid] = alap[nid]
+        else:
+            new_alap[nid] = min(new_alap[s] for s in succs) - node.latency
+    return new_asap, new_alap
+
+
+def _distribution(graph: CDFG, asap, alap) -> dict[tuple[ResourceClass, int], float]:
+    dg: dict[tuple[ResourceClass, int], float] = {}
+    for node in graph.operations():
+        lo, hi = asap[node.nid], alap[node.nid]
+        width = hi - lo + 1
+        for s in range(lo, hi + 1):
+            for occupied in range(s, s + node.latency):
+                key = (node.resource, occupied)
+                dg[key] = dg.get(key, 0.0) + 1.0 / width
+    return dg
+
+
+def force_directed_schedule(graph: CDFG, n_steps: int) -> Schedule:
+    """Schedule ``graph`` in ``n_steps`` steps minimizing peak concurrency."""
+    TimingFrame.compute(graph, n_steps)  # feasibility
+    base_asap = asap_times(graph)
+    base_alap = alap_times(graph, n_steps)
+    fixed: dict[int, int] = {}
+
+    ops = [n.nid for n in graph.operations()]
+    while len(fixed) < len(ops):
+        asap, alap = _windows(graph, base_asap, base_alap, fixed)
+        dg = _distribution(graph, asap, alap)
+
+        best: tuple[float, int, int] | None = None  # (force, nid, step)
+        for nid in ops:
+            if nid in fixed:
+                continue
+            node = graph.node(nid)
+            lo, hi = asap[nid], alap[nid]
+            if lo == hi:
+                # Forced op: fix immediately, zero force.
+                best = (-float("inf"), nid, lo)
+                break
+            width = hi - lo + 1
+            for step in range(lo, hi + 1):
+                # Self force of moving the op's probability mass onto `step`.
+                force = 0.0
+                for s in range(lo, hi + 1):
+                    for occ in range(s, s + node.latency):
+                        dg_val = dg.get((node.resource, occ), 0.0)
+                        old_prob = 1.0 / width
+                        new_prob = 1.0 if s == step else 0.0
+                        force += dg_val * (new_prob - old_prob)
+                key = (force, nid, step)
+                if best is None or key < best:
+                    best = key
+        assert best is not None
+        _, nid, step = best
+        fixed[nid] = step
+
+    # Place zero-latency nodes at availability.
+    start = dict(fixed)
+    for nid in graph.topological_order():
+        if nid in start:
+            continue
+        preds = graph.preds(nid)
+        start[nid] = max((start[p] + graph.node(p).latency for p in preds),
+                         default=0)
+    schedule = Schedule(graph=graph, n_steps=n_steps, start=start)
+    schedule.verify()
+    return schedule

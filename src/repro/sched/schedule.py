@@ -1,0 +1,104 @@
+"""The Schedule object: node -> control step, with verification and reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.graph import CDFG
+from repro.ir.ops import ResourceClass
+from repro.sched.resources import Allocation
+
+
+class ScheduleError(Exception):
+    """Raised when a schedule violates precedence, bounds or resources."""
+
+
+@dataclass
+class Schedule:
+    """A complete assignment of start steps to nodes.
+
+    ``start`` maps every node id (including zero-latency nodes, whose start
+    is the step their value becomes available) to its start step.  For a
+    pipelined schedule, ``initiation_interval`` gives the II; resource usage
+    is then counted modulo II because consecutive samples overlap.
+    """
+
+    graph: CDFG
+    n_steps: int
+    start: dict[int, int] = field(default_factory=dict)
+    initiation_interval: int | None = None
+
+    def step_of(self, nid: int) -> int:
+        try:
+            return self.start[nid]
+        except KeyError:
+            raise ScheduleError(f"node {nid} is not scheduled") from None
+
+    def finish_of(self, nid: int) -> int:
+        return self.step_of(nid) + self.graph.node(nid).latency
+
+    def ops_in_step(self, step: int) -> list[int]:
+        """Schedulable ops occupying ``step`` (multi-cycle ops span steps)."""
+        result = []
+        for node in self.graph.operations():
+            s = self.step_of(node.nid)
+            if s <= step < s + node.latency:
+                result.append(node.nid)
+        return result
+
+    def resource_usage(self) -> Allocation:
+        """Max concurrent units per class over all steps (modulo II when
+        pipelined) — the allocation this schedule requires."""
+        usage: dict[tuple[int, ResourceClass], int] = {}
+        ii = self.initiation_interval
+        for node in self.graph.operations():
+            s = self.step_of(node.nid)
+            for step in range(s, s + node.latency):
+                slot = step % ii if ii else step
+                key = (slot, node.resource)
+                usage[key] = usage.get(key, 0) + 1
+        peak: dict[ResourceClass, int] = {}
+        for (_, cls), n in usage.items():
+            peak[cls] = max(peak.get(cls, 0), n)
+        return Allocation(peak)
+
+    def verify(self, allocation: Allocation | None = None) -> None:
+        """Raise ScheduleError unless the schedule is valid.
+
+        Checks: every node scheduled; steps within [0, n_steps); every
+        precedence (data + control) satisfied; optional resource limits.
+        """
+        for node in self.graph:
+            if node.nid not in self.start:
+                raise ScheduleError(f"node {node.label()} unscheduled")
+            s = self.start[node.nid]
+            if s < 0 or s + node.latency > self.n_steps:
+                raise ScheduleError(
+                    f"node {node.label()} at step {s} (latency "
+                    f"{node.latency}) exceeds {self.n_steps} steps"
+                )
+            for pred in self.graph.preds(node.nid):
+                if self.finish_of(pred) > s:
+                    raise ScheduleError(
+                        f"precedence violated: {self.graph.node(pred).label()} "
+                        f"finishes at {self.finish_of(pred)} but "
+                        f"{node.label()} starts at {s}"
+                    )
+        if allocation is not None:
+            used = self.resource_usage()
+            for cls, n in used.counts.items():
+                if n > allocation.get(cls):
+                    raise ScheduleError(
+                        f"resource overflow: {n} {cls.value} units used, "
+                        f"{allocation.get(cls)} allocated"
+                    )
+
+    def table(self) -> str:
+        """Human-readable step table (1-indexed steps, like paper Figs 1-2)."""
+        lines = [f"schedule of {self.graph.name!r} in {self.n_steps} steps"]
+        if self.initiation_interval:
+            lines[0] += f" (II={self.initiation_interval})"
+        for step in range(self.n_steps):
+            ops = [self.graph.node(nid).label() for nid in self.ops_in_step(step)]
+            lines.append(f"  step {step + 1}: {', '.join(ops) if ops else '-'}")
+        return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""Cycle-accurate RTL simulation with switching-activity accounting."""
+
+from repro.sim.activity import ActivityCounter, hamming
+from repro.sim.reference import evaluate, evaluate_all
+from repro.sim.simulator import RTLSimulator, SampleResult
+from repro.sim.vectors import exhaustive_vectors, random_vectors
+from repro.sim.workloads import balanced_condition_vectors, gcd_trace_vectors
+
+__all__ = [
+    "ActivityCounter",
+    "RTLSimulator",
+    "SampleResult",
+    "balanced_condition_vectors",
+    "evaluate",
+    "evaluate_all",
+    "exhaustive_vectors",
+    "gcd_trace_vectors",
+    "hamming",
+    "random_vectors",
+]

@@ -1,0 +1,183 @@
+"""Cycle-accurate simulation of a synthesized design.
+
+Executes the FSM step by step against the datapath structure: operand
+values are read from the register file (through wiring), latched into the
+execution unit's input latches, evaluated, and the result written back to
+the value's register on the closing clock edge.
+
+Power management is honoured exactly as the controller would: a gated
+operation whose guard evaluates false keeps its input latches disabled —
+no latch toggles, no evaluation, no result-register write — which is the
+shut-down mechanism of the paper (and of precomputation [1]/guarded
+evaluation [9] at the logic level).
+
+State persists across samples, so switching activity between consecutive
+input vectors is modelled the same way the paper's "timing simulation with
+random input vectors" does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.alloc.lifetimes import resolve_source
+from repro.ir.ops import Op, OpSemantics
+from repro.rtl.design import SynthesizedDesign
+from repro.sim.activity import ActivityCounter, hamming
+
+
+@dataclass
+class SampleResult:
+    """Outputs and activity of simulating one input sample."""
+
+    outputs: dict[str, int]
+    activity: ActivityCounter
+
+
+class RTLSimulator:
+    """Simulates a :class:`SynthesizedDesign`, cycle by cycle.
+
+    ``power_management=False`` ignores every guard (the paper's "Orig"
+    designs in Table III): the same datapath executes every operation.
+    """
+
+    def __init__(self, design: SynthesizedDesign,
+                 power_management: bool = True) -> None:
+        self.design = design
+        self.power_management = power_management
+        self.semantics = OpSemantics(width=design.width)
+        graph = design.graph
+        self._input_ids = {n.name: n.nid for n in graph.inputs()}
+        # Persistent hardware state.
+        self._registers: dict[int, int] = {
+            reg.index: 0 for reg in set(design.registers.assignment.values())
+        }
+        self._fu_inputs: dict[tuple[object, int], int] = {}
+        self._fu_outputs: dict[object, int] = {}
+        # Events per step.
+        self._starts: dict[int, list[int]] = {}
+        self._ends: dict[int, list[int]] = {}
+        for node in graph.operations():
+            start = design.schedule.step_of(node.nid)
+            self._starts.setdefault(start, []).append(node.nid)
+            self._ends.setdefault(start + node.latency - 1, []).append(node.nid)
+        self._latched_operands: dict[int, list[int]] = {}
+        self._active: set[int] = set()
+
+    # -- register / value access ---------------------------------------
+
+    def _register_index(self, root: int) -> int:
+        return self.design.registers.register_of(root).index
+
+    def _read_value(self, operand: int) -> int:
+        """Value of ``operand`` as seen on the interconnect right now."""
+        graph = self.design.graph
+        ref = resolve_source(graph, operand)
+        root = graph.node(ref.root)
+        if root.op is Op.CONST:
+            value = self.semantics.wrap(root.value)
+        else:
+            value = self._registers[self._register_index(ref.root)]
+        for op, amount in ref.shifts:
+            value = self.semantics.evaluate(op, [value, amount])
+        return value
+
+    def _write_register(self, root: int, value: int,
+                        activity: ActivityCounter) -> None:
+        index = self._register_index(root)
+        old = self._registers[index]
+        activity.record_register_write(hamming(old, value, self.design.width))
+        self._registers[index] = value
+
+    # -- execution -------------------------------------------------------
+
+    def _guard_values(self) -> dict[int, int]:
+        """Current values of every guard driver register."""
+        values: dict[int, int] = {}
+        for guard in self.design.guards.values():
+            for term in guard.terms:
+                if term.driver not in values:
+                    values[term.driver] = self._read_value(term.driver)
+        return values
+
+    def run(self, inputs: dict[str, int]) -> SampleResult:
+        """Process one input sample through all control steps."""
+        design = self.design
+        graph = design.graph
+        activity = ActivityCounter(width=design.width)
+
+        # Clock edge into state 0: input registers load.
+        for name, nid in self._input_ids.items():
+            if name not in inputs:
+                raise KeyError(f"missing input {name!r}")
+            self._write_register(nid, self.semantics.wrap(inputs[name]),
+                                 activity)
+
+        self._active.clear()
+        self._latched_operands.clear()
+
+        for step in range(design.schedule.n_steps):
+            activity.record_controller_cycle(design.controller.literal_count)
+            guard_values = self._guard_values()
+            pending_writes: list[tuple[int, int]] = []
+
+            # Operand latching at op start.
+            for nid in self._starts.get(step, ()):
+                node = graph.node(nid)
+                guard = design.guards[nid]
+                enabled = (not self.power_management) \
+                    or guard.evaluate(guard_values)
+                if not enabled:
+                    activity.record_idle(node.resource)
+                    continue
+                unit = design.binding.unit_of(nid)
+                operands = [self._read_value(p) for p in node.operands]
+                toggles = 0
+                for port, value in enumerate(operands):
+                    key = (unit, port)
+                    old = self._fu_inputs.get(key, 0)
+                    toggles += hamming(old, value, design.width)
+                    self._fu_inputs[key] = value
+                self._latched_operands[nid] = operands
+                self._active.add(nid)
+                activity.fu_input_toggles[node.resource] = \
+                    activity.fu_input_toggles.get(node.resource, 0) + toggles
+
+            # Evaluation + result write-back at op end.
+            for nid in self._ends.get(step, ()):
+                if nid not in self._active:
+                    continue
+                node = graph.node(nid)
+                unit = design.binding.unit_of(nid)
+                operands = self._latched_operands.pop(nid)
+                result = self.semantics.evaluate(node.op, operands)
+                old_out = self._fu_outputs.get(unit, 0)
+                out_toggles = hamming(old_out, result, design.width)
+                self._fu_outputs[unit] = result
+                activity.fu_activations[node.resource] = \
+                    activity.fu_activations.get(node.resource, 0) + 1
+                activity.fu_output_toggles[node.resource] = \
+                    activity.fu_output_toggles.get(node.resource, 0) + out_toggles
+                pending_writes.append((nid, result))
+                self._active.discard(nid)
+
+            # Closing clock edge: commit result registers.
+            for nid, value in pending_writes:
+                self._write_register(nid, value, activity)
+
+        outputs = {
+            out.name: self._read_value(out.operands[0])
+            for out in graph.outputs()
+        }
+        return SampleResult(outputs=outputs, activity=activity)
+
+    def run_many(self, vectors: list[dict[str, int]]) -> tuple[
+            list[dict[str, int]], ActivityCounter]:
+        """Run a vector sequence; returns outputs and merged activity."""
+        total = ActivityCounter(width=self.design.width)
+        outputs = []
+        for vector in vectors:
+            sample = self.run(vector)
+            outputs.append(sample.outputs)
+            total.merge(sample.activity)
+        return outputs, total

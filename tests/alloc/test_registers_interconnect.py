@@ -1,0 +1,105 @@
+"""Left-edge register allocation and interconnect generation."""
+
+import pytest
+
+from repro.alloc.fu_binding import bind_operations
+from repro.alloc.interconnect import build_interconnect
+from repro.alloc.register_alloc import allocate_registers
+from repro.sched.minimize import minimize_resources
+from repro.sched.timing import critical_path_length
+
+
+def synth(graph, steps):
+    schedule = minimize_resources(graph, steps).schedule
+    binding = bind_operations(schedule)
+    registers = allocate_registers(schedule)
+    return schedule, binding, registers
+
+
+class TestRegisterAllocation:
+    def test_verify_passes(self, small_circuit):
+        cp = critical_path_length(small_circuit)
+        _, _, registers = synth(small_circuit, cp + 1)
+        registers.verify()
+
+    def test_every_value_has_a_register(self, dealer_graph):
+        _, _, registers = synth(dealer_graph, 5)
+        expected = {n.nid for n in dealer_graph
+                    if n.is_schedulable or n.op.value == "input"}
+        assert set(registers.assignment) == expected
+
+    def test_left_edge_shares_registers(self, gcd_graph):
+        """Sequentialized values must share: fewer registers than values."""
+        _, _, registers = synth(gcd_graph, 7)
+        assert registers.count < len(registers.assignment)
+
+    def test_register_of_unknown_value(self, dealer_graph):
+        _, _, registers = synth(dealer_graph, 4)
+        with pytest.raises(KeyError, match="no register"):
+            registers.register_of(991)
+
+    def test_overlap_detection(self, abs_diff_graph):
+        _, _, registers = synth(abs_diff_graph, 3)
+        # Force two overlapping values into one register.
+        values = sorted(registers.assignment)
+        reg = registers.assignment[values[0]]
+        lifetimes = registers.lifetimes
+        clash = next(v for v in values
+                     if v != values[0]
+                     and lifetimes[v].conflicts(lifetimes[values[0]]))
+        registers.assignment[clash] = reg
+        with pytest.raises(ValueError, match="overlapping"):
+            registers.verify()
+
+    def test_more_slack_fewer_or_equal_registers_not_guaranteed_but_valid(
+            self, vender_graph):
+        # Register count varies with the schedule; both must be valid.
+        for steps in (5, 6, 7):
+            _, _, registers = synth(vender_graph, steps)
+            registers.verify()
+
+
+class TestInterconnect:
+    def test_shared_unit_ports_have_multiple_sources(self, abs_diff_graph):
+        """With one subtractor executing both subs, its ports see two
+        different sources."""
+        schedule = minimize_resources(abs_diff_graph, 3).schedule
+        binding = bind_operations(schedule)
+        registers = allocate_registers(schedule)
+        ic = build_interconnect(binding, registers)
+        sub_unit = next(u for u in binding.units
+                        if u.resource.value == "-")
+        assert ic.mux_inputs(sub_unit, 0) == 2
+        assert ic.mux_inputs(sub_unit, 1) == 2
+
+    def test_dedicated_unit_ports_have_one_source(self, abs_diff_graph):
+        schedule = minimize_resources(abs_diff_graph, 2).schedule
+        binding = bind_operations(schedule)
+        registers = allocate_registers(schedule)
+        ic = build_interconnect(binding, registers)
+        for unit in binding.units:
+            if unit.resource.value == "-":
+                assert ic.mux_inputs(unit, 0) == 1
+
+    def test_constant_sources_identified(self, dealer_graph):
+        schedule = minimize_resources(dealer_graph, 4).schedule
+        binding = bind_operations(schedule)
+        registers = allocate_registers(schedule)
+        ic = build_interconnect(binding, registers)
+        const_sources = [
+            s for sources in ic.sources.values() for s in sources
+            if s.is_const
+        ]
+        assert const_sources  # dealer compares against 21/17 constants
+        assert all(s.const_value is not None for s in const_sources)
+
+    def test_area_counts_only_steered_ports(self, abs_diff_graph):
+        schedule = minimize_resources(abs_diff_graph, 2).schedule
+        binding = bind_operations(schedule)
+        registers = allocate_registers(schedule)
+        ic = build_interconnect(binding, registers)
+        # Dedicated units: muxed area only where >1 source.
+        for (unit, port), sources in ic.sources.items():
+            if len(sources) <= 1:
+                continue
+        assert ic.area() >= 0

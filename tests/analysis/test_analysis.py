@@ -1,0 +1,108 @@
+"""Circuit statistics (Table I), mutual exclusion, area model."""
+
+import pytest
+
+from repro.analysis.area import AreaBreakdown, allocation_area, area_ratio
+from repro.analysis.mutex import (
+    are_mutually_exclusive,
+    can_share,
+    guard_requirements,
+    mutually_exclusive_pairs,
+)
+from repro.analysis.stats import circuit_stats
+from repro.circuits import PAPER_TABLE1, build
+from repro.ir.ops import ResourceClass
+from repro.sched.resources import Allocation
+
+
+class TestTable1:
+    """The headline structural reproduction: operation counts match the
+    paper's Table I exactly for all four circuits."""
+
+    @pytest.mark.parametrize("name", sorted(PAPER_TABLE1))
+    def test_operation_counts_exact(self, name):
+        stats = circuit_stats(build(name))
+        paper = PAPER_TABLE1[name]
+        assert stats.mux == paper.mux
+        assert stats.comp == paper.comp
+        assert stats.add == paper.add
+        assert stats.sub == paper.sub
+        assert stats.mul == paper.mul
+
+    @pytest.mark.parametrize("name", ["dealer", "gcd", "vender"])
+    def test_critical_paths_exact(self, name):
+        assert circuit_stats(build(name)).critical_path == \
+            PAPER_TABLE1[name].critical_path
+
+    def test_cordic_critical_path_documented_difference(self):
+        """Our cordic reconstruction has cp=32 (paper: 48); the difference
+        is pinned here and discussed in EXPERIMENTS.md."""
+        assert circuit_stats(build("cordic")).critical_path == 32
+
+
+class TestMutex:
+    def test_abs_diff_subs_are_exclusive(self, abs_diff_graph):
+        g = abs_diff_graph
+        s0 = next(n for n in g if n.name == "b_minus_a")
+        s1 = next(n for n in g if n.name == "a_minus_b")
+        assert are_mutually_exclusive(g, s0.nid, s1.nid)
+        assert frozenset((s0.nid, s1.nid)) in mutually_exclusive_pairs(g)
+
+    def test_comp_not_exclusive_with_subs(self, abs_diff_graph):
+        g = abs_diff_graph
+        comp = next(n for n in g if n.name == "c")
+        sub = next(n for n in g if n.name == "a_minus_b")
+        assert not are_mutually_exclusive(g, comp.nid, sub.nid)
+
+    def test_can_share_requires_same_class(self, abs_diff_graph):
+        g = abs_diff_graph
+        s0 = next(n for n in g if n.name == "b_minus_a")
+        s1 = next(n for n in g if n.name == "a_minus_b")
+        comp = next(n for n in g if n.name == "c")
+        assert can_share(g, s0.nid, s1.nid)
+        assert not can_share(g, s0.nid, comp.nid)
+
+    def test_vender_multipliers_exclusive(self, vender_graph):
+        g = vender_graph
+        p2 = next(n for n in g if n.name == "p2")
+        p3 = next(n for n in g if n.name == "p3")
+        assert can_share(g, p2.nid, p3.nid)
+
+    def test_guard_requirements_structure(self, abs_diff_graph):
+        g = abs_diff_graph
+        requirements = guard_requirements(g)
+        comp = next(n for n in g if n.name == "c")
+        s1 = next(n for n in g if n.name == "a_minus_b")
+        assert requirements[s1.nid] == {comp.nid: {1}}
+
+    def test_cordic_addsub_pairs_exclusive(self, cordic_graph):
+        g = cordic_graph
+        xa = next(n for n in g if n.name == "xa3")
+        xb = next(n for n in g if n.name == "xb3")
+        assert are_mutually_exclusive(g, xa.nid, xb.nid)
+
+
+class TestAreaModel:
+    def test_allocation_area_scales_with_units(self):
+        one = Allocation({ResourceClass.ADD: 1})
+        two = Allocation({ResourceClass.ADD: 2})
+        assert allocation_area(two) == 2 * allocation_area(one)
+
+    def test_multiplier_dominates(self):
+        mul = Allocation({ResourceClass.MUL: 1})
+        add = Allocation({ResourceClass.ADD: 1})
+        assert allocation_area(mul) > 5 * allocation_area(add)
+
+    def test_breakdown_totals(self):
+        area = AreaBreakdown(functional_units=100, registers=20,
+                             interconnect=8, controller=12)
+        assert area.datapath == 128
+        assert area.total == 140
+
+    def test_area_ratio(self):
+        a = AreaBreakdown(100, 0, 0, 0)
+        b = AreaBreakdown(110, 0, 0, 0)
+        assert area_ratio(b, a) == pytest.approx(1.1)
+        assert area_ratio(110, 100) == pytest.approx(1.1)
+        with pytest.raises(ValueError):
+            area_ratio(b, AreaBreakdown(0, 0, 0, 0))

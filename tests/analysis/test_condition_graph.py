@@ -1,0 +1,104 @@
+"""Condition graphs and their agreement with the mutex analysis."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.condition_graph import (
+    ConditionSet,
+    Relation,
+    build_condition_graph,
+)
+from repro.analysis.mutex import are_mutually_exclusive
+from repro.circuits import abs_diff, build
+from tests.strategies import circuits
+
+
+class TestConditionSets:
+    def test_unconditional(self):
+        assert ConditionSet().is_unconditional
+        assert not ConditionSet(frozenset({(1, 0)})).is_unconditional
+
+    def test_contradiction(self):
+        a = ConditionSet(frozenset({(1, 0)}))
+        b = ConditionSet(frozenset({(1, 1)}))
+        assert a.contradicts(b)
+        assert a.conjoin(b) is None
+
+    def test_conjoin_merges(self):
+        a = ConditionSet(frozenset({(1, 0)}))
+        b = ConditionSet(frozenset({(2, 1)}))
+        merged = a.conjoin(b)
+        assert merged.literals == {(1, 0), (2, 1)}
+
+
+class TestAbsDiff:
+    def test_sub_conditions(self):
+        g = abs_diff()
+        cg = build_condition_graph(g)
+        comp = next(n for n in g if n.name == "c")
+        s0 = next(n for n in g if n.name == "b_minus_a")
+        s1 = next(n for n in g if n.name == "a_minus_b")
+        assert cg.condition_of(s0.nid).literals == {(comp.nid, 0)}
+        assert cg.condition_of(s1.nid).literals == {(comp.nid, 1)}
+        assert cg.relation(s0.nid, s1.nid) is Relation.DISJOINT
+
+    def test_comparison_unconditional(self):
+        g = abs_diff()
+        cg = build_condition_graph(g)
+        comp = next(n for n in g if n.name == "c")
+        assert cg.condition_of(comp.nid).is_unconditional
+
+    def test_execution_probabilities(self):
+        g = abs_diff()
+        cg = build_condition_graph(g)
+        s1 = next(n for n in g if n.name == "a_minus_b")
+        assert cg.execution_probability(s1.nid) == 0.5
+        assert cg.execution_probability(s1.nid, p_one=0.8) == \
+            pytest.approx(0.8)
+
+
+class TestHierarchy:
+    def test_nested_subsumption_in_dealer(self):
+        """dealer's margin (nested two deep) is subsumed by payout's mux
+        (one deep) on the same outer condition."""
+        g = build("dealer")
+        cg = build_condition_graph(g)
+        margin = next(n for n in g if n.name == "margin")
+        payout = next(n for n in g if n.name == "payout")
+        relation = cg.relation(payout.nid, margin.nid)
+        assert relation is Relation.A_SUBSUMES_B
+        assert cg.execution_probability(margin.nid) == 0.25
+        assert cg.execution_probability(payout.nid) == 0.5
+
+    def test_vender_multipliers_disjoint_and_equal_probability(self):
+        g = build("vender")
+        cg = build_condition_graph(g)
+        p2 = next(n for n in g if n.name == "p2")
+        p3 = next(n for n in g if n.name == "p3")
+        assert cg.disjoint(p2.nid, p3.nid)
+        assert cg.execution_probability(p2.nid) == \
+            cg.execution_probability(p3.nid) == 0.5
+
+
+class TestAgreementWithMutex:
+    @pytest.mark.parametrize("name", ["dealer", "gcd", "vender"])
+    def test_disjointness_matches_mutex_analysis(self, name):
+        g = build(name)
+        cg = build_condition_graph(g)
+        ops = [n.nid for n in g.operations()]
+        for i, a in enumerate(ops):
+            for b in ops[i + 1:]:
+                assert cg.disjoint(a, b) == are_mutually_exclusive(g, a, b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(circuits(max_ops=10))
+    def test_mutex_implies_disjoint_on_random_circuits(self, graph):
+        """The mutex analysis is sound-but-incomplete; the condition graph
+        finds at least everything it finds (e.g. it additionally marks
+        dead code disjoint from everything)."""
+        cg = build_condition_graph(graph)
+        ops = [n.nid for n in graph.operations()][:8]
+        for i, a in enumerate(ops):
+            for b in ops[i + 1:]:
+                if are_mutually_exclusive(graph, a, b):
+                    assert cg.disjoint(a, b)

@@ -1,0 +1,86 @@
+"""Structural gating-soundness verification."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.verify_gating import (
+    GatingUnsoundError,
+    is_gating_sound,
+    verify_gating,
+)
+from repro.circuits import abs_diff, build
+from repro.core.pm_pass import PMOptions, apply_power_management
+from repro.sched.timing import critical_path_length
+from tests.strategies import circuits
+
+
+class TestBenchmarksSound:
+    @pytest.mark.parametrize("name,steps", [
+        ("dealer", 4), ("dealer", 6),
+        ("gcd", 5), ("gcd", 7),
+        ("vender", 5), ("vender", 6),
+        ("cordic", 48),
+    ])
+    def test_pm_pass_produces_sound_gating(self, name, steps):
+        verify_gating(apply_power_management(build(name), steps))
+
+    def test_partial_gating_sound(self):
+        result = apply_power_management(
+            abs_diff(), 3, PMOptions(partial=True))
+        verify_gating(result)
+
+    def test_empty_gating_trivially_sound(self):
+        result = apply_power_management(abs_diff(), 2)
+        assert is_gating_sound(result)
+
+
+class TestUnsoundDetection:
+    def test_gating_the_select_driver_is_unsound(self):
+        """Disabling the comparison that drives the mux select would let a
+        stale condition steer the output — must be flagged."""
+        result = apply_power_management(abs_diff(), 3)
+        g = result.graph
+        comp = next(n for n in g if n.name == "c")
+        mux = g.muxes()[0]
+        result.gating = dict(result.gating)
+        result.gating[comp.nid] = ((mux.nid, 1),)
+        with pytest.raises(GatingUnsoundError, match="reaches output"):
+            verify_gating(result)
+
+    def test_gating_a_shared_op_is_unsound(self, dealer_graph):
+        """An op that feeds an output directly can never be gated."""
+        result = apply_power_management(dealer_graph, 6)
+        g = result.graph
+        total = next(n for n in g if n.name == "total")  # output-facing add
+        some_mux = g.muxes()[0]
+        result.gating = dict(result.gating)
+        result.gating[total.nid] = ((some_mux.nid, 0),)
+        assert not is_gating_sound(result)
+
+    def test_wrong_side_is_unsound(self):
+        """Gating a sub on the side that *uses* it must be flagged."""
+        result = apply_power_management(abs_diff(), 3)
+        g = result.graph
+        mux = g.muxes()[0]
+        sub1 = next(n for n in g if n.name == "a_minus_b")
+        result.gating = dict(result.gating)
+        result.gating[sub1.nid] = ((mux.nid, 0),)  # correct side is 1
+        assert not is_gating_sound(result)
+
+
+class TestProperty:
+    @settings(max_examples=50, deadline=None)
+    @given(circuits(max_ops=12), st.integers(min_value=0, max_value=3))
+    def test_pass_always_sound_on_random_circuits(self, graph, slack):
+        cp = critical_path_length(graph)
+        result = apply_power_management(graph, cp + slack)
+        verify_gating(result)
+
+    @settings(max_examples=30, deadline=None)
+    @given(circuits(max_ops=10), st.integers(min_value=0, max_value=2))
+    def test_partial_pass_always_sound(self, graph, slack):
+        cp = critical_path_length(graph)
+        result = apply_power_management(graph, cp + slack,
+                                        PMOptions(partial=True))
+        verify_gating(result)

@@ -1,0 +1,73 @@
+"""Benchmark circuit construction and registry."""
+
+import pytest
+
+from repro.analysis.stats import circuit_stats
+from repro.circuits import (
+    CIRCUITS,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    TABLE2_BUDGETS,
+    build,
+    cordic,
+)
+from repro.ir.validate import validate
+
+
+class TestRegistry:
+    def test_all_four_circuits_registered(self):
+        assert set(CIRCUITS) == {"dealer", "gcd", "vender", "cordic"}
+
+    def test_build_by_name(self):
+        assert build("dealer").name == "dealer"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown circuit"):
+            build("mystery")
+
+    def test_every_circuit_validates(self):
+        for name in CIRCUITS:
+            validate(build(name))
+
+    def test_paper_tables_are_consistent(self):
+        t2_names = {row.name for row in PAPER_TABLE2}
+        assert t2_names == set(PAPER_TABLE1)
+        assert set(TABLE2_BUDGETS) == set(PAPER_TABLE1)
+        for row in PAPER_TABLE2:
+            assert row.control_steps in TABLE2_BUDGETS[row.name]
+        assert {r.name for r in PAPER_TABLE3} <= set(PAPER_TABLE1)
+
+
+class TestCordicParameterization:
+    def test_full_cordic_matches_paper_counts(self):
+        stats = circuit_stats(cordic())
+        assert (stats.mux, stats.comp, stats.add, stats.sub) == \
+            (47, 16, 43, 46)
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 8])
+    def test_reduced_iteration_counts(self, n):
+        """Non-16-iteration variants are regular: 3 mux/add/sub per iter."""
+        stats = circuit_stats(cordic(n_iterations=n))
+        assert stats.comp == n
+        assert stats.mux == 3 * n
+        assert stats.add == 3 * n
+        assert stats.sub == 3 * n
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ValueError, match="at least one iteration"):
+            cordic(n_iterations=0)
+
+    def test_width_parameter_bounds_shifts(self):
+        g = cordic(n_iterations=16, width=8)
+        from repro.ir.ops import Op
+        for node in g:
+            if node.op is Op.SHR:
+                amount = g.node(node.operands[1])
+                assert amount.value <= 7
+
+    def test_critical_path_grows_linearly(self):
+        from repro.sched.timing import critical_path_length
+        cps = [critical_path_length(cordic(n_iterations=n))
+               for n in (2, 4, 8)]
+        assert cps == [4, 8, 16]

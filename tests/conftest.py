@@ -1,0 +1,65 @@
+"""Shared fixtures: the paper's circuits and small hand-made graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import abs_diff, build, cordic, dealer, gcd, vender
+from repro.ir.builder import GraphBuilder
+
+
+@pytest.fixture
+def abs_diff_graph():
+    return abs_diff()
+
+
+@pytest.fixture
+def dealer_graph():
+    return dealer()
+
+
+@pytest.fixture
+def gcd_graph():
+    return gcd()
+
+
+@pytest.fixture
+def vender_graph():
+    return vender()
+
+
+@pytest.fixture
+def cordic_graph():
+    return cordic()
+
+
+@pytest.fixture(params=["dealer", "gcd", "vender"])
+def small_circuit(request):
+    """Each of the three small paper benchmarks."""
+    return build(request.param)
+
+
+@pytest.fixture
+def chain_graph():
+    """in -> add -> sub -> out : a 2-deep arithmetic chain."""
+    b = GraphBuilder("chain")
+    a = b.input("a")
+    c = b.input("c")
+    s = b.add(a, c, name="s")
+    d = b.sub(s, c, name="d")
+    b.output(d, "out")
+    return b.build()
+
+
+@pytest.fixture
+def diamond_graph():
+    """Two independent ops joined by a mux — minimal PM-able shape."""
+    b = GraphBuilder("diamond")
+    a = b.input("a")
+    c = b.input("c")
+    cond = b.gt(a, c, name="cond")
+    left = b.add(a, c, name="left")
+    right = b.sub(a, c, name="right")
+    m = b.mux(cond, left, right, name="pick")
+    b.output(m, "out")
+    return b.build()

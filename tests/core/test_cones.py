@@ -1,0 +1,127 @@
+"""Multiplexor cone analysis (paper step 3)."""
+
+import pytest
+
+from repro.core.cones import compute_all_cones, compute_cones
+from repro.ir.builder import GraphBuilder
+
+
+def names_of(graph, ids):
+    return {graph.node(n).name for n in ids}
+
+
+class TestAbsDiff:
+    def test_each_sub_exclusive_to_its_side(self, abs_diff_graph):
+        g = abs_diff_graph
+        mux = g.muxes()[0]
+        cones = compute_cones(g, mux.nid)
+        assert names_of(g, cones.shutdown[0]) == {"b_minus_a"}
+        assert names_of(g, cones.shutdown[1]) == {"a_minus_b"}
+        assert names_of(g, cones.control) == {"c"}
+
+    def test_top_nodes(self, abs_diff_graph):
+        g = abs_diff_graph
+        mux = g.muxes()[0]
+        cones = compute_cones(g, mux.nid)
+        assert names_of(g, cones.top_nodes(g, 0)) == {"b_minus_a"}
+        assert names_of(g, cones.top_nodes(g, 1)) == {"a_minus_b"}
+
+
+class TestExclusionRules:
+    def test_shared_node_excluded(self):
+        """A node feeding both mux data inputs is needed either way."""
+        b = GraphBuilder("shared")
+        a, c = b.input("a"), b.input("c")
+        cond = b.gt(a, c, name="cond")
+        shared = b.add(a, c, name="shared")
+        left = b.sub(shared, c, name="left")
+        right = b.sub(shared, a, name="right")
+        m = b.mux(cond, left, right, name="m")
+        b.output(m, "out")
+        g = b.build()
+        cones = compute_cones(g, m.nid)
+        assert "shared" not in names_of(g, cones.shutdown[0])
+        assert "shared" not in names_of(g, cones.shutdown[1])
+        assert "left" in names_of(g, cones.shutdown[0])
+
+    def test_fanout_to_output_excluded(self):
+        """Paper: nodes that fan out beyond the mux cannot be shut down."""
+        b = GraphBuilder("fanout")
+        a, c = b.input("a"), b.input("c")
+        cond = b.gt(a, c, name="cond")
+        left = b.add(a, c, name="left")
+        m = b.mux(cond, left, a, name="m")
+        b.output(m, "out")
+        b.output(left, "leak")  # extra consumer
+        g = b.build()
+        cones = compute_cones(g, m.nid)
+        assert cones.shutdown[0] == frozenset()
+
+    def test_fanout_closure_strands_producers(self):
+        """Excluding a consumer must exclude producers feeding only it."""
+        b = GraphBuilder("closure")
+        a, c = b.input("a"), b.input("c")
+        cond = b.gt(a, c, name="cond")
+        deep = b.add(a, c, name="deep")
+        mid = b.sub(deep, c, name="mid")
+        m = b.mux(cond, mid, a, name="m")
+        b.output(m, "out")
+        b.output(mid, "leak")  # mid escapes; deep feeds only mid
+        g = b.build()
+        cones = compute_cones(g, m.nid)
+        assert cones.shutdown[0] == frozenset()
+
+    def test_control_cone_member_excluded_from_data_cone(self):
+        """Nodes computing the select cannot be shut down by it."""
+        b = GraphBuilder("ctrl")
+        a, c = b.input("a"), b.input("c")
+        t = b.add(a, c, name="t")
+        cond = b.gt(t, 0, name="cond")
+        left = b.sub(t, c, name="left")
+        m = b.mux(cond, left, a, name="m")
+        b.output(m, "out")
+        g = b.build()
+        cones = compute_cones(g, m.nid)
+        assert "t" in names_of(g, cones.control)
+        assert "t" not in names_of(g, cones.shutdown[0])
+        assert "left" in names_of(g, cones.shutdown[0])
+
+
+class TestWiring:
+    def test_shift_chain_is_gatable_end_to_end(self):
+        b = GraphBuilder("wired")
+        a, c = b.input("a"), b.input("c")
+        cond = b.gt(a, c, name="cond")
+        val = b.add(a, c, name="val")
+        shifted = b.shr(val, 1, name="sh")
+        m = b.mux(cond, shifted, a, name="m")
+        b.output(m, "out")
+        g = b.build()
+        cones = compute_cones(g, m.nid)
+        assert {"val", "sh"} <= names_of(g, cones.shutdown[0])
+        assert names_of(g, cones.shutdown_ops(g, 0)) == {"val"}
+
+
+class TestBenchmarks:
+    def test_gcd_sub_is_gated_by_result_mux(self, gcd_graph):
+        g = gcd_graph
+        cones = compute_all_cones(g)
+        gated_anywhere = set()
+        for mc in cones.values():
+            gated_anywhere |= set(mc.all_shutdown_ops(g))
+        assert "diff" in names_of(g, gated_anywhere)
+
+    def test_vender_multipliers_split_across_cost_mux(self, vender_graph):
+        g = vender_graph
+        cost_mux = next(n for n in g.muxes() if n.name == "cost")
+        cones = compute_cones(g, cost_mux.nid)
+        both = names_of(g, cones.shutdown[0]) | names_of(g, cones.shutdown[1])
+        assert both == {"p2", "p3"}
+
+    def test_non_mux_rejected(self, abs_diff_graph):
+        comp = next(n for n in abs_diff_graph if n.name == "c")
+        with pytest.raises(ValueError, match="not a MUX"):
+            compute_cones(abs_diff_graph, comp.nid)
+
+    def test_cordic_has_47_cone_sets(self, cordic_graph):
+        assert len(compute_all_cones(cordic_graph)) == 47

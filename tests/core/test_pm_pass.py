@@ -1,0 +1,158 @@
+"""The paper's Figure-3 power-management scheduling pass."""
+
+import pytest
+
+from repro.core.pm_pass import (
+    PMOptions,
+    REASON_NOTHING_TO_GATE,
+    REASON_NO_SLACK,
+    apply_power_management,
+)
+from repro.sched.list_scheduler import list_schedule
+from repro.sched.resources import unbounded_allocation
+from repro.sched.timing import InfeasibleScheduleError, critical_path_length
+
+
+class TestPaperRunningExample:
+    """§II-B: |a-b| with 2 vs 3 control steps (Figs. 1 and 2)."""
+
+    def test_two_steps_no_power_management(self, abs_diff_graph):
+        result = apply_power_management(abs_diff_graph, 2)
+        assert result.managed_count == 0
+        decision = result.decisions[0]
+        assert decision.reason == REASON_NO_SLACK
+        assert result.graph.control_edges() == []
+
+    def test_three_steps_mux_managed(self, abs_diff_graph):
+        result = apply_power_management(abs_diff_graph, 3)
+        assert result.managed_count == 1
+        g = result.graph
+        gated = {g.node(n).name for n in result.gated_ops()}
+        assert gated == {"a_minus_b", "b_minus_a"}
+
+    def test_three_step_schedule_puts_comparison_first(self, abs_diff_graph):
+        """Fig. 2(b): comparison in step 1, both subtractions gated after."""
+        result = apply_power_management(abs_diff_graph, 3)
+        g = result.graph
+        schedule = list_schedule(g, 3, unbounded_allocation(g))
+        comp = next(n for n in g if n.name == "c")
+        for name in ("a_minus_b", "b_minus_a"):
+            sub = next(n for n in g if n.name == name)
+            assert schedule.step_of(sub.nid) >= schedule.finish_of(comp.nid)
+
+    def test_gating_sides_match_mux_semantics(self, abs_diff_graph):
+        result = apply_power_management(abs_diff_graph, 3)
+        g = result.graph
+        mux = g.muxes()[0]
+        by_name = {g.node(n).name: guards
+                   for n, guards in result.gating.items()}
+        assert by_name["b_minus_a"] == ((mux.nid, 0),)
+        assert by_name["a_minus_b"] == ((mux.nid, 1),)
+
+
+class TestBenchmarkSelections:
+    """Regression-pins for our reconstructions (see EXPERIMENTS.md for the
+    paper-vs-measured discussion)."""
+
+    @pytest.mark.parametrize("steps,expected", [(4, 1), (5, 3), (6, 3)])
+    def test_dealer(self, dealer_graph, steps, expected):
+        assert apply_power_management(
+            dealer_graph, steps).managed_count == expected
+
+    @pytest.mark.parametrize("steps,expected", [(5, 2), (6, 2), (7, 2)])
+    def test_gcd(self, gcd_graph, steps, expected):
+        assert apply_power_management(
+            gcd_graph, steps).managed_count == expected
+
+    @pytest.mark.parametrize("steps,expected", [(5, 2), (6, 3)])
+    def test_vender(self, vender_graph, steps, expected):
+        assert apply_power_management(
+            vender_graph, steps).managed_count == expected
+
+    def test_cordic_at_paper_budgets(self, cordic_graph):
+        assert apply_power_management(cordic_graph, 48).managed_count == 47
+        assert apply_power_management(cordic_graph, 52).managed_count == 47
+
+    def test_cordic_slack_staircase(self, cordic_graph):
+        """Every extra control step lets roughly one more iteration be
+        managed; at the paper's 48-step budget everything gatable is."""
+        cp = critical_path_length(cordic_graph)  # 32 in our reconstruction
+        counts = [apply_power_management(cordic_graph, cp + k).managed_count
+                  for k in (0, 4, 8, 12, 16)]
+        assert counts[0] == 0  # no slack at the critical path
+        assert counts == sorted(counts)
+        assert counts[-1] == 47
+
+
+class TestMechanics:
+    def test_input_graph_not_modified(self, abs_diff_graph):
+        before = len(abs_diff_graph.control_edges())
+        apply_power_management(abs_diff_graph, 3)
+        assert len(abs_diff_graph.control_edges()) == before == 0
+
+    def test_augmented_graph_stays_schedulable(self, small_circuit):
+        cp = critical_path_length(small_circuit)
+        for steps in (cp, cp + 1, cp + 2):
+            result = apply_power_management(small_circuit, steps)
+            schedule = list_schedule(result.graph, steps,
+                                     unbounded_allocation(result.graph))
+            schedule.verify()
+
+    def test_below_critical_path_raises(self, dealer_graph):
+        with pytest.raises(InfeasibleScheduleError):
+            apply_power_management(dealer_graph, 3)
+
+    def test_disabled_pass_is_noop(self, dealer_graph):
+        result = apply_power_management(dealer_graph, 6,
+                                        PMOptions(enabled=False))
+        assert result.managed_count == 0
+        assert result.gating == {}
+        assert result.decisions == []
+
+    def test_max_muxes_limit(self, vender_graph):
+        result = apply_power_management(vender_graph, 6,
+                                        PMOptions(max_muxes=1))
+        assert result.managed_count == 1
+
+    def test_every_mux_gets_a_decision(self, small_circuit):
+        cp = critical_path_length(small_circuit)
+        result = apply_power_management(small_circuit, cp + 1)
+        assert len(result.decisions) == len(small_circuit.muxes())
+
+    def test_const_fed_muxes_have_nothing_to_gate(self, gcd_graph):
+        result = apply_power_management(gcd_graph, 7)
+        done = next(n for n in gcd_graph if n.name == "done")
+        assert result.decision_for(done.nid).reason == REASON_NOTHING_TO_GATE
+
+    def test_decision_for_unknown_mux_raises(self, abs_diff_graph):
+        result = apply_power_management(abs_diff_graph, 3)
+        with pytest.raises(KeyError):
+            result.decision_for(999)
+
+    def test_gated_ops_probability_monotone_in_steps(self, vender_graph):
+        """More slack can only gate more (weighted) work, never less."""
+        from repro.core.reordering import gated_weight
+        weights = [gated_weight(apply_power_management(vender_graph, s))
+                   for s in (5, 6, 7)]
+        assert weights == sorted(weights)
+
+
+class TestControlEdges:
+    def test_edges_source_is_select_driver(self, abs_diff_graph):
+        result = apply_power_management(abs_diff_graph, 3)
+        g = result.graph
+        comp = next(n for n in g if n.name == "c")
+        for src, _dst in g.control_edges():
+            assert src == comp.nid
+
+    def test_edges_target_cone_tops_only(self, vender_graph):
+        result = apply_power_management(vender_graph, 6)
+        g = result.graph
+        for decision in result.decisions:
+            if not decision.selected:
+                continue
+            tops = set()
+            for side in (0, 1):
+                tops |= decision.cones.top_nodes(g, side)
+            for _src, dst in decision.added_edges:
+                assert dst in tops

@@ -1,0 +1,76 @@
+"""Reordering search (§IV-A): the paper's observed order-dependence."""
+
+import pytest
+
+from repro.core.pm_pass import PMOptions, apply_power_management
+from repro.core.reordering import (
+    exhaustive_search,
+    gated_weight,
+    strategy_search,
+)
+from repro.ir.builder import GraphBuilder
+
+
+def conflict_graph():
+    """Two PM candidates competing for one slack step.
+
+    cheap chain:  c1 -> small_op -> m1 (near the output)
+    costly chain: c2 -> mul -> m2 (feeding m1's other flank via an add)
+
+    Managing m1 first (output-first order) eats the slack m2 needs, losing
+    the multiplier's large saving — the §IV-A phenomenon.
+    """
+    b = GraphBuilder("conflict")
+    x, y = b.input("x"), b.input("y")
+    c2 = b.gt(y, 0, name="c2")
+    big = b.mul(x, y, name="big")          # weight 20, gated by m2
+    m2 = b.mux(c2, big, x, name="m2")
+    mid = b.add(m2, y, name="mid")
+    c1 = b.gt(x, 0, name="c1")
+    small = b.sub(x, y, name="small")      # weight 3, gated by m1
+    m1 = b.mux(c1, small, mid, name="m1")
+    b.output(m1, "out")
+    return b.build()
+
+
+class TestOrderDependence:
+    def test_orderings_can_disagree(self):
+        g = conflict_graph()
+        steps = 5
+        out_first = apply_power_management(g, steps,
+                                           PMOptions(ordering="output_first"))
+        savings = apply_power_management(g, steps,
+                                         PMOptions(ordering="savings"))
+        # Both select something, but the greedy-by-savings order must gate
+        # at least as much weighted work.
+        assert gated_weight(savings) >= gated_weight(out_first)
+
+    def test_strategy_search_returns_best(self):
+        g = conflict_graph()
+        outcome = strategy_search(g, 5)
+        assert outcome.best_label in outcome.scores
+        best_score = outcome.scores[outcome.best_label]
+        assert all(best_score >= s for s in outcome.scores.values())
+        assert gated_weight(outcome.best) == best_score[0]
+
+    def test_exhaustive_at_least_as_good_as_strategies(self):
+        g = conflict_graph()
+        strategies = strategy_search(g, 5)
+        exhaustive = exhaustive_search(g, 5)
+        assert gated_weight(exhaustive.best) >= gated_weight(strategies.best)
+
+    def test_exhaustive_on_vender(self, vender_graph):
+        outcome = exhaustive_search(vender_graph, 5, limit=6)
+        heuristic = strategy_search(vender_graph, 5)
+        assert gated_weight(outcome.best) >= gated_weight(heuristic.best)
+
+
+class TestGatedWeight:
+    def test_abs_diff_weight(self, abs_diff_graph):
+        result = apply_power_management(abs_diff_graph, 3)
+        # Two subs (weight 3) skipped with probability 1/2 each.
+        assert gated_weight(result) == pytest.approx(3.0)
+
+    def test_zero_when_nothing_managed(self, abs_diff_graph):
+        result = apply_power_management(abs_diff_graph, 2)
+        assert gated_weight(result) == 0.0

@@ -1,0 +1,23 @@
+"""Every example script runs to completion (smoke + assertion checks —
+the examples contain their own correctness asserts)."""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)  # artifacts (.dot/.vhd) land in tmp
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()  # every example narrates what it did
+
+
+def test_there_are_at_least_five_examples():
+    assert len(EXAMPLES) >= 5

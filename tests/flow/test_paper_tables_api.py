@@ -1,0 +1,39 @@
+"""The programmatic table-regeneration API."""
+
+import pytest
+
+from repro.circuits import PAPER_TABLE1, PAPER_TABLE2, TABLE2_BUDGETS
+from repro.paper_tables import measure_table1, measure_table2, measure_table3
+
+
+def test_measure_table1_matches_paper_counts():
+    measured = measure_table1()
+    for name, stats in measured.items():
+        paper = PAPER_TABLE1[name]
+        assert (stats.mux, stats.comp, stats.add, stats.sub, stats.mul) == \
+            (paper.mux, paper.comp, paper.add, paper.sub, paper.mul)
+
+
+def test_measure_table2_covers_all_budgets():
+    rows = measure_table2()
+    keys = {(r.name, r.control_steps) for r in rows}
+    expected = {(name, s) for name, budgets in TABLE2_BUDGETS.items()
+                for s in budgets}
+    assert keys == expected
+    paper_keys = {(r.name, r.control_steps) for r in PAPER_TABLE2}
+    assert keys == paper_keys
+
+
+def test_measure_table2_gcd_exact():
+    rows = {(r.name, r.control_steps): r for r in measure_table2()}
+    assert rows[("gcd", 5)].power_reduction_pct == pytest.approx(11.76,
+                                                                 abs=0.01)
+    assert rows[("gcd", 5)].avg_mux == pytest.approx(5.5)
+
+
+def test_measure_table3_shape():
+    rows = measure_table3(n_vectors=64)
+    assert {r.name for r in rows} == {"dealer", "gcd", "vender"}
+    for row in rows:
+        assert row.power_reduction_pct > 0
+        assert 0.8 <= row.area_increase <= 1.3

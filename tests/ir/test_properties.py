@@ -1,0 +1,67 @@
+"""Property-based tests on the IR itself."""
+
+from hypothesis import given, settings
+
+from repro.ir.transform import eliminate_dead_nodes, fold_constants, rebuild
+from repro.ir.validate import validate
+from repro.sim.reference import evaluate
+from tests.strategies import circuits, input_vector
+
+from hypothesis import strategies as st
+
+
+@given(circuits())
+def test_generated_circuits_validate(graph):
+    validate(graph)
+
+
+@given(circuits())
+def test_topological_order_is_consistent(graph):
+    order = graph.topological_order()
+    assert sorted(order) == sorted(graph.node_ids)
+    pos = {nid: i for i, nid in enumerate(order)}
+    for node in graph:
+        for pred in graph.preds(node.nid):
+            assert pos[pred] < pos[node.nid]
+
+
+@given(circuits())
+def test_fanin_fanout_duality(graph):
+    ids = graph.node_ids
+    for a in ids[: min(6, len(ids))]:
+        for b in graph.transitive_fanout(a):
+            assert a in graph.transitive_fanin(b)
+
+
+@given(circuits())
+def test_copy_equals_original(graph):
+    clone = graph.copy()
+    assert len(clone) == len(graph)
+    for node in graph:
+        other = clone.node(node.nid)
+        assert other.op is node.op and other.operands == node.operands
+
+
+@given(circuits())
+def test_rebuild_preserves_behaviour(graph):
+    rebuilt = rebuild(graph)
+    validate(rebuilt)
+    inputs = {n.name: 17 for n in graph.inputs()}
+    assert evaluate(rebuilt, inputs) == evaluate(graph, inputs)
+
+
+@settings(max_examples=50)
+@given(st.data())
+def test_fold_constants_preserves_behaviour(data):
+    graph = data.draw(circuits())
+    folded = fold_constants(graph)
+    vector = data.draw(input_vector(graph))
+    assert evaluate(folded, vector) == evaluate(graph, vector)
+
+
+@given(circuits())
+def test_dead_node_elimination_keeps_outputs(graph):
+    clean = eliminate_dead_nodes(graph)
+    assert len(clean.outputs()) == len(graph.outputs())
+    inputs = {n.name: -3 for n in graph.inputs()}
+    assert evaluate(clean, inputs) == evaluate(graph, inputs)

@@ -1,0 +1,67 @@
+"""Tokenizer behaviour."""
+
+import pytest
+
+from repro.lang.errors import LangError
+from repro.lang.lexer import tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestBasics:
+    def test_idents_keywords_ints(self):
+        tokens = tokenize("circuit foo { input a; x = 42; }")
+        assert tokens[0].kind == "keyword"
+        assert tokens[1].kind == "ident" and tokens[1].text == "foo"
+        assert any(t.kind == "int" and t.text == "42" for t in tokens)
+        assert tokens[-1].kind == "eof"
+
+    def test_underscore_identifiers(self):
+        assert kinds("_x x_1")[:2] == ["ident", "ident"]
+
+    def test_two_char_operators_win_over_one(self):
+        assert texts("a << b >> c <= d >= e == f != g") == \
+            ["a", "<<", "b", ">>", "c", "<=", "d", ">=", "e", "==", "f",
+             "!=", "g"]
+
+    def test_all_single_operators(self):
+        assert texts("+-*<>&|^~?:=;,(){}") == list("+-*<>&|^~?:=;,(){}")
+
+
+class TestCommentsAndWhitespace:
+    def test_hash_comment(self):
+        assert texts("a # comment with ? tokens\nb") == ["a", "b"]
+
+    def test_double_slash_comment(self):
+        assert texts("a // note\nb") == ["a", "b"]
+
+    def test_comment_at_eof(self):
+        assert texts("a # trailing") == ["a"]
+
+    def test_blank_source(self):
+        assert kinds("") == ["eof"]
+        assert kinds("   \n\t ") == ["eof"]
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("ab\n  cd")
+        assert (tokens[0].line, tokens[0].col) == (1, 1)
+        assert (tokens[1].line, tokens[1].col) == (2, 3)
+
+    def test_error_carries_position(self):
+        with pytest.raises(LangError) as err:
+            tokenize("a\n  $")
+        assert err.value.line == 2
+        assert err.value.col == 3
+
+
+def test_unknown_character_rejected():
+    with pytest.raises(LangError, match="unexpected character"):
+        tokenize("a @ b")

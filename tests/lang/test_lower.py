@@ -1,0 +1,96 @@
+"""Lowering to CDFG: operator mapping and end-to-end behaviour."""
+
+import pytest
+
+from repro.ir.ops import Op
+from repro.lang.lower import compile_circuit
+from repro.sim.reference import evaluate
+
+
+def run(source, **inputs):
+    return evaluate(compile_circuit(source), inputs)
+
+
+class TestOperators:
+    @pytest.mark.parametrize("expr,a,b,expected", [
+        ("a + b", 3, 4, 7),
+        ("a - b", 3, 4, -1),
+        ("a * b", 3, 4, 12),
+        ("a > b", 3, 4, 0),
+        ("a < b", 3, 4, 1),
+        ("a >= b", 4, 4, 1),
+        ("a <= b", 5, 4, 0),
+        ("a == b", 4, 4, 1),
+        ("a != b", 4, 4, 0),
+        ("a & b", 12, 10, 8),
+        ("a | b", 12, 10, 14),
+        ("a ^ b", 12, 10, 6),
+    ])
+    def test_binary(self, expr, a, b, expected):
+        out = run(f"circuit t {{ input a, b; output r = {expr}; }}",
+                  a=a, b=b)
+        assert out["r"] == expected
+
+    def test_shift_lowers_to_wiring(self):
+        g = compile_circuit("circuit t { input a; output r = a >> 2; }")
+        shrs = [n for n in g if n.op is Op.SHR]
+        assert len(shrs) == 1
+        assert not shrs[0].is_schedulable
+        assert evaluate(g, {"a": -8})["r"] == -2
+
+    def test_unary_minus_is_a_subtractor(self):
+        g = compile_circuit("circuit t { input a; output r = -a; }")
+        assert len([n for n in g if n.op is Op.SUB]) == 1
+        assert evaluate(g, {"a": 5})["r"] == -5
+
+    def test_negative_literal_is_const(self):
+        g = compile_circuit("circuit t { input a; output r = a + -3; }")
+        assert any(n.op is Op.CONST and n.value == -3 for n in g)
+        assert len([n for n in g if n.op is Op.SUB]) == 0
+
+    def test_bitwise_not(self):
+        assert run("circuit t { input a; output r = ~a; }", a=0)["r"] == -1
+
+
+class TestTernaryLowering:
+    def test_mux_convention(self):
+        """``c ? t : e`` must route t when c is 1 (select-1 side)."""
+        g = compile_circuit(
+            "circuit t { input c, x, y; output r = c ? x : y; }")
+        mux = g.muxes()[0]
+        # select-1 operand must be x (the then branch)
+        then_node = g.node(mux.data_operand(1))
+        assert then_node.name == "x"
+        assert evaluate(g, {"c": 1, "x": 10, "y": 20})["r"] == 10
+        assert evaluate(g, {"c": 0, "x": 10, "y": 20})["r"] == 20
+
+    def test_nested_ternary(self):
+        out = run("""
+            circuit clamp {
+                input x;
+                output r = x > 10 ? 10 : (x < -10 ? -10 : x);
+            }
+        """, x=42)
+        assert out["r"] == 10
+
+    def test_abs_diff_program(self):
+        src = "circuit t { input a, b; output r = a > b ? a - b : b - a; }"
+        assert run(src, a=9, b=3)["r"] == 6
+        assert run(src, a=3, b=9)["r"] == 6
+
+
+class TestStructure:
+    def test_value_names_propagate(self):
+        g = compile_circuit(
+            "circuit t { input a; total = a + 1; output o = total; }")
+        assert any(n.name == "total" for n in g)
+
+    def test_shared_subexpressions_not_merged(self):
+        # The language is explicit dataflow: writing a+b twice makes two adders.
+        g = compile_circuit(
+            "circuit t { input a, b; output x = a + b; output y = a + b; }")
+        assert len([n for n in g if n.op is Op.ADD]) == 2
+
+    def test_eight_bit_wraparound(self):
+        assert run("circuit t { input a; output r = a + 100; }",
+                   a=100)["r"] == -56

@@ -1,0 +1,140 @@
+"""Parser: grammar coverage, precedence, diagnostics."""
+
+import pytest
+
+from repro.lang.ast_nodes import (
+    BinOp,
+    Definition,
+    Ident,
+    InputDecl,
+    IntLit,
+    Ternary,
+    UnaryOp,
+)
+from repro.lang.errors import LangError
+from repro.lang.parser import parse
+
+
+def parse_expr(expr_src):
+    program = parse(f"circuit t {{ input a, b, c; output r = {expr_src}; }}")
+    return program.statements[-1].expr
+
+
+class TestStructure:
+    def test_program_name_and_statements(self):
+        p = parse("circuit adder { input a, b; output s = a + b; }")
+        assert p.name == "adder"
+        assert isinstance(p.statements[0], InputDecl)
+        assert p.statements[0].names == ("a", "b")
+        definition = p.statements[1]
+        assert isinstance(definition, Definition)
+        assert definition.is_output
+
+    def test_inputs_and_outputs_properties(self):
+        p = parse("""
+            circuit t {
+                input a;
+                input b, c;
+                t1 = a + b;
+                output x = t1;
+                output y = c;
+            }
+        """)
+        assert p.inputs == ["a", "b", "c"]
+        assert p.outputs == ["x", "y"]
+
+    def test_non_output_definition(self):
+        p = parse("circuit t { input a; v = a + 1; output o = v; }")
+        assert not p.statements[1].is_output
+
+
+class TestPrecedence:
+    def test_mul_binds_tighter_than_add(self):
+        e = parse_expr("a + b * c")
+        assert isinstance(e, BinOp) and e.op == "+"
+        assert isinstance(e.rhs, BinOp) and e.rhs.op == "*"
+
+    def test_comparison_binds_looser_than_add(self):
+        e = parse_expr("a + b > c")
+        assert e.op == ">"
+        assert isinstance(e.lhs, BinOp) and e.lhs.op == "+"
+
+    def test_equality_looser_than_relational(self):
+        e = parse_expr("a > b == c > a")
+        assert e.op == "=="
+
+    def test_bitwise_hierarchy(self):
+        e = parse_expr("a | b ^ c & a")
+        assert e.op == "|"
+        assert e.rhs.op == "^"
+        assert e.rhs.rhs.op == "&"
+
+    def test_parentheses_override(self):
+        e = parse_expr("(a + b) * c")
+        assert e.op == "*"
+        assert e.lhs.op == "+"
+
+    def test_left_associativity(self):
+        e = parse_expr("a - b - c")
+        assert e.op == "-"
+        assert isinstance(e.lhs, BinOp) and e.lhs.op == "-"
+        assert isinstance(e.rhs, Ident)
+
+    def test_shift(self):
+        e = parse_expr("a >> 2")
+        assert e.op == ">>"
+        assert isinstance(e.rhs, IntLit)
+
+
+class TestTernary:
+    def test_basic_ternary(self):
+        e = parse_expr("a > b ? a : b")
+        assert isinstance(e, Ternary)
+        assert isinstance(e.cond, BinOp)
+
+    def test_nested_ternary_right_associates(self):
+        e = parse_expr("a > b ? a : b > c ? b : c")
+        assert isinstance(e, Ternary)
+        assert isinstance(e.if_false, Ternary)
+
+    def test_ternary_in_true_branch(self):
+        e = parse_expr("a > b ? (b > c ? b : c) : a")
+        assert isinstance(e.if_true, Ternary)
+
+
+class TestUnary:
+    def test_negative_literal_folds(self):
+        e = parse_expr("-5")
+        assert isinstance(e, IntLit) and e.value == -5
+
+    def test_unary_minus_on_ident(self):
+        e = parse_expr("-a")
+        assert isinstance(e, UnaryOp) and e.op == "-"
+
+    def test_double_negation(self):
+        e = parse_expr("--a")
+        assert isinstance(e, UnaryOp)
+        assert isinstance(e.operand, UnaryOp)
+
+    def test_bitwise_not(self):
+        e = parse_expr("~a")
+        assert isinstance(e, UnaryOp) and e.op == "~"
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source,fragment", [
+        ("circuit { }", "expected"),
+        ("circuit t { input ; }", "expected"),
+        ("circuit t { output = 1; }", "expected"),
+        ("circuit t { input a; output r = a +; }", "expression"),
+        ("circuit t { input a; output r = a ? a; }", "':'"),
+        ("circuit t { input a; output r = (a; }", "expected"),
+        ("circuit t { input a; output r = a }", "';'"),
+    ])
+    def test_syntax_errors(self, source, fragment):
+        with pytest.raises(LangError, match=fragment):
+            parse(source)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(LangError):
+            parse("circuit t { input a; output r = a; } extra")

@@ -1,0 +1,84 @@
+"""Pretty-printer round trips."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.stats import circuit_stats
+from repro.circuits import build
+from repro.circuits.sources import SOURCES
+from repro.lang.lower import compile_circuit, lower
+from repro.lang.parser import parse
+from repro.lang.printer import graph_to_source, print_expr, print_program
+from repro.sim.reference import evaluate
+from repro.sim.vectors import random_vectors
+from tests.strategies import circuits
+
+
+class TestProgramRoundTrip:
+    @pytest.mark.parametrize("name", sorted(SOURCES))
+    def test_parse_print_parse_fixpoint(self, name):
+        program = parse(SOURCES[name])
+        printed = print_program(program)
+        assert parse(printed) == program
+
+    def test_precedence_preserved(self):
+        src = ("circuit t { input a, b, c; "
+               "output r = (a + b) * c - a * (b - c); }")
+        program = parse(src)
+        reparsed = parse(print_program(program))
+        g1, g2 = lower(program), lower(reparsed)
+        for vec in random_vectors(g1, 20, seed=1):
+            assert evaluate(g1, vec) == evaluate(g2, vec)
+
+    def test_nested_ternary_round_trip(self):
+        src = ("circuit t { input a, b; "
+               "output r = a > b ? (a > 0 ? a : b) : a - b; }")
+        program = parse(src)
+        assert parse(print_program(program)) == program
+
+    def test_unary_round_trip(self):
+        src = "circuit t { input a; output r = -a * ~a; }"
+        program = parse(src)
+        assert parse(print_program(program)) == program
+
+
+class TestExprPrinter:
+    @pytest.mark.parametrize("src,expected", [
+        ("a + b * c", "a + b * c"),
+        ("(a + b) * c", "(a + b) * c"),
+        ("a - (b - c)", "a - (b - c)"),
+        ("a - b - c", "a - b - c"),
+        ("a >> 2", "a >> 2"),
+    ])
+    def test_minimal_parentheses(self, src, expected):
+        program = parse(f"circuit t {{ input a, b, c; output r = {src}; }}")
+        assert print_expr(program.statements[-1].expr) == expected
+
+
+class TestGraphDecompilation:
+    @pytest.mark.parametrize("name", ["dealer", "gcd", "vender"])
+    def test_decompiled_benchmarks_equivalent(self, name):
+        graph = build(name)
+        source = graph_to_source(graph)
+        recompiled = compile_circuit(source)
+        assert circuit_stats(recompiled).as_row()[1:] == \
+            circuit_stats(graph).as_row()[1:]
+        for vec in random_vectors(graph, 25, seed=5):
+            assert list(evaluate(recompiled, vec).values()) == \
+                list(evaluate(graph, vec).values())
+
+    def test_decompiled_cordic_equivalent(self):
+        from repro.circuits import cordic
+        graph = cordic(n_iterations=4)
+        recompiled = compile_circuit(graph_to_source(graph))
+        for vec in random_vectors(graph, 10, seed=6):
+            assert list(evaluate(recompiled, vec).values()) == \
+                list(evaluate(graph, vec).values())
+
+    @settings(max_examples=50, deadline=None)
+    @given(circuits(max_ops=12))
+    def test_random_circuits_decompile_equivalently(self, graph):
+        recompiled = compile_circuit(graph_to_source(graph))
+        vec = {n.name: 13 for n in graph.inputs()}
+        assert list(evaluate(recompiled, vec).values()) == \
+            list(evaluate(graph, vec).values())

@@ -1,0 +1,74 @@
+"""Semantic analysis: single assignment, def-before-use, shift constants."""
+
+import pytest
+
+from repro.lang.errors import LangError
+from repro.lang.parser import parse
+from repro.lang.semantic import analyze
+
+
+def analyze_src(source):
+    return analyze(parse(source))
+
+
+class TestAccepts:
+    def test_valid_program(self):
+        info = analyze_src("""
+            circuit t { input a, b; s = a + b; output o = s; }
+        """)
+        assert info.inputs == ["a", "b"]
+        assert info.definitions == ["s", "o"]
+        assert info.outputs == ["o"]
+        assert info.warnings == []
+
+    def test_constant_shift_ok(self):
+        analyze_src("circuit t { input a; output o = a >> 3; }")
+
+
+class TestRejects:
+    def test_double_definition(self):
+        with pytest.raises(LangError, match="defined twice"):
+            analyze_src("circuit t { input a; x = a; x = a; output o = x; }")
+
+    def test_input_redefined(self):
+        with pytest.raises(LangError, match="defined twice"):
+            analyze_src("circuit t { input a; a = 1; output o = a; }")
+
+    def test_duplicate_input(self):
+        with pytest.raises(LangError, match="defined twice"):
+            analyze_src("circuit t { input a, a; output o = a; }")
+
+    def test_use_before_definition(self):
+        with pytest.raises(LangError, match="used before definition"):
+            analyze_src("circuit t { input a; x = y + a; y = a; output o = x; }")
+
+    def test_undefined_name(self):
+        with pytest.raises(LangError, match="used before definition"):
+            analyze_src("circuit t { input a; output o = nothing; }")
+
+    def test_no_outputs(self):
+        with pytest.raises(LangError, match="no outputs"):
+            analyze_src("circuit t { input a; x = a + 1; }")
+
+    def test_variable_shift_amount(self):
+        with pytest.raises(LangError, match="shift amounts must be"):
+            analyze_src("circuit t { input a, k; output o = a >> k; }")
+
+    def test_use_in_ternary_checked(self):
+        with pytest.raises(LangError, match="used before definition"):
+            analyze_src("circuit t { input a; output o = a > 0 ? miss : a; }")
+
+
+class TestWarnings:
+    def test_unused_value_warned(self):
+        info = analyze_src(
+            "circuit t { input a; waste = a + 1; output o = a; }")
+        assert any("never used" in w for w in info.warnings)
+
+    def test_no_inputs_warned(self):
+        info = analyze_src("circuit t { output o = 1 + 2; }")
+        assert any("no inputs" in w for w in info.warnings)
+
+    def test_output_not_flagged_unused(self):
+        info = analyze_src("circuit t { input a; output o = a; }")
+        assert info.warnings == []

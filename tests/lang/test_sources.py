@@ -1,0 +1,38 @@
+"""The DSL versions of the paper benchmarks match the builder versions."""
+
+import pytest
+
+from repro.analysis.stats import circuit_stats
+from repro.circuits import abs_diff, build
+from repro.circuits.sources import SOURCES
+from repro.lang.lower import compile_circuit
+from repro.sim.reference import evaluate
+from repro.sim.vectors import random_vectors
+
+BUILDERS = {
+    "abs_diff": abs_diff,
+    "dealer": lambda: build("dealer"),
+    "gcd": lambda: build("gcd"),
+    "vender": lambda: build("vender"),
+}
+
+
+@pytest.mark.parametrize("name", sorted(SOURCES))
+def test_op_counts_match_builder(name):
+    dsl = circuit_stats(compile_circuit(SOURCES[name]))
+    ref = circuit_stats(BUILDERS[name]())
+    assert dsl.as_row()[1:] == ref.as_row()[1:]
+
+
+@pytest.mark.parametrize("name", sorted(SOURCES))
+def test_behaviour_matches_builder(name):
+    dsl_graph = compile_circuit(SOURCES[name])
+    ref_graph = BUILDERS[name]()
+    for vector in random_vectors(ref_graph, 40, seed=11):
+        dsl_out = list(evaluate(dsl_graph, vector).values())
+        ref_out = list(evaluate(ref_graph, vector).values())
+        assert dsl_out == ref_out, vector
+
+
+def test_every_builder_circuit_has_a_source():
+    assert set(SOURCES) == set(BUILDERS)

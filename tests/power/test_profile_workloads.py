@@ -1,0 +1,90 @@
+"""Profiled select probabilities and workload-shaped vectors."""
+
+import pytest
+
+from repro.circuits import gcd
+from repro.core.pm_pass import apply_power_management
+from repro.power.profile import profile_selects
+from repro.power.static import static_power
+from repro.sim.workloads import balanced_condition_vectors, gcd_trace_vectors
+
+
+@pytest.fixture(scope="module")
+def gcd_graph_m():
+    return gcd()
+
+
+class TestGcdTraces:
+    def test_traces_end_with_equal_pair(self, gcd_graph_m):
+        vectors = gcd_trace_vectors(gcd_graph_m, n_runs=10, seed=4)
+        equal = [v for v in vectors if v["a"] == v["b"]]
+        assert len(equal) >= 10  # one terminating pair per run
+
+    def test_traces_follow_gcd_recurrence(self, gcd_graph_m):
+        from repro.sim.reference import evaluate
+        vectors = gcd_trace_vectors(gcd_graph_m, n_runs=3, seed=8)
+        for prev, nxt in zip(vectors, vectors[1:]):
+            if prev["a"] == prev["b"]:
+                continue  # run boundary
+            out = evaluate(gcd_graph_m, prev)
+            if not out["done"]:
+                expected = {"a": out["gcd"], "b": out["next_b"]}
+                if nxt != expected:
+                    # must be a new run's start, preceded by a done pair
+                    assert out["done"] or prev["a"] != prev["b"]
+
+    def test_deterministic_by_seed(self, gcd_graph_m):
+        a = gcd_trace_vectors(gcd_graph_m, n_runs=5, seed=1)
+        b = gcd_trace_vectors(gcd_graph_m, n_runs=5, seed=1)
+        assert a == b
+
+
+class TestBalancedVectors:
+    def test_equal_fraction_honoured(self, gcd_graph_m):
+        vectors = balanced_condition_vectors(gcd_graph_m, count=400, seed=2,
+                                             equal_fraction=0.5)
+        equal = sum(1 for v in vectors if v["a"] == v["b"])
+        assert 140 <= equal <= 260  # ~50% with slack
+
+    def test_extremes(self, gcd_graph_m):
+        none = balanced_condition_vectors(gcd_graph_m, count=50,
+                                          equal_fraction=0.0)
+        assert all(len(set(v.values())) >= 1 for v in none)
+        all_eq = balanced_condition_vectors(gcd_graph_m, count=50,
+                                            equal_fraction=1.0)
+        assert all(v["a"] == v["b"] for v in all_eq)
+
+    def test_bad_fraction_rejected(self, gcd_graph_m):
+        with pytest.raises(ValueError):
+            balanced_condition_vectors(gcd_graph_m, equal_fraction=1.5)
+
+
+class TestProfiledSelects:
+    def test_balanced_workload_profiles_near_half(self, gcd_graph_m):
+        vectors = balanced_condition_vectors(gcd_graph_m, count=600, seed=3)
+        model = profile_selects(gcd_graph_m, vectors)
+        c_run = next(n for n in gcd_graph_m if n.name == "c_run")
+        assert model.prob_one(c_run.nid) == pytest.approx(0.5, abs=0.1)
+
+    def test_uniform_workload_rarely_done(self, gcd_graph_m):
+        from repro.sim.vectors import random_vectors
+        vectors = random_vectors(gcd_graph_m, 300, seed=6)
+        model = profile_selects(gcd_graph_m, vectors)
+        c_run = next(n for n in gcd_graph_m if n.name == "c_run")
+        assert model.prob_one(c_run.nid) > 0.95  # a != b almost surely
+
+    def test_profiled_static_power_tracks_workload(self, gcd_graph_m):
+        """With the profiled (biased) selects the static model predicts far
+        smaller savings than the uniform assumption — the Table II vs
+        Table III gap, explained."""
+        result = apply_power_management(gcd_graph_m, 7)
+        from repro.sim.vectors import random_vectors
+        uniform_pred = static_power(result).reduction_pct
+        profiled = profile_selects(
+            gcd_graph_m, random_vectors(gcd_graph_m, 200, seed=9))
+        biased_pred = static_power(result, selects=profiled).reduction_pct
+        assert biased_pred < uniform_pred / 2
+
+    def test_empty_workload_rejected(self, gcd_graph_m):
+        with pytest.raises(ValueError, match="at least one vector"):
+            profile_selects(gcd_graph_m, [])

@@ -1,0 +1,130 @@
+"""Static expected-activation power model (Table II machinery)."""
+
+import pytest
+
+from repro.core.pm_pass import apply_power_management
+from repro.ir.ops import ResourceClass
+from repro.power.static import (
+    SelectModel,
+    all_execution_probabilities,
+    execution_probability,
+    expected_op_counts,
+    static_power,
+)
+from repro.power.weights import PAPER_WEIGHTS, PowerWeights
+
+
+class TestExecutionProbability:
+    def test_ungated_op_runs_always(self, abs_diff_graph):
+        result = apply_power_management(abs_diff_graph, 3)
+        comp = next(n for n in result.graph if n.name == "c")
+        assert execution_probability(result, comp.nid) == 1.0
+
+    def test_single_guard_is_half(self, abs_diff_graph):
+        result = apply_power_management(abs_diff_graph, 3)
+        sub = next(n for n in result.graph if n.name == "a_minus_b")
+        assert execution_probability(result, sub.nid) == 0.5
+
+    def test_same_driver_guards_count_once(self, gcd_graph):
+        """gcd's diff sits in two cones selected by the same signal: the
+        probability is 1/2, not 1/4 (the conditions are identical)."""
+        result = apply_power_management(gcd_graph, 7)
+        diff = next(n for n in result.graph if n.name == "diff")
+        assert len(result.gating[diff.nid]) >= 2
+        assert execution_probability(result, diff.nid) == 0.5
+
+    def test_nested_distinct_guards_multiply(self, dealer_graph):
+        result = apply_power_management(dealer_graph, 6)
+        margin = next(n for n in result.graph if n.name == "margin")
+        assert execution_probability(result, margin.nid) == 0.25
+
+    def test_custom_select_probability(self, abs_diff_graph):
+        result = apply_power_management(abs_diff_graph, 3)
+        g = result.graph
+        comp = next(n for n in g if n.name == "c")
+        selects = SelectModel(default=0.5, per_driver={comp.nid: 0.9})
+        gt_side = next(n for n in g if n.name == "a_minus_b")
+        le_side = next(n for n in g if n.name == "b_minus_a")
+        assert execution_probability(result, gt_side.nid, selects) == \
+            pytest.approx(0.9)
+        assert execution_probability(result, le_side.nid, selects) == \
+            pytest.approx(0.1)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            SelectModel(default=1.5)
+        with pytest.raises(ValueError):
+            SelectModel(per_driver={0: -0.1})
+
+
+class TestExpectedCounts:
+    def test_gcd_matches_paper_table2(self, gcd_graph):
+        """Our gcd reproduces the paper's Table II row exactly at 5 and 6
+        steps: MUX 5.50, COMP 2.00, '-' 0.50."""
+        for steps in (5, 6):
+            result = apply_power_management(gcd_graph, steps)
+            counts = expected_op_counts(result)
+            assert counts[ResourceClass.MUX] == pytest.approx(5.5)
+            assert counts[ResourceClass.COMP] == pytest.approx(2.0)
+            assert counts[ResourceClass.SUB] == pytest.approx(0.5)
+
+    def test_counts_without_pm_equal_totals(self, vender_graph):
+        from repro.core.pm_pass import PMOptions
+        result = apply_power_management(vender_graph, 6,
+                                        PMOptions(enabled=False))
+        counts = expected_op_counts(result)
+        assert counts[ResourceClass.MUX] == 6.0
+        assert counts[ResourceClass.MUL] == 2.0
+
+    def test_vender_multipliers_average_one(self, vender_graph):
+        result = apply_power_management(vender_graph, 6)
+        counts = expected_op_counts(result)
+        assert counts[ResourceClass.MUL] == pytest.approx(1.0)
+
+
+class TestStaticPower:
+    def test_gcd_reduction_matches_paper(self, gcd_graph):
+        """Paper Table II: gcd at 5 and 6 steps saves 11.76%."""
+        for steps in (5, 6):
+            report = static_power(apply_power_management(gcd_graph, steps))
+            assert report.reduction_pct == pytest.approx(11.76, abs=0.01)
+
+    def test_abs_diff_reduction(self, abs_diff_graph):
+        # Gates both subs (2 x 3 x 0.5 = 3) of total 1+4+6 = 11.
+        report = static_power(apply_power_management(abs_diff_graph, 3))
+        assert report.reduction_pct == pytest.approx(100 * 3 / 11)
+
+    def test_no_pm_no_reduction(self, abs_diff_graph):
+        report = static_power(apply_power_management(abs_diff_graph, 2))
+        assert report.reduction_pct == 0.0
+
+    def test_reduction_uses_weights(self, vender_graph):
+        result = apply_power_management(vender_graph, 6)
+        flat = PowerWeights({cls: 1.0 for cls in PAPER_WEIGHTS})
+        weighted = static_power(result)
+        unweighted = static_power(result, weights=flat)
+        assert weighted.reduction_pct != unweighted.reduction_pct
+
+    def test_probabilities_cover_all_ops(self, dealer_graph):
+        result = apply_power_management(dealer_graph, 6)
+        probs = all_execution_probabilities(result)
+        assert set(probs) == {n.nid for n in result.graph.operations()}
+        assert all(0.0 <= p <= 1.0 for p in probs.values())
+
+
+class TestWeights:
+    def test_paper_values(self):
+        assert PAPER_WEIGHTS[ResourceClass.MUX] == 1
+        assert PAPER_WEIGHTS[ResourceClass.COMP] == 4
+        assert PAPER_WEIGHTS[ResourceClass.ADD] == 3
+        assert PAPER_WEIGHTS[ResourceClass.SUB] == 3
+        assert PAPER_WEIGHTS[ResourceClass.MUL] == 20
+
+    def test_total_counts_every_op_once(self, gcd_graph):
+        # 6 MUX + 2 COMP*4 + 1 SUB*3 = 17
+        assert PowerWeights().total(gcd_graph) == 17.0
+
+    def test_missing_class_raises(self):
+        weights = PowerWeights({ResourceClass.ADD: 1.0})
+        with pytest.raises(KeyError, match="no power weight"):
+            weights.of(ResourceClass.MUL)

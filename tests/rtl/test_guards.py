@@ -1,0 +1,85 @@
+"""Guard construction: direct, transitive, folded, contradictory."""
+
+import pytest
+
+from repro.core.pm_pass import apply_power_management
+from repro.rtl.guards import Guard, GuardTerm, all_guards, guard_of
+
+
+class TestBasicGuards:
+    def test_ungated_op_is_unconditional(self, abs_diff_graph):
+        result = apply_power_management(abs_diff_graph, 3)
+        g = result.graph
+        comp = next(n for n in g if n.name == "c")
+        guard = guard_of(result, comp.nid)
+        assert guard.is_unconditional
+        assert guard.literal_count == 0
+
+    def test_gated_subs_have_one_term_each(self, abs_diff_graph):
+        result = apply_power_management(abs_diff_graph, 3)
+        g = result.graph
+        comp = next(n for n in g if n.name == "c")
+        for name, value in (("b_minus_a", 0), ("a_minus_b", 1)):
+            node = next(n for n in g if n.name == name)
+            guard = guard_of(result, node.nid)
+            assert guard.terms == (GuardTerm(comp.nid, value),)
+
+    def test_evaluate(self):
+        guard = Guard(terms=(GuardTerm(1, 1), GuardTerm(2, 0)))
+        assert guard.evaluate({1: 1, 2: 0})
+        assert guard.evaluate({1: 5, 2: 0})   # nonzero counts as 1
+        assert not guard.evaluate({1: 0, 2: 0})
+        assert not guard.evaluate({1: 1, 2: 1})
+
+    def test_never_guard(self):
+        guard = Guard(never=True)
+        assert not guard.evaluate({})
+        assert guard.literal_count == 0
+        assert not guard.is_unconditional
+
+    def test_describe(self, abs_diff_graph):
+        result = apply_power_management(abs_diff_graph, 3)
+        g = result.graph
+        sub = next(n for n in g if n.name == "a_minus_b")
+        assert "c:>=1" in guard_of(result, sub.nid).describe(g)
+        assert Guard().describe(g) == "always"
+        assert Guard(never=True).describe(g) == "never"
+
+
+class TestSharedDriver:
+    def test_same_driver_terms_merge(self, gcd_graph):
+        """gcd's diff is gated by two muxes with the same select signal;
+        the guard must contain one term, not two."""
+        result = apply_power_management(gcd_graph, 7)
+        g = result.graph
+        diff = next(n for n in g if n.name == "diff")
+        assert len(result.gating[diff.nid]) >= 2
+        guard = guard_of(result, diff.nid)
+        assert len(guard.terms) == 1
+
+
+class TestTransitivity:
+    def test_driver_guard_conjoined(self, dealer_graph):
+        """dealer's margin op is guarded by c_win, whose own mux chain is
+        gated by c_bust: the margin guard must include both conditions."""
+        result = apply_power_management(dealer_graph, 6)
+        g = result.graph
+        margin = next(n for n in g if n.name == "margin")
+        guard = guard_of(result, margin.nid)
+        drivers = {g.node(t.driver).name for t in guard.terms}
+        assert "c_win" in drivers
+        assert "c_bust" in drivers
+
+    def test_all_guards_covers_every_op(self, vender_graph):
+        result = apply_power_management(vender_graph, 6)
+        guards = all_guards(result)
+        assert set(guards) == {n.nid for n in result.graph.operations()}
+
+    def test_guarded_iff_gated(self, vender_graph):
+        result = apply_power_management(vender_graph, 6)
+        guards = all_guards(result)
+        for nid, guard in guards.items():
+            if nid in result.gating:
+                assert not guard.is_unconditional
+            else:
+                assert guard.is_unconditional

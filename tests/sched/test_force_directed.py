@@ -1,0 +1,50 @@
+"""Force-directed scheduling (Paulin-Knight)."""
+
+import pytest
+
+from repro.ir.ops import ResourceClass
+from repro.sched.force_directed import force_directed_schedule
+from repro.sched.minimize import minimize_resources
+from repro.sched.timing import InfeasibleScheduleError, critical_path_length
+
+
+class TestValidity:
+    def test_schedule_verifies(self, small_circuit):
+        cp = critical_path_length(small_circuit)
+        for steps in (cp, cp + 1, cp + 2):
+            schedule = force_directed_schedule(small_circuit, steps)
+            schedule.verify()
+
+    def test_infeasible_raises(self, abs_diff_graph):
+        with pytest.raises(InfeasibleScheduleError):
+            force_directed_schedule(abs_diff_graph, 1)
+
+    def test_deterministic(self, vender_graph):
+        a = force_directed_schedule(vender_graph, 6)
+        b = force_directed_schedule(vender_graph, 6)
+        assert a.start == b.start
+
+
+class TestBalancing:
+    def test_spreads_subs_with_slack(self, abs_diff_graph):
+        """With 3 steps FDS should not pile both subtractions into one step."""
+        schedule = force_directed_schedule(abs_diff_graph, 3)
+        usage = schedule.resource_usage()
+        assert usage.get(ResourceClass.SUB) == 1
+
+    def test_comparable_to_list_scheduler(self, small_circuit):
+        """FDS peak usage should be close to the min-resource search
+        (within 1 unit per class on these small graphs)."""
+        cp = critical_path_length(small_circuit)
+        fds = force_directed_schedule(small_circuit, cp + 2).resource_usage()
+        best = minimize_resources(small_circuit, cp + 2).allocation
+        for cls in fds.counts:
+            assert fds.get(cls) <= best.get(cls) + 1
+
+    def test_respects_control_edges(self, abs_diff_graph):
+        g = abs_diff_graph.copy()
+        comp = next(n for n in g if n.name == "c")
+        sub = next(n for n in g if n.name == "a_minus_b")
+        g.add_control_edge(comp.nid, sub.nid)
+        schedule = force_directed_schedule(g, 3)
+        assert schedule.step_of(sub.nid) >= schedule.finish_of(comp.nid)

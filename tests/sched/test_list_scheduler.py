@@ -1,0 +1,110 @@
+"""Resource-constrained list scheduling."""
+
+import pytest
+
+from repro.ir.ops import ResourceClass
+from repro.sched.list_scheduler import ListSchedulingFailure, list_schedule
+from repro.sched.resources import Allocation, unbounded_allocation
+from repro.sched.timing import InfeasibleScheduleError, critical_path_length
+
+
+def alloc(**kwargs):
+    mapping = {"mux": ResourceClass.MUX, "comp": ResourceClass.COMP,
+               "add": ResourceClass.ADD, "sub": ResourceClass.SUB,
+               "mul": ResourceClass.MUL}
+    return Allocation({mapping[k]: v for k, v in kwargs.items()})
+
+
+class TestBasics:
+    def test_unbounded_achieves_critical_path(self, small_circuit):
+        cp = critical_path_length(small_circuit)
+        schedule = list_schedule(small_circuit, cp,
+                                 unbounded_allocation(small_circuit))
+        schedule.verify(unbounded_allocation(small_circuit))
+        assert schedule.n_steps == cp
+
+    def test_every_node_scheduled(self, dealer_graph):
+        schedule = list_schedule(dealer_graph, 4,
+                                 unbounded_allocation(dealer_graph))
+        for node in dealer_graph:
+            assert node.nid in schedule.start
+
+    def test_zero_latency_nodes_at_availability(self, abs_diff_graph):
+        schedule = list_schedule(abs_diff_graph, 2,
+                                 unbounded_allocation(abs_diff_graph))
+        for node in abs_diff_graph.inputs():
+            assert schedule.step_of(node.nid) == 0
+        out = abs_diff_graph.outputs()[0]
+        assert schedule.step_of(out.nid) == 2  # after the mux finishes
+
+
+class TestResourceLimits:
+    def test_abs_diff_two_steps_needs_two_subs(self, abs_diff_graph):
+        with pytest.raises(ListSchedulingFailure) as err:
+            list_schedule(abs_diff_graph, 2, alloc(sub=1, comp=1, mux=1))
+        assert err.value.bottleneck is ResourceClass.SUB
+
+    def test_abs_diff_three_steps_single_sub(self, abs_diff_graph):
+        schedule = list_schedule(abs_diff_graph, 3,
+                                 alloc(sub=1, comp=1, mux=1))
+        usage = schedule.resource_usage()
+        assert usage.get(ResourceClass.SUB) == 1
+
+    def test_paper_fig1_two_step_schedule_is_unique(self, abs_diff_graph):
+        """Fig. 1: with 2 steps, comp and both subs all land in step 1."""
+        schedule = list_schedule(abs_diff_graph, 2,
+                                 alloc(sub=2, comp=1, mux=1))
+        g = abs_diff_graph
+        steps = {g.node(n).name: schedule.step_of(n)
+                 for n in schedule.start if g.node(n).is_schedulable}
+        assert steps == {"c": 0, "b_minus_a": 0, "a_minus_b": 0, "abs": 1}
+
+    def test_infeasible_steps_raise_timing_error(self, abs_diff_graph):
+        with pytest.raises(InfeasibleScheduleError):
+            list_schedule(abs_diff_graph, 1,
+                          unbounded_allocation(abs_diff_graph))
+
+
+class TestControlEdges:
+    def test_schedule_honours_control_edges(self, abs_diff_graph):
+        g = abs_diff_graph.copy()
+        comp = next(n for n in g if n.name == "c")
+        for name in ("a_minus_b", "b_minus_a"):
+            sub = next(n for n in g if n.name == name)
+            g.add_control_edge(comp.nid, sub.nid)
+        schedule = list_schedule(g, 3, unbounded_allocation(g))
+        for name in ("a_minus_b", "b_minus_a"):
+            sub = next(n for n in g if n.name == name)
+            assert schedule.step_of(sub.nid) >= \
+                schedule.finish_of(comp.nid)
+
+
+class TestPipelining:
+    def test_modulo_resource_accounting(self, chain_graph):
+        # add at step 0, sub at step 1; with II=1 both classes collide
+        # across overlapped samples only within their own class.
+        schedule = list_schedule(chain_graph, 2,
+                                 alloc(add=1, sub=1),
+                                 initiation_interval=1)
+        usage = schedule.resource_usage()
+        assert usage.get(ResourceClass.ADD) == 1
+        assert usage.get(ResourceClass.SUB) == 1
+
+    def test_pipelined_conflict_detected(self, abs_diff_graph):
+        # II=1 means each unit is reused every cycle: two subs on one unit
+        # in different steps still collide modulo 1.
+        with pytest.raises(ListSchedulingFailure):
+            list_schedule(abs_diff_graph, 3, alloc(sub=1, comp=1, mux=1),
+                          initiation_interval=1)
+
+    def test_bad_ii_rejected(self, chain_graph):
+        with pytest.raises(ValueError, match="initiation interval"):
+            list_schedule(chain_graph, 2, alloc(add=1, sub=1),
+                          initiation_interval=0)
+
+
+class TestDeterminism:
+    def test_same_input_same_schedule(self, vender_graph):
+        a = list_schedule(vender_graph, 6, unbounded_allocation(vender_graph))
+        b = list_schedule(vender_graph, 6, unbounded_allocation(vender_graph))
+        assert a.start == b.start

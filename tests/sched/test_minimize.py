@@ -1,0 +1,78 @@
+"""Minimum-resource search under a latency constraint."""
+
+import itertools
+
+import pytest
+
+from repro.ir.ops import ResourceClass
+from repro.sched.list_scheduler import ListSchedulingFailure, list_schedule
+from repro.sched.minimize import minimize_resources
+from repro.sched.resources import Allocation, unbounded_allocation
+from repro.sched.timing import InfeasibleScheduleError, critical_path_length
+
+
+class TestKnownCases:
+    def test_abs_diff_two_steps_needs_two_subs(self, abs_diff_graph):
+        """Paper §II-B: with 2 control steps we need two subtractors."""
+        result = minimize_resources(abs_diff_graph, 2)
+        assert result.allocation.get(ResourceClass.SUB) == 2
+
+    def test_abs_diff_three_steps_one_sub(self, abs_diff_graph):
+        """Paper §II-B / Fig. 2(a): with 3 steps one subtractor suffices."""
+        result = minimize_resources(abs_diff_graph, 3)
+        assert result.allocation.get(ResourceClass.SUB) == 1
+
+    def test_schedule_is_valid(self, small_circuit):
+        cp = critical_path_length(small_circuit)
+        result = minimize_resources(small_circuit, cp + 1)
+        result.schedule.verify(result.allocation)
+
+    def test_infeasible_budget_raises(self, dealer_graph):
+        with pytest.raises(InfeasibleScheduleError):
+            minimize_resources(dealer_graph, 2)
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("steps", [2, 3, 4])
+    def test_matches_exhaustive_on_abs_diff(self, abs_diff_graph, steps):
+        found = minimize_resources(abs_diff_graph, steps).allocation
+        best = _exhaustive_min(abs_diff_graph, steps)
+        assert found.cost() == best.cost()
+
+    @pytest.mark.parametrize("steps", [4, 5, 6])
+    def test_matches_exhaustive_on_dealer(self, dealer_graph, steps):
+        found = minimize_resources(dealer_graph, steps).allocation
+        best = _exhaustive_min(dealer_graph, steps)
+        assert found.cost() == best.cost()
+
+    def test_never_exceeds_one_unit_per_op(self, small_circuit):
+        cp = critical_path_length(small_circuit)
+        ceiling = unbounded_allocation(small_circuit)
+        for steps in (cp, cp + 2):
+            allocation = minimize_resources(small_circuit, steps).allocation
+            assert ceiling.dominates(allocation)
+
+    def test_more_steps_never_cost_more(self, small_circuit):
+        cp = critical_path_length(small_circuit)
+        costs = [minimize_resources(small_circuit, cp + k).allocation.cost()
+                 for k in range(3)]
+        assert costs == sorted(costs, reverse=True)
+
+
+def _exhaustive_min(graph, n_steps) -> Allocation:
+    """Brute-force the cheapest allocation that schedules (small graphs)."""
+    ceiling = unbounded_allocation(graph)
+    classes = sorted(ceiling.counts, key=lambda c: c.value)
+    ranges = [range(1, ceiling.get(c) + 1) for c in classes]
+    best: Allocation | None = None
+    for combo in itertools.product(*ranges):
+        allocation = Allocation(dict(zip(classes, combo)))
+        if best is not None and allocation.cost() >= best.cost():
+            continue
+        try:
+            list_schedule(graph, n_steps, allocation)
+        except (ListSchedulingFailure, InfeasibleScheduleError):
+            continue
+        best = allocation
+    assert best is not None
+    return best

@@ -1,0 +1,46 @@
+"""Functional pipelining (paper §IV-B)."""
+
+import pytest
+
+from repro.sched.pipeline import PipelineSpec, pipelined_minimize, slack_gained
+from repro.sched.timing import critical_path_length
+
+
+class TestPipelineSpec:
+    def test_ii_is_ceiling_division(self):
+        assert PipelineSpec(n_steps=6, n_stages=2).initiation_interval == 3
+        assert PipelineSpec(n_steps=7, n_stages=2).initiation_interval == 4
+        assert PipelineSpec(n_steps=6, n_stages=1).initiation_interval == 6
+
+    def test_effective_steps_matches_paper_wording(self):
+        """Paper: two-stage pipeline halves effective steps per sample."""
+        spec = PipelineSpec(n_steps=8, n_stages=2)
+        assert spec.effective_steps_per_sample == 4
+
+    def test_invalid_specs(self):
+        with pytest.raises(ValueError):
+            PipelineSpec(n_steps=4, n_stages=0)
+        with pytest.raises(ValueError):
+            PipelineSpec(n_steps=1, n_stages=2)
+
+
+class TestPipelinedSynthesis:
+    def test_pipelined_schedule_verifies(self, dealer_graph):
+        spec = PipelineSpec(n_steps=6, n_stages=2)
+        result = pipelined_minimize(dealer_graph, spec)
+        result.schedule.verify(result.allocation)
+        assert result.schedule.initiation_interval == 3
+
+    def test_pipelining_may_need_more_units(self, vender_graph):
+        """Paper: pipelining 'may lead to some increase in the number of
+        registers and execution units'."""
+        flat = pipelined_minimize(vender_graph,
+                                  PipelineSpec(n_steps=6, n_stages=1))
+        piped = pipelined_minimize(vender_graph,
+                                   PipelineSpec(n_steps=6, n_stages=2))
+        assert piped.allocation.cost() >= flat.allocation.cost()
+
+    def test_slack_gained(self, dealer_graph):
+        cp = critical_path_length(dealer_graph)
+        spec = PipelineSpec(n_steps=cp + 4, n_stages=2)
+        assert slack_gained(dealer_graph, spec) == 4

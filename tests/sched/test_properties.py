@@ -1,0 +1,64 @@
+"""Property-based tests for scheduling."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sched.force_directed import force_directed_schedule
+from repro.sched.minimize import minimize_resources
+from repro.sched.resources import unbounded_allocation
+from repro.sched.list_scheduler import list_schedule
+from repro.sched.timing import asap_times, critical_path_length
+from tests.strategies import circuits
+
+
+@given(circuits(), st.integers(min_value=0, max_value=3))
+@settings(max_examples=60, deadline=None)
+def test_list_schedule_with_unbounded_resources_verifies(graph, slack):
+    cp = critical_path_length(graph)
+    allocation = unbounded_allocation(graph)
+    schedule = list_schedule(graph, cp + slack, allocation)
+    schedule.verify(allocation)
+
+
+@given(circuits(), st.integers(min_value=0, max_value=3))
+@settings(max_examples=40, deadline=None)
+def test_minimize_resources_always_schedules(graph, slack):
+    cp = critical_path_length(graph)
+    result = minimize_resources(graph, cp + slack)
+    result.schedule.verify(result.allocation)
+    assert unbounded_allocation(graph).dominates(result.allocation)
+
+
+@given(circuits())
+@settings(max_examples=30, deadline=None)
+def test_force_directed_verifies_at_cp_plus_two(graph):
+    cp = critical_path_length(graph)
+    schedule = force_directed_schedule(graph, cp + 2)
+    schedule.verify()
+
+
+@given(circuits())
+@settings(max_examples=60, deadline=None)
+def test_asap_equals_schedule_lower_bound(graph):
+    """No valid schedule can start a node before its ASAP time."""
+    cp = critical_path_length(graph)
+    asap = asap_times(graph)
+    schedule = list_schedule(graph, cp, unbounded_allocation(graph))
+    for node in graph.operations():
+        assert schedule.step_of(node.nid) >= asap[node.nid]
+
+
+@given(circuits())
+@settings(max_examples=30, deadline=None)
+def test_critical_path_is_achievable_minimum(graph):
+    """cp steps work with unbounded resources; cp-1 must not."""
+    cp = critical_path_length(graph)
+    allocation = unbounded_allocation(graph)
+    list_schedule(graph, cp, allocation)
+    if cp > 1:
+        from repro.sched.timing import InfeasibleScheduleError
+        try:
+            list_schedule(graph, cp - 1, allocation)
+            raise AssertionError("cp-1 steps unexpectedly feasible")
+        except InfeasibleScheduleError:
+            pass

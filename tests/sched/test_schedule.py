@@ -1,0 +1,110 @@
+"""Schedule object: verification, resource usage, reporting."""
+
+import pytest
+
+from repro.ir.ops import ResourceClass
+from repro.sched.list_scheduler import list_schedule
+from repro.sched.resources import (
+    Allocation,
+    lower_bound_allocation,
+    single_unit_allocation,
+    unbounded_allocation,
+)
+from repro.sched.schedule import Schedule, ScheduleError
+
+
+class TestVerify:
+    def test_missing_node_detected(self, abs_diff_graph):
+        schedule = Schedule(graph=abs_diff_graph, n_steps=3, start={})
+        with pytest.raises(ScheduleError, match="unscheduled"):
+            schedule.verify()
+
+    def test_precedence_violation_detected(self, chain_graph):
+        g = chain_graph
+        start = {n.nid: 0 for n in g}  # sub at 0 violates add->sub
+        schedule = Schedule(graph=g, n_steps=2, start=start)
+        with pytest.raises(ScheduleError, match="precedence"):
+            schedule.verify()
+
+    def test_bounds_violation_detected(self, chain_graph):
+        g = chain_graph
+        schedule = list_schedule(g, 2, unbounded_allocation(g))
+        schedule.n_steps = 1
+        with pytest.raises(ScheduleError, match="exceeds"):
+            schedule.verify()
+
+    def test_resource_overflow_detected(self, abs_diff_graph):
+        schedule = list_schedule(abs_diff_graph, 2,
+                                 unbounded_allocation(abs_diff_graph))
+        with pytest.raises(ScheduleError, match="overflow"):
+            schedule.verify(Allocation({ResourceClass.SUB: 1,
+                                        ResourceClass.COMP: 1,
+                                        ResourceClass.MUX: 1}))
+
+    def test_step_of_unknown_node(self, abs_diff_graph):
+        schedule = Schedule(graph=abs_diff_graph, n_steps=3, start={})
+        with pytest.raises(ScheduleError, match="not scheduled"):
+            schedule.step_of(0)
+
+
+class TestQueries:
+    def test_ops_in_step(self, abs_diff_graph):
+        schedule = list_schedule(abs_diff_graph, 2,
+                                 unbounded_allocation(abs_diff_graph))
+        step0 = {abs_diff_graph.node(n).name
+                 for n in schedule.ops_in_step(0)}
+        assert step0 == {"c", "a_minus_b", "b_minus_a"}
+        step1 = {abs_diff_graph.node(n).name
+                 for n in schedule.ops_in_step(1)}
+        assert step1 == {"abs"}
+
+    def test_resource_usage(self, abs_diff_graph):
+        schedule = list_schedule(abs_diff_graph, 2,
+                                 unbounded_allocation(abs_diff_graph))
+        usage = schedule.resource_usage()
+        assert usage.get(ResourceClass.SUB) == 2
+        assert usage.get(ResourceClass.COMP) == 1
+
+    def test_table_mentions_every_step(self, abs_diff_graph):
+        schedule = list_schedule(abs_diff_graph, 3,
+                                 unbounded_allocation(abs_diff_graph))
+        text = schedule.table()
+        assert "step 1" in text and "step 3" in text
+        assert "abs" in text
+
+
+class TestAllocationModel:
+    def test_cost_uses_paper_weights(self):
+        a = Allocation({ResourceClass.MUL: 1, ResourceClass.ADD: 2})
+        assert a.cost() == 20 + 6
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Allocation({ResourceClass.ADD: -1})
+
+    def test_with_extra(self):
+        a = Allocation({ResourceClass.ADD: 1})
+        b = a.with_extra(ResourceClass.ADD)
+        assert b.get(ResourceClass.ADD) == 2
+        assert a.get(ResourceClass.ADD) == 1  # immutable
+
+    def test_dominates(self):
+        big = Allocation({ResourceClass.ADD: 2, ResourceClass.SUB: 1})
+        small = Allocation({ResourceClass.ADD: 1})
+        assert big.dominates(small)
+        assert not small.dominates(big)
+
+    def test_helpers(self, dealer_graph):
+        unbounded = unbounded_allocation(dealer_graph)
+        single = single_unit_allocation(dealer_graph)
+        lb = lower_bound_allocation(dealer_graph, 4)
+        assert unbounded.get(ResourceClass.COMP) == 3
+        assert single.get(ResourceClass.COMP) == 1
+        assert lb.get(ResourceClass.COMP) >= 1
+        assert unbounded.dominates(lb)
+        assert lb.dominates(single) or lb.cost() >= single.cost()
+
+    def test_as_dict_and_str(self):
+        a = Allocation({ResourceClass.ADD: 2})
+        assert a.as_dict() == {"+": 2}
+        assert "+:2" in str(a)

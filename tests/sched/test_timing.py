@@ -1,0 +1,96 @@
+"""ASAP/ALAP timing analysis."""
+
+import pytest
+
+from repro.sched.timing import (
+    InfeasibleScheduleError,
+    TimingFrame,
+    alap_times,
+    asap_times,
+    critical_path_length,
+    try_timing,
+)
+
+
+class TestASAP:
+    def test_abs_diff(self, abs_diff_graph):
+        g = abs_diff_graph
+        asap = asap_times(g)
+        by_name = {g.node(n).name: asap[n] for n in asap}
+        assert by_name["a"] == 0
+        assert by_name["c"] == 0
+        assert by_name["a_minus_b"] == 0
+        assert by_name["abs"] == 1  # after the 1-latency subs/comp
+
+    def test_chain(self, chain_graph):
+        g = chain_graph
+        asap = asap_times(g)
+        by_name = {g.node(n).name: asap[n] for n in asap}
+        assert by_name["s"] == 0
+        assert by_name["d"] == 1
+
+    def test_control_edges_tighten_asap(self, abs_diff_graph):
+        g = abs_diff_graph.copy()
+        comp = next(n for n in g if n.name == "c")
+        sub = next(n for n in g if n.name == "a_minus_b")
+        g.add_control_edge(comp.nid, sub.nid)
+        asap = asap_times(g)
+        assert asap[sub.nid] == 1  # must wait for the comparison
+
+
+class TestCriticalPath:
+    def test_paper_table1_critical_paths(self, dealer_graph, gcd_graph,
+                                         vender_graph):
+        assert critical_path_length(dealer_graph) == 4
+        assert critical_path_length(gcd_graph) == 5
+        assert critical_path_length(vender_graph) == 5
+
+    def test_abs_diff_needs_two_steps(self, abs_diff_graph):
+        assert critical_path_length(abs_diff_graph) == 2
+
+    def test_empty_graph(self):
+        from repro.ir.graph import CDFG
+        assert critical_path_length(CDFG("empty")) == 0
+
+
+class TestALAP:
+    def test_alap_at_critical_path(self, abs_diff_graph):
+        g = abs_diff_graph
+        alap = alap_times(g, 2)
+        by_name = {g.node(n).name: alap[n] for n in alap}
+        assert by_name["abs"] == 1
+        assert by_name["a_minus_b"] == 0  # forced
+
+    def test_alap_with_slack(self, abs_diff_graph):
+        g = abs_diff_graph
+        alap = alap_times(g, 3)
+        by_name = {g.node(n).name: alap[n] for n in alap}
+        assert by_name["abs"] == 2
+        assert by_name["a_minus_b"] == 1
+
+    def test_infeasible_budget_raises(self, abs_diff_graph):
+        with pytest.raises(InfeasibleScheduleError):
+            alap_times(abs_diff_graph, 1)
+
+
+class TestTimingFrame:
+    def test_mobility(self, abs_diff_graph):
+        g = abs_diff_graph
+        frame = TimingFrame.compute(g, 3)
+        sub = next(n for n in g if n.name == "a_minus_b")
+        assert frame.mobility(sub.nid) == 1
+        frame2 = TimingFrame.compute(g, 2)
+        assert frame2.mobility(sub.nid) == 0
+
+    def test_asap_never_exceeds_alap(self, small_circuit):
+        cp = critical_path_length(small_circuit)
+        frame = TimingFrame.compute(small_circuit, cp)
+        assert frame.is_feasible()
+
+    def test_try_timing_returns_none_when_infeasible(self, abs_diff_graph):
+        assert try_timing(abs_diff_graph, 1) is None
+        assert try_timing(abs_diff_graph, 2) is not None
+
+    def test_compute_raises_below_critical_path(self, dealer_graph):
+        with pytest.raises(InfeasibleScheduleError):
+            TimingFrame.compute(dealer_graph, 3)

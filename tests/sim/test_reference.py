@@ -1,0 +1,86 @@
+"""The golden functional model."""
+
+import pytest
+
+from repro.circuits.cordic import ANGLE_TABLE
+from repro.sim.reference import evaluate, evaluate_all
+
+
+class TestKnownCircuits:
+    @pytest.mark.parametrize("a,b", [(9, 3), (3, 9), (0, 0), (-5, 5),
+                                     (127, -128)])
+    def test_abs_diff(self, abs_diff_graph, a, b):
+        out = evaluate(abs_diff_graph, {"a": a, "b": b})
+        expected = a - b if a > b else b - a
+        # 8-bit wraparound applies to the subtraction itself.
+        from repro.ir.ops import OpSemantics
+        sem = OpSemantics(8)
+        expected = sem.wrap(expected)
+        assert out["result"] == expected
+
+    def test_gcd_step_semantics(self, gcd_graph):
+        out = evaluate(gcd_graph, {"a": 12, "b": 8})
+        assert out["max"] == 12
+        assert out["next_b"] == 8
+        assert out["done"] == 0
+        assert out["gcd"] == 4  # 12 - 8
+
+    def test_gcd_done_case(self, gcd_graph):
+        out = evaluate(gcd_graph, {"a": 7, "b": 7})
+        assert out["done"] == 1
+        assert out["gcd"] == 7
+
+    def test_gcd_converges_when_iterated(self, gcd_graph):
+        """Feeding the outputs back eventually reaches gcd(a, b)."""
+        import math
+        a, b = 54, 24
+        for _ in range(50):
+            out = evaluate(gcd_graph, {"a": a, "b": b})
+            if out["done"]:
+                break
+            a, b = out["gcd"], out["next_b"]
+        assert out["gcd"] == math.gcd(54, 24)
+
+    def test_dealer_bust_zeroes_payout(self, dealer_graph):
+        out = evaluate(dealer_graph, {"p": 25, "d": 10, "c": 2})
+        assert out["payout"] == 0
+
+    def test_dealer_win_pays_margin(self, dealer_graph):
+        out = evaluate(dealer_graph, {"p": 20, "d": 10, "c": 1})
+        assert out["payout"] == 10  # p - d
+
+    def test_vender_change_on_success(self, vender_graph):
+        out = evaluate(vender_graph,
+                       {"coins": 10, "credit": 5, "price": 3, "sel": 1})
+        # funds=15 > 6, cost = price*2 = 6, change = 9
+        assert out["amount"] == 9
+        assert out["vend"] == 1
+
+    def test_vender_short_on_failure(self, vender_graph):
+        out = evaluate(vender_graph,
+                       {"coins": 1, "credit": 2, "price": 3, "sel": 2})
+        # funds=3 <= 6: amount = cost - funds = 9 - 3
+        assert out["amount"] == 6
+        assert out["vend"] == 0
+
+    def test_cordic_drives_y_toward_zero(self, cordic_graph):
+        out = evaluate(cordic_graph, {"x0": 40, "y0": 30, "z0": 0})
+        assert abs(out["y_residual"]) <= 8  # residual shrinks
+
+    def test_cordic_angle_sign_follows_y(self, cordic_graph):
+        pos = evaluate(cordic_graph, {"x0": 50, "y0": 20, "z0": 0})
+        neg = evaluate(cordic_graph, {"x0": 50, "y0": -20, "z0": 0})
+        assert pos["angle"] > 0 > neg["angle"]
+
+
+class TestEvaluateAll:
+    def test_every_node_valued(self, dealer_graph):
+        values = evaluate_all(dealer_graph, {"p": 5, "d": 3, "c": 1})
+        assert set(values) == set(dealer_graph.node_ids)
+
+    def test_missing_input_raises(self, abs_diff_graph):
+        with pytest.raises(KeyError, match="missing input"):
+            evaluate(abs_diff_graph, {"a": 1})
+
+    def test_angle_table_is_monotone(self):
+        assert all(a >= b for a, b in zip(ANGLE_TABLE, ANGLE_TABLE[1:]))
