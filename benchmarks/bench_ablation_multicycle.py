@@ -12,8 +12,8 @@ from __future__ import annotations
 from conftest import print_table
 
 from repro.circuits.vender import ACCEPT_THRESHOLD, BALANCE_LIMIT
-from repro.flow import synthesize_pair
 from repro.ir.builder import GraphBuilder
+from repro.pipeline import ArtifactCache, FlowConfig, Pipeline, run_pair
 from repro.ir.graph import CDFG
 from repro.power import static_power
 from repro.sched import critical_path_length
@@ -56,11 +56,13 @@ def vender_multicycle(mul_latency: int) -> CDFG:
 
 def regenerate_multicycle_ablation():
     rows = []
+    pipeline = Pipeline(cache=ArtifactCache())
     for latency in (1, 2, 3):
         graph = vender_multicycle(latency)
         cp = critical_path_length(graph)
         for slack in (1, 2):
-            pair = synthesize_pair(graph, cp + slack)
+            pair = run_pair(graph, FlowConfig(n_steps=cp + slack),
+                            pipeline=pipeline)
             report = static_power(pair.managed.pm)
             rows.append({
                 "latency": latency,

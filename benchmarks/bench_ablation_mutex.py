@@ -14,11 +14,15 @@ from conftest import print_table
 
 from repro.circuits import build
 from repro.core import PMOptions
-from repro.flow import synthesize
+from repro.pipeline import ArtifactCache, FlowConfig, Pipeline
 from repro.power import static_power
 from repro.sched import critical_path_length
 
 CIRCUITS = ("dealer", "gcd", "vender")
+
+# mutex_sharing only affects the allocate/elaborate stages, so the four
+# corners of one circuit share the PM and scheduling artifacts.
+PIPELINE = Pipeline(cache=ArtifactCache())
 
 
 def regenerate_mutex_ablation():
@@ -29,11 +33,11 @@ def regenerate_mutex_ablation():
         corners = {}
         for pm_on in (False, True):
             for sharing in (False, True):
-                result = synthesize(
-                    graph, steps,
-                    options=PMOptions(enabled=pm_on),
+                result = PIPELINE.run(graph, FlowConfig(
+                    n_steps=steps,
+                    pm=PMOptions(enabled=pm_on),
                     mutex_sharing=sharing,
-                )
+                ))
                 area = result.design.area()
                 power = static_power(result.pm)
                 corners[(pm_on, sharing)] = {

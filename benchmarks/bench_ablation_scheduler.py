@@ -2,9 +2,11 @@
 
 The paper plugs its control edges into HYPER's scheduler; the claim is
 that the PM pass composes with *any* resource-minimizing time-constrained
-scheduler.  Compare our list scheduler (with minimum-resource search)
-against force-directed scheduling on the augmented graphs: both must
-honour the control edges, and their resource costs should be comparable.
+scheduler.  Select each registered strategy by name through the pipeline
+(``FlowConfig.scheduler``) and compare resource costs on the augmented
+graphs: both must honour the control edges, and their costs should be
+comparable.  The caching pipeline shares the PM artifacts between the
+two strategies of each (circuit, budget).
 """
 
 from __future__ import annotations
@@ -12,14 +14,11 @@ from __future__ import annotations
 from conftest import print_table
 
 from repro.circuits import TABLE2_BUDGETS, build
-from repro.core import apply_power_management
-from repro.sched import (
-    Allocation,
-    force_directed_schedule,
-    minimize_resources,
-)
+from repro.pipeline import ArtifactCache, FlowConfig, Pipeline
 
 CIRCUITS = ("dealer", "gcd", "vender")
+
+PIPELINE = Pipeline(cache=ArtifactCache())
 
 
 def regenerate_scheduler_ablation():
@@ -27,17 +26,17 @@ def regenerate_scheduler_ablation():
     for name in CIRCUITS:
         graph = build(name)
         for steps in TABLE2_BUDGETS[name]:
-            pm = apply_power_management(graph, steps)
-            lst = minimize_resources(pm.graph, steps)
-            fds_schedule = force_directed_schedule(pm.graph, steps)
-            fds_alloc = fds_schedule.resource_usage()
+            lst = PIPELINE.run(graph, FlowConfig(n_steps=steps,
+                                                 scheduler="list"))
+            fds = PIPELINE.run(graph, FlowConfig(
+                n_steps=steps, scheduler="force_directed"))
             rows.append({
                 "name": name,
                 "steps": steps,
                 "list_cost": lst.allocation.cost(),
-                "fds_cost": fds_alloc.cost(),
+                "fds_cost": fds.allocation.cost(),
                 "list_alloc": str(lst.allocation.as_dict()),
-                "fds_alloc": str(fds_alloc.as_dict()),
+                "fds_alloc": str(fds.allocation.as_dict()),
             })
     return rows
 

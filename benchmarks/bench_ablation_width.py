@@ -12,7 +12,7 @@ from __future__ import annotations
 from conftest import print_table
 
 from repro.circuits import build
-from repro.flow import synthesize_pair
+from repro.pipeline import ArtifactCache, FlowConfig, Pipeline, run_pair
 from repro.power import measure_power
 from repro.sim import random_vectors
 
@@ -21,13 +21,18 @@ from repro.sim import random_vectors
 WIDTHS = (8, 12, 16)
 N_VECTORS = 96
 
+# Width only enters the elaborate stage's cache key, so the sweep reuses
+# the PM and scheduling artifacts across all widths of one circuit.
+PIPELINE = Pipeline(cache=ArtifactCache())
+
 
 def regenerate_width_ablation():
     rows = []
     for name, steps in (("dealer", 6), ("vender", 6)):
         graph = build(name)
         for width in WIDTHS:
-            pair = synthesize_pair(graph, steps, width=width)
+            pair = run_pair(graph, FlowConfig(n_steps=steps, width=width),
+                            pipeline=PIPELINE)
             vectors = random_vectors(graph, N_VECTORS, width=width,
                                      seed=width)
             orig = measure_power(pair.baseline.design, vectors=vectors,

@@ -12,9 +12,11 @@ from __future__ import annotations
 from conftest import print_table
 
 from repro.circuits import PAPER_TABLE2, TABLE2_BUDGETS, build
-from repro.flow import synthesize_pair
 from repro.ir.ops import ResourceClass
+from repro.pipeline import ArtifactCache, FlowConfig, Pipeline, run_pair
 from repro.power import expected_op_counts, static_power
+
+PIPELINE = Pipeline(cache=ArtifactCache())
 
 
 def regenerate_table2():
@@ -22,7 +24,8 @@ def regenerate_table2():
     for name, budgets in TABLE2_BUDGETS.items():
         graph = build(name)
         for steps in budgets:
-            pair = synthesize_pair(graph, steps)
+            pair = run_pair(graph, FlowConfig(n_steps=steps),
+                            pipeline=PIPELINE)
             counts = expected_op_counts(pair.managed.pm)
             report = static_power(pair.managed.pm)
             rows.append({

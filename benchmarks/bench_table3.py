@@ -17,18 +17,21 @@ from __future__ import annotations
 from conftest import print_table
 
 from repro.circuits import PAPER_TABLE3, TABLE3_BUDGETS, build
-from repro.flow import synthesize_pair
+from repro.pipeline import ArtifactCache, FlowConfig, Pipeline, run_pair
 from repro.power import measure_power
 from repro.sim import balanced_condition_vectors, random_vectors
 
 N_VECTORS = 192
+
+PIPELINE = Pipeline(cache=ArtifactCache())
 
 
 def regenerate_table3():
     rows = []
     for name, steps in TABLE3_BUDGETS.items():
         graph = build(name)
-        pair = synthesize_pair(graph, steps)
+        pair = run_pair(graph, FlowConfig(n_steps=steps),
+                        pipeline=PIPELINE)
         if name == "gcd":
             vectors = balanced_condition_vectors(graph, count=N_VECTORS)
         else:

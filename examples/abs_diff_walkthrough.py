@@ -14,7 +14,7 @@ Also exports the CDFG (with the dashed control edges of Fig. 2b) as DOT.
 Run:  python examples/abs_diff_walkthrough.py
 """
 
-from repro import PMOptions, RTLSimulator, abs_diff, synthesize
+from repro import ArtifactCache, FlowConfig, Pipeline, RTLSimulator, abs_diff
 from repro.ir import to_dot
 from repro.power import measure_power
 from repro.sim import random_vectors
@@ -22,21 +22,22 @@ from repro.sim import random_vectors
 
 def main() -> None:
     graph = abs_diff()
+    pipeline = Pipeline(cache=ArtifactCache())
 
     print("=== Fig. 1: two control steps ===")
-    two = synthesize(graph, 2)
+    two = pipeline.run(graph, FlowConfig(n_steps=2))
     print(two.schedule.table())
     print(f"power-managed muxes: {two.pm.managed_count} "
           "(no slack -> traditional result)")
     print(f"subtractors needed: {two.allocation.as_dict().get('-')}")
 
     print("\n=== Fig. 2(a): three steps, traditional ===")
-    trad = synthesize(graph, 3, options=PMOptions(enabled=False))
+    trad = pipeline.run(graph, FlowConfig(n_steps=3).baseline())
     print(trad.schedule.table())
     print(f"subtractors needed: {trad.allocation.as_dict().get('-')}")
 
     print("\n=== Fig. 2(b): three steps, power managed ===")
-    managed = synthesize(graph, 3)
+    managed = pipeline.run(graph, FlowConfig(n_steps=3))
     print(managed.schedule.table())
     for nid, guards in managed.pm.gating.items():
         node = managed.pm.graph.node(nid)

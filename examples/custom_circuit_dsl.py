@@ -9,12 +9,13 @@ Run:  python examples/custom_circuit_dsl.py
 """
 
 from repro import (
+    FlowConfig,
     RTLSimulator,
     evaluate,
     generate_vhdl,
     random_vectors,
+    run_pair,
     static_power,
-    synthesize_pair,
 )
 from repro.lang import compile_circuit
 from repro.sched import critical_path_length
@@ -44,7 +45,7 @@ def main() -> None:
           f"critical path {cp} steps")
 
     steps = cp + 2  # give the PM pass some slack
-    pair = synthesize_pair(graph, steps)
+    pair = run_pair(graph, FlowConfig(n_steps=steps))
     report = static_power(pair.managed.pm)
     print(f"\n@{steps} steps: {pair.managed.pm.managed_count} managed "
           f"muxes, {report.reduction_pct:.1f}% expected datapath savings, "

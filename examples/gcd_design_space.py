@@ -10,7 +10,7 @@ in between.
 Run:  python examples/gcd_design_space.py
 """
 
-from repro import SelectModel, gcd, static_power, synthesize_pair
+from repro import SelectModel, explore, gcd, static_power
 from repro.core import (
     apply_power_management,
     exhaustive_search,
@@ -23,12 +23,12 @@ from repro.sim import gcd_trace_vectors, random_vectors
 
 def sweep_budgets(graph) -> None:
     print("=== throughput sweep (steps -> PM muxes, power, area) ===")
-    for steps in range(5, 10):
-        pair = synthesize_pair(graph, steps)
-        report = static_power(pair.managed.pm)
-        print(f"  {steps} steps: {pair.managed.pm.managed_count} managed "
-              f"muxes, {report.reduction_pct:5.2f}% datapath power saved, "
-              f"area x{pair.area_increase:.2f}")
+    space = explore([graph], budgets=range(5, 10))
+    for point in space.points:
+        print(f"  {point.n_steps} steps: {point.managed_muxes} managed "
+              f"muxes, {point.power_reduction_pct:5.2f}% datapath power "
+              f"saved, area {point.area}")
+    print(f"  (stage-cache hits across the sweep: {space.cache_hits})")
 
 
 def compare_orderings(graph) -> None:

@@ -1,22 +1,23 @@
 """Quickstart: synthesize a circuit with power-management-aware scheduling.
 
-Builds the paper's |a-b| example, runs the full flow at a 3-step budget,
-and shows what power management bought: the schedule, the gated
-operations, the expected power savings, and a functional check against the
-reference model.
+Builds the paper's |a-b| example, runs the full pipeline at a 3-step
+budget, and shows what power management bought: the stage wiring, the
+schedule, the gated operations, the expected power savings, and a
+functional check against the reference model.
 
 Run:  python examples/quickstart.py
 """
 
 from repro import (
-    PMOptions,
+    ArtifactCache,
+    FlowConfig,
+    Pipeline,
     RTLSimulator,
     abs_diff,
     describe_decisions,
     evaluate,
     random_vectors,
     static_power,
-    synthesize,
 )
 
 
@@ -24,9 +25,15 @@ def main() -> None:
     graph = abs_diff()
     print(f"circuit: {graph.name}  ops: {graph.op_counts()}")
 
-    # One call runs: PM pass -> min-resource scheduling -> binding ->
-    # registers -> interconnect -> controller.
-    result = synthesize(graph, n_steps=3)
+    # The flow is a pipeline of named stages writing into a shared
+    # artifact store: validate -> analyze -> power_manage -> schedule
+    # -> allocate -> elaborate -> verify -> report.
+    pipeline = Pipeline(cache=ArtifactCache())
+    print("\n--- pipeline wiring ---")
+    print(pipeline.describe())
+
+    config = FlowConfig(n_steps=3, verify=True)
+    result = pipeline.run(graph, config)
 
     print("\n--- scheduling decision log ---")
     print(describe_decisions(result.pm))
@@ -52,9 +59,13 @@ def main() -> None:
           f"{activity.total_idles()} execution-unit activations were "
           f"skipped by shut-down")
 
-    # The baseline design at the same throughput, for comparison.
-    baseline = synthesize(graph, n_steps=3, options=PMOptions(enabled=False))
+    # The baseline design at the same throughput, for comparison.  The
+    # caching pipeline reuses the analyze artifacts it already computed.
+    baseline = pipeline.run(graph, config.baseline())
     print(f"baseline design:  {baseline.design.summary()}")
+    print(f"(artifact cache after both runs: "
+          f"{pipeline.cache.stats.hits} hits, "
+          f"{pipeline.cache.stats.misses} misses)")
 
 
 if __name__ == "__main__":

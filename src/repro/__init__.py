@@ -6,12 +6,30 @@ operations that compute conditional-select signals are scheduled before the
 operations they control, so the generated controller can keep the input
 latches of unneeded execution units disabled.
 
-Quick start::
+Quick start — the flow is a pipeline of named stages driven by one
+config object::
 
-    from repro import abs_diff, synthesize, PMOptions
-    result = synthesize(abs_diff(), n_steps=3)
+    from repro import FlowConfig, Pipeline, abs_diff
+
+    pipeline = Pipeline()                  # validate -> ... -> report
+    result = pipeline.run(abs_diff(), FlowConfig(n_steps=3))
     print(result.design.summary())
-    print(result.static_report().reduction_pct)   # % datapath power saved
+    print(result.static_report().reduction_pct)  # % datapath power saved
+
+Pick the base scheduler by name, turn on artifact caching, and sweep a
+design space in parallel::
+
+    from repro import ArtifactCache, explore
+
+    pipeline = Pipeline(cache=ArtifactCache())
+    exact = pipeline.run(abs_diff(), FlowConfig(n_steps=3,
+                                                scheduler="exact"))
+    space = explore(["dealer", "gcd", "vender"], budgets=[5, 6, 7],
+                    workers=4)
+    print(space.table())
+
+The pre-1.1 entry points ``synthesize`` / ``synthesize_pair`` still work
+as deprecated shims over the pipeline.
 """
 
 from repro.circuits import abs_diff, build, cordic, dealer, diffeq, gcd, vender
@@ -22,8 +40,24 @@ from repro.core import (
     compute_cones,
     describe_decisions,
 )
-from repro.flow import SynthesisPair, SynthesisResult, synthesize, synthesize_pair
+from repro.flow import synthesize, synthesize_pair
 from repro.ir import CDFG, GraphBuilder, Op, ResourceClass, unroll
+from repro.pipeline import (
+    ArtifactCache,
+    ExplorationResult,
+    FlowConfig,
+    FlowContext,
+    Pipeline,
+    Stage,
+    SynthesisPair,
+    SynthesisResult,
+    available_schedulers,
+    default_stages,
+    explore,
+    register_scheduler,
+    run_flow,
+    run_pair,
+)
 from repro.power import (
     PowerWeights,
     SelectModel,
@@ -42,41 +76,53 @@ from repro.sched import (
 )
 from repro.sim import RTLSimulator, evaluate, random_vectors
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Allocation",
+    "ArtifactCache",
     "CDFG",
+    "ExplorationResult",
+    "FlowConfig",
+    "FlowContext",
     "GraphBuilder",
     "Op",
     "PMOptions",
     "PMResult",
+    "Pipeline",
     "PowerWeights",
     "RTLSimulator",
     "ResourceClass",
     "Schedule",
     "SelectModel",
+    "Stage",
     "SynthesisPair",
     "SynthesisResult",
     "__version__",
     "abs_diff",
     "apply_power_management",
+    "available_schedulers",
     "build",
     "compare_designs",
     "compute_cones",
     "cordic",
     "critical_path_length",
     "dealer",
+    "default_stages",
     "describe_decisions",
     "diffeq",
     "evaluate",
     "expected_op_counts",
+    "explore",
     "gcd",
     "generate_vhdl",
     "list_schedule",
     "measure_power",
     "minimize_resources",
     "random_vectors",
+    "register_scheduler",
+    "run_flow",
+    "run_pair",
     "static_power",
     "synthesize",
     "synthesize_pair",

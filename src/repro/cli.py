@@ -5,13 +5,16 @@ Usage (after ``pip install -e .``)::
     python -m repro stats dealer                    # Table I row
     python -m repro synthesize gcd --steps 7        # full report
     python -m repro synthesize my.circ --steps 6 --partial --ordering savings
+    python -m repro synthesize gcd --steps 7 --scheduler force_directed
     python -m repro vhdl vender --steps 6 -o vender.vhd
     python -m repro simulate dealer --steps 6 --vectors 256
+    python -m repro explore dealer gcd vender --budgets 5,6,7 --workers 4
     python -m repro tables                          # Tables I-III summary
 
 Circuit arguments are either a registered benchmark name (dealer, gcd,
 vender, cordic) or a path to a ``.circ``/``.txt`` file in the description
-language.
+language.  Every synthesis command drives a shared caching
+:class:`repro.pipeline.Pipeline`, so multi-design commands reuse work.
 """
 
 from __future__ import annotations
@@ -23,13 +26,24 @@ import sys
 from repro.analysis.stats import circuit_stats
 from repro.circuits import CIRCUITS, build
 from repro.core.pm_pass import PMOptions
-from repro.flow import synthesize, synthesize_pair
 from repro.ir.graph import CDFG
 from repro.lang.lower import compile_circuit
+from repro.pipeline import (
+    ArtifactCache,
+    FlowConfig,
+    Pipeline,
+    available_schedulers,
+    explore,
+    run_pair,
+)
 from repro.power.simulated import compare_designs
 from repro.report import full_report
 from repro.rtl.vhdl import generate_vhdl
 from repro.sched.timing import critical_path_length
+
+# One pipeline per CLI invocation: `simulate` and `explore` style
+# commands synthesize several related designs and share artifacts.
+_PIPELINE = Pipeline(cache=ArtifactCache())
 
 
 def load_circuit(spec: str) -> CDFG:
@@ -58,6 +72,15 @@ def _steps_for(graph: CDFG, args: argparse.Namespace) -> int:
     return critical_path_length(graph) + args.slack
 
 
+def _flow_config(graph: CDFG, args: argparse.Namespace) -> FlowConfig:
+    return FlowConfig(
+        n_steps=_steps_for(graph, args),
+        pm=_pm_options(args),
+        scheduler=args.scheduler,
+        verify=args.verify,
+    )
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     graph = load_circuit(args.circuit)
     stats = circuit_stats(graph)
@@ -70,16 +93,14 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 def cmd_synthesize(args: argparse.Namespace) -> int:
     graph = load_circuit(args.circuit)
-    steps = _steps_for(graph, args)
-    result = synthesize(graph, steps, options=_pm_options(args))
+    result = _PIPELINE.run(graph, _flow_config(graph, args))
     print(full_report(result))
     return 0
 
 
 def cmd_vhdl(args: argparse.Namespace) -> int:
     graph = load_circuit(args.circuit)
-    steps = _steps_for(graph, args)
-    result = synthesize(graph, steps, options=_pm_options(args))
+    result = _PIPELINE.run(graph, _flow_config(graph, args))
     text = generate_vhdl(result.design)
     if args.output:
         pathlib.Path(args.output).write_text(text)
@@ -91,11 +112,12 @@ def cmd_vhdl(args: argparse.Namespace) -> int:
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     graph = load_circuit(args.circuit)
-    steps = _steps_for(graph, args)
-    pair = synthesize_pair(graph, steps, options=_pm_options(args))
+    config = _flow_config(graph, args)
+    pair = run_pair(graph, config, pipeline=_PIPELINE)
     cmp = compare_designs(pair.baseline.design, pair.managed.design,
                           n_vectors=args.vectors, seed=args.seed)
-    print(f"{graph.name} @ {steps} steps, {args.vectors} random vectors")
+    print(f"{graph.name} @ {config.n_steps} steps, {args.vectors} "
+          f"random vectors")
     print(f"  baseline : {cmp.orig.total:8.3f} energy/sample, "
           f"area {cmp.area_orig}")
     print(f"  managed  : {cmp.managed.total:8.3f} energy/sample, "
@@ -103,6 +125,40 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(f"  saved    : {cmp.reduction_pct:.1f}% total "
           f"({cmp.datapath_reduction_pct:.1f}% datapath), "
           f"area x{cmp.area_increase:.2f}")
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    try:
+        budgets = [int(b) for b in args.budgets.split(",") if b]
+    except ValueError:
+        budgets = []
+    if not budgets:
+        raise SystemExit("error: --budgets needs a comma-separated list "
+                         "of control-step counts, e.g. 5,6,7")
+    configs = [FlowConfig(pm=_pm_options(args), scheduler=args.scheduler,
+                          verify=args.verify)]
+    circuits = [spec if spec in CIRCUITS else load_circuit(spec)
+                for spec in args.circuits]
+    from repro.sched.timing import InfeasibleScheduleError
+
+    try:
+        result = explore(circuits, budgets, configs=configs,
+                         workers=args.workers)
+    except InfeasibleScheduleError as error:
+        raise SystemExit(
+            f"error: {error} — drop that budget or raise it past the "
+            f"critical path") from None
+    print(result.table())
+    best = result.best()
+    print(f"best point: {best.circuit} @ {best.n_steps} steps "
+          f"({best.power_reduction_pct:.2f}% datapath power saved)")
+    return 0
+
+
+def cmd_stages(args: argparse.Namespace) -> int:
+    print(Pipeline().describe())
+    print(f"\nregistered schedulers: {', '.join(available_schedulers())}")
     return 0
 
 
@@ -138,6 +194,20 @@ def make_parser() -> argparse.ArgumentParser:
                     "(Monteiro et al., DAC 1996)")
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def flow_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--ordering", default="output_first",
+                       choices=("output_first", "input_first", "savings"),
+                       help="MUX processing order (paper SIV-A)")
+        p.add_argument("--partial", action="store_true",
+                       help="enable per-operation fallback gating")
+        p.add_argument("--no-pm", action="store_true",
+                       help="disable power management (baseline design)")
+        p.add_argument("--scheduler", default="list",
+                       choices=available_schedulers(),
+                       help="base scheduling strategy (default: list)")
+        p.add_argument("--verify", action="store_true",
+                       help="run the gating-soundness check")
+
     def common(p: argparse.ArgumentParser) -> None:
         p.add_argument("circuit", help="benchmark name or DSL file")
         p.add_argument("--steps", type=int, default=None,
@@ -146,13 +216,7 @@ def make_parser() -> argparse.ArgumentParser:
         p.add_argument("--slack", type=int, default=1,
                        help="extra steps over the critical path when "
                             "--steps is omitted (default 1)")
-        p.add_argument("--ordering", default="output_first",
-                       choices=("output_first", "input_first", "savings"),
-                       help="MUX processing order (paper SIV-A)")
-        p.add_argument("--partial", action="store_true",
-                       help="enable per-operation fallback gating")
-        p.add_argument("--no-pm", action="store_true",
-                       help="disable power management (baseline design)")
+        flow_options(p)
 
     p_stats = sub.add_parser("stats", help="circuit statistics (Table I)")
     p_stats.add_argument("circuit")
@@ -173,6 +237,21 @@ def make_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--vectors", type=int, default=256)
     p_sim.add_argument("--seed", type=int, default=1996)
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_explore = sub.add_parser(
+        "explore", help="batch design-space sweep over circuits x budgets")
+    p_explore.add_argument("circuits", nargs="+",
+                           help="benchmark names to sweep")
+    p_explore.add_argument("--budgets", required=True,
+                           help="comma-separated step budgets, e.g. 5,6,7")
+    p_explore.add_argument("--workers", type=int, default=1,
+                           help="worker processes (default 1 = in-process)")
+    flow_options(p_explore)
+    p_explore.set_defaults(func=cmd_explore)
+
+    p_stages = sub.add_parser("stages",
+                              help="show the pipeline wiring and schedulers")
+    p_stages.set_defaults(func=cmd_stages)
 
     p_tables = sub.add_parser("tables", help="paper tables summary")
     p_tables.set_defaults(func=cmd_tables)

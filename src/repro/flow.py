@@ -1,99 +1,84 @@
-"""End-to-end behavioral synthesis flow.
+"""Deprecated kwarg-style entry points to the synthesis flow.
 
-``synthesize`` drives the full pipeline the paper describes: PM pass
-(Fig. 3 steps 2-10) -> resource-minimizing scheduling (step 11) -> datapath
-and controller generation (step 12).  ``synthesize_pair`` additionally
-builds the non-power-managed baseline of the same circuit at the same
-throughput, which every paper table compares against.
+``synthesize`` / ``synthesize_pair`` predate the composable
+:mod:`repro.pipeline` API and are kept as thin shims: they translate
+their keyword arguments into a :class:`~repro.pipeline.FlowConfig` and
+run the default :class:`~repro.pipeline.Pipeline`.  New code should use
+the pipeline API directly::
+
+    from repro.pipeline import FlowConfig, Pipeline, run_pair
+
+    result = Pipeline().run(graph, FlowConfig(n_steps=6))
+    pair = run_pair(graph, FlowConfig(n_steps=6))
+
+``SynthesisResult`` and ``SynthesisPair`` now live in
+:mod:`repro.pipeline.result` and are re-exported here unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
-from repro.core.pm_pass import PMOptions, PMResult, apply_power_management
+from repro.core.pm_pass import PMOptions
 from repro.ir.graph import CDFG
-from repro.ir.validate import validate
-from repro.power.static import SelectModel, StaticPowerReport, static_power
-from repro.power.weights import PowerWeights
-from repro.rtl.design import SynthesizedDesign, elaborate
-from repro.sched.minimize import minimize_resources
-from repro.sched.schedule import Schedule
+from repro.pipeline.config import FlowConfig
+from repro.pipeline.engine import Pipeline, run_pair
+from repro.pipeline.result import SynthesisPair, SynthesisResult
+
+__all__ = ["SynthesisPair", "SynthesisResult", "synthesize",
+           "synthesize_pair"]
 
 
-@dataclass
-class SynthesisResult:
-    """Everything produced for one circuit at one step budget."""
+def _warn_deprecated(name: str) -> None:
+    warnings.warn(
+        f"repro.flow.{name}() is deprecated; build a repro.pipeline."
+        f"Pipeline and run it with a FlowConfig instead",
+        DeprecationWarning, stacklevel=3)
 
-    design: SynthesizedDesign
-    pm: PMResult
-    schedule: Schedule
 
-    @property
-    def allocation(self):
-        return self.schedule.resource_usage()
-
-    def static_report(self, weights: PowerWeights = PowerWeights(),
-                      selects: SelectModel = SelectModel()) -> StaticPowerReport:
-        return static_power(self.pm, weights=weights, selects=selects)
+def _config(
+    n_steps: int,
+    options: PMOptions | None,
+    width: int,
+    initiation_interval: int | None,
+    mutex_sharing: bool,
+    verify: bool,
+) -> FlowConfig:
+    return FlowConfig(
+        n_steps=n_steps,
+        pm=options,
+        width=width,
+        initiation_interval=initiation_interval,
+        mutex_sharing=mutex_sharing,
+        verify=verify,
+    )
 
 
 def synthesize(
     graph: CDFG,
     n_steps: int,
-    options: PMOptions = PMOptions(),
+    options: PMOptions | None = None,
     width: int = 8,
     initiation_interval: int | None = None,
     mutex_sharing: bool = False,
     verify: bool = False,
 ) -> SynthesisResult:
-    """Run the full flow on ``graph`` with an ``n_steps`` throughput budget.
-
-    ``verify=True`` additionally runs the structural gating-soundness
-    check (:func:`repro.analysis.verify_gating`) on the PM result.
-    """
-    validate(graph)
-    pm = apply_power_management(graph, n_steps, options)
-    if verify:
-        from repro.analysis.verify_gating import verify_gating
-        verify_gating(pm)
-    minimized = minimize_resources(pm.graph, n_steps,
-                                   initiation_interval=initiation_interval)
-    design = elaborate(pm, minimized.schedule, width=width,
-                       mutex_sharing=mutex_sharing)
-    return SynthesisResult(design=design, pm=pm, schedule=minimized.schedule)
-
-
-@dataclass
-class SynthesisPair:
-    """Power-managed design plus its traditional baseline."""
-
-    baseline: SynthesisResult
-    managed: SynthesisResult
-
-    @property
-    def area_increase(self) -> float:
-        """Table II column 4: extra execution-unit area needed by PM."""
-        orig = self.baseline.design.area().total
-        new = self.managed.design.area().total
-        return new / orig if orig else 0.0
+    """Deprecated alias for ``Pipeline().run(graph, FlowConfig(...))``."""
+    _warn_deprecated("synthesize")
+    config = _config(n_steps, options, width, initiation_interval,
+                     mutex_sharing, verify)
+    return Pipeline().run(graph, config)
 
 
 def synthesize_pair(
     graph: CDFG,
     n_steps: int,
-    options: PMOptions = PMOptions(),
+    options: PMOptions | None = None,
     width: int = 8,
     initiation_interval: int | None = None,
 ) -> SynthesisPair:
-    """Synthesize both the PM and the traditional design at one budget."""
-    baseline = synthesize(
-        graph, n_steps,
-        options=PMOptions(enabled=False),
-        width=width, initiation_interval=initiation_interval,
-    )
-    managed = synthesize(
-        graph, n_steps, options=options, width=width,
-        initiation_interval=initiation_interval,
-    )
-    return SynthesisPair(baseline=baseline, managed=managed)
+    """Deprecated alias for ``run_pair(graph, FlowConfig(...))``."""
+    _warn_deprecated("synthesize_pair")
+    config = _config(n_steps, options, width, initiation_interval,
+                     mutex_sharing=False, verify=False)
+    return run_pair(graph, config)

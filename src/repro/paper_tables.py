@@ -4,6 +4,11 @@ The single source of truth used by the benchmark harness and the CLI:
 each function returns measured rows as plain dataclasses mirroring the
 paper's layout, so callers can print, assert against, or diff them with
 the published values in :mod:`repro.circuits.suite`.
+
+All measurements run through one module-level caching
+:class:`~repro.pipeline.Pipeline`, so the (circuit, budget) pairs the
+tables share — e.g. dealer@6 appears in both Table II and Table III —
+are synthesized once.
 """
 
 from __future__ import annotations
@@ -12,13 +17,21 @@ from dataclasses import dataclass
 
 from repro.analysis.stats import CircuitStats, circuit_stats
 from repro.circuits import TABLE2_BUDGETS, TABLE3_BUDGETS, build
-from repro.flow import synthesize_pair
 from repro.ir.ops import ResourceClass
+from repro.pipeline import ArtifactCache, FlowConfig, Pipeline, run_pair
+from repro.pipeline.result import SynthesisPair
 from repro.power.simulated import measure_power
 from repro.power.static import SelectModel, expected_op_counts, static_power
 from repro.power.weights import PowerWeights
 from repro.sim.vectors import random_vectors
 from repro.sim.workloads import balanced_condition_vectors
+
+_PIPELINE = Pipeline(cache=ArtifactCache())
+
+
+def _pair(name: str, steps: int) -> SynthesisPair:
+    return run_pair(build(name), FlowConfig(n_steps=steps),
+                    pipeline=_PIPELINE)
 
 
 def measure_table1() -> dict[str, CircuitStats]:
@@ -41,15 +54,16 @@ class MeasuredTable2Row:
 
 
 def measure_table2(
-    selects: SelectModel = SelectModel(),
-    weights: PowerWeights = PowerWeights(),
+    selects: SelectModel | None = None,
+    weights: PowerWeights | None = None,
 ) -> list[MeasuredTable2Row]:
     """Measured Table II at every (circuit, budget) the paper evaluates."""
+    selects = selects if selects is not None else SelectModel()
+    weights = weights if weights is not None else PowerWeights()
     rows = []
     for name, budgets in TABLE2_BUDGETS.items():
-        graph = build(name)
         for steps in budgets:
-            pair = synthesize_pair(graph, steps)
+            pair = _pair(name, steps)
             counts = expected_op_counts(pair.managed.pm, selects)
             report = static_power(pair.managed.pm, weights=weights,
                                   selects=selects)
@@ -99,7 +113,7 @@ def measure_table3(n_vectors: int = 192,
     rows = []
     for name, steps in TABLE3_BUDGETS.items():
         graph = build(name)
-        pair = synthesize_pair(graph, steps)
+        pair = _pair(name, steps)
         if name == "gcd":
             vectors = balanced_condition_vectors(graph, count=n_vectors,
                                                  seed=seed)

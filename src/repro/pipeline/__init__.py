@@ -1,0 +1,87 @@
+"""Composable synthesis pipeline: the public flow API.
+
+Quick start::
+
+    from repro.pipeline import FlowConfig, Pipeline
+
+    result = Pipeline().run(gcd(), FlowConfig(n_steps=7))
+
+Sweeps::
+
+    from repro.pipeline import explore
+
+    space = explore(["dealer", "gcd", "vender"], budgets=[5, 6, 7])
+    print(space.table())
+"""
+
+from repro.pipeline.cache import ArtifactCache, CacheStats, graph_fingerprint
+from repro.pipeline.config import FlowConfig
+from repro.pipeline.context import FlowContext, MissingArtifactError
+from repro.pipeline.engine import (
+    Pipeline,
+    PipelineWiringError,
+    run_flow,
+    run_pair,
+)
+from repro.pipeline.explore import (
+    ExplorationPoint,
+    ExplorationResult,
+    clear_explore_cache,
+    explore,
+)
+from repro.pipeline.registry import (
+    UnknownSchedulerError,
+    available_schedulers,
+    get_scheduler,
+    register_scheduler,
+    unregister_scheduler,
+)
+from repro.pipeline.result import SynthesisPair, SynthesisResult
+from repro.pipeline.stages import (
+    AllocateStage,
+    AnalyzeStage,
+    ElaborateStage,
+    PowerManageStage,
+    ReportStage,
+    ScheduleStage,
+    Stage,
+    StageError,
+    ValidateStage,
+    VerifyStage,
+    default_stages,
+)
+
+__all__ = [
+    "AllocateStage",
+    "AnalyzeStage",
+    "ArtifactCache",
+    "CacheStats",
+    "ElaborateStage",
+    "ExplorationPoint",
+    "ExplorationResult",
+    "FlowConfig",
+    "FlowContext",
+    "MissingArtifactError",
+    "Pipeline",
+    "PipelineWiringError",
+    "PowerManageStage",
+    "ReportStage",
+    "ScheduleStage",
+    "Stage",
+    "StageError",
+    "SynthesisPair",
+    "SynthesisResult",
+    "UnknownSchedulerError",
+    "ValidateStage",
+    "VerifyStage",
+    "available_schedulers",
+    "clear_explore_cache",
+    "default_stages",
+    "explore",
+    "get_scheduler",
+    "graph_fingerprint",
+    "register_scheduler",
+    "run_flow",
+    "run_pair",
+    "unregister_scheduler",
+]

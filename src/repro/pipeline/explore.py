@@ -1,0 +1,182 @@
+"""Batch design-space exploration.
+
+``explore`` runs the full flow over the cross product of circuits x
+step budgets x flow configs and returns one summary row per point —
+the loop ``paper_tables`` and the ablation benches used to write by
+hand.  Points are independent, so with ``workers > 1`` they fan out over
+a :class:`concurrent.futures.ProcessPoolExecutor`; each worker keeps the
+module-level artifact cache of its process warm, and every point reports
+how many of its stages were cache hits, so sweeps that revisit a
+(circuit, budget, config) neighbourhood get measurably cheaper.
+
+Circuits may be registry names (preferred — cheap to ship to workers) or
+CDFG objects (serialized to the workers through the IR's JSON form).
+
+Portability note: runtime ``register_scheduler`` registrations live in
+this process.  Workers inherit them on fork-start platforms (Linux);
+under spawn (macOS/Windows) a custom scheduler must be registered at
+import time of a module the workers also import, or the sweep must run
+with ``workers=1``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Iterable, Mapping, Sequence
+
+from repro.ir.graph import CDFG
+from repro.ir.serialize import graph_from_dict, graph_to_dict
+from repro.pipeline.cache import ArtifactCache
+from repro.pipeline.config import FlowConfig
+from repro.pipeline.engine import Pipeline
+
+# Per-process artifact store.  The parent's cache is inherited by forked
+# workers, and repeated explore() calls in one process build on it.
+_PROCESS_CACHE = ArtifactCache()
+
+
+def clear_explore_cache() -> None:
+    """Drop this process's exploration cache (mainly for tests)."""
+    _PROCESS_CACHE.clear()
+
+
+@dataclass(frozen=True)
+class ExplorationPoint:
+    """Summary of one (circuit, budget, config) synthesis run."""
+
+    circuit: str
+    n_steps: int
+    config_label: str
+    scheduler: str
+    managed_muxes: int
+    power_reduction_pct: float
+    area: int
+    controller_literals: int
+    allocation: tuple[tuple[str, int], ...]
+    cache_hits: int
+    cache_misses: int
+
+    @property
+    def allocation_dict(self) -> dict[str, int]:
+        return dict(self.allocation)
+
+
+@dataclass(frozen=True)
+class ExplorationResult:
+    """All points of one sweep plus aggregate cache behaviour."""
+
+    points: tuple[ExplorationPoint, ...]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(p.cache_hits for p in self.points)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(p.cache_misses for p in self.points)
+
+    def circuits(self) -> tuple[str, ...]:
+        seen = dict.fromkeys(p.circuit for p in self.points)
+        return tuple(seen)
+
+    def for_circuit(self, name: str) -> tuple[ExplorationPoint, ...]:
+        return tuple(p for p in self.points if p.circuit == name)
+
+    def best(self, key=None) -> ExplorationPoint:
+        """Highest-scoring point (default: datapath power reduction)."""
+        if not self.points:
+            raise ValueError("empty exploration result")
+        return max(self.points,
+                   key=key or (lambda p: p.power_reduction_pct))
+
+    def table(self) -> str:
+        lines = [f"{'circuit':<10s} {'steps':>5s} {'config':<18s} "
+                 f"{'muxes':>5s} {'saved%':>7s} {'area':>6s} {'cache':>7s}"]
+        for p in self.points:
+            lines.append(
+                f"{p.circuit:<10s} {p.n_steps:>5d} {p.config_label:<18s} "
+                f"{p.managed_muxes:>5d} {p.power_reduction_pct:>7.2f} "
+                f"{p.area:>6d} {p.cache_hits:>3d}/{p.cache_hits + p.cache_misses:<3d}")
+        lines.append(f"total stage-cache hits: {self.cache_hits} "
+                     f"({self.cache_misses} computed)")
+        return "\n".join(lines)
+
+
+def _as_spec(circuit: str | CDFG) -> tuple[str, object]:
+    if isinstance(circuit, str):
+        return ("name", circuit)
+    if isinstance(circuit, CDFG):
+        return ("graph", graph_to_dict(circuit))
+    raise TypeError(
+        f"circuit must be a registry name or CDFG, got {type(circuit)!r}")
+
+
+def _load_spec(spec: tuple[str, object]) -> CDFG:
+    kind, data = spec
+    if kind == "name":
+        from repro.circuits import build
+
+        return build(data)
+    return graph_from_dict(data)
+
+
+def _run_point(job: tuple[tuple[str, object], FlowConfig],
+               ) -> ExplorationPoint:
+    spec, config = job
+    graph = _load_spec(spec)
+    pipeline = Pipeline(cache=_PROCESS_CACHE)
+    ctx = pipeline.run_context(graph, config)
+    result = ctx.result
+    report = result.static_report()
+    return ExplorationPoint(
+        circuit=graph.name,
+        n_steps=config.n_steps,
+        config_label=config.label,
+        scheduler=config.scheduler,
+        managed_muxes=result.pm.managed_count,
+        power_reduction_pct=report.reduction_pct,
+        area=result.design.area().total,
+        controller_literals=result.design.controller.literal_count,
+        allocation=tuple(sorted(result.allocation.as_dict().items())),
+        cache_hits=len(ctx.cache_hits),
+        cache_misses=len(ctx.cache_misses),
+    )
+
+
+def explore(
+    circuits: Iterable[str | CDFG],
+    budgets: Iterable[int] | Mapping[str, Iterable[int]],
+    configs: Sequence[FlowConfig] | None = None,
+    workers: int = 1,
+) -> ExplorationResult:
+    """Synthesize every (circuit, budget, config) point of a sweep.
+
+    ``budgets`` is either one list applied to every circuit or a mapping
+    ``circuit name -> budgets`` (the paper's per-circuit Table II shape).
+    ``configs`` defaults to a single paper-defaults :class:`FlowConfig`;
+    each config's ``n_steps`` is overridden per budget.  ``workers > 1``
+    distributes points over that many worker processes.
+    """
+    configs = tuple(configs) if configs else (FlowConfig(),)
+    specs = [_as_spec(c) for c in circuits]
+    if not specs:
+        raise ValueError("explore() needs at least one circuit")
+
+    jobs: list[tuple[tuple[str, object], FlowConfig]] = []
+    for spec in specs:
+        if isinstance(budgets, Mapping):
+            name = spec[1] if spec[0] == "name" else spec[1]["name"]
+            circuit_budgets = budgets[name]
+        else:
+            circuit_budgets = budgets
+        for steps in circuit_budgets:
+            for config in configs:
+                jobs.append((spec, replace(config, n_steps=steps)))
+
+    if workers > 1:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            points = list(pool.map(_run_point, jobs))
+    else:
+        points = [_run_point(job) for job in jobs]
+    return ExplorationResult(points=tuple(points))

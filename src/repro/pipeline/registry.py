@@ -1,0 +1,99 @@
+"""Scheduler-strategy registry.
+
+The schedule stage looks its strategy up by name from
+:attr:`FlowConfig.scheduler`.  The three built-in strategies cover the
+repo's schedulers; third parties register their own with
+:func:`register_scheduler` and select them the same way — the registry is
+what makes the base scheduler a configuration axis instead of a code
+change (cf. the paper's claim that the PM pass composes with any
+resource-minimizing time-constrained scheduler).
+
+A strategy is ``fn(graph, config) -> (Schedule, Allocation)`` where
+``graph`` is the (possibly PM-augmented) CDFG to schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.ir.graph import CDFG
+from repro.pipeline.config import FlowConfig
+from repro.sched.resources import Allocation
+from repro.sched.schedule import Schedule
+
+SchedulerStrategy = Callable[[CDFG, FlowConfig], tuple[Schedule, Allocation]]
+
+_SCHEDULERS: dict[str, SchedulerStrategy] = {}
+
+
+class UnknownSchedulerError(KeyError):
+    """``FlowConfig.scheduler`` named a strategy nobody registered."""
+
+
+def register_scheduler(name: str,
+                       fn: SchedulerStrategy | None = None):
+    """Register a strategy under ``name`` (usable as a decorator).
+
+    Re-registering a name replaces the previous strategy, so tests and
+    downstream packages can override the built-ins.
+    """
+    def _register(strategy: SchedulerStrategy) -> SchedulerStrategy:
+        _SCHEDULERS[name] = strategy
+        return strategy
+
+    return _register(fn) if fn is not None else _register
+
+
+def unregister_scheduler(name: str) -> None:
+    _SCHEDULERS.pop(name, None)
+
+
+def get_scheduler(name: str) -> SchedulerStrategy:
+    try:
+        return _SCHEDULERS[name]
+    except KeyError:
+        raise UnknownSchedulerError(
+            f"unknown scheduler strategy {name!r}; registered: "
+            f"{', '.join(available_schedulers())}") from None
+
+
+def available_schedulers() -> tuple[str, ...]:
+    return tuple(sorted(_SCHEDULERS))
+
+
+@register_scheduler("list")
+def _list_strategy(graph: CDFG, config: FlowConfig):
+    """List scheduling inside the minimum-resource search (the default;
+    this is the paper's step 11)."""
+    from repro.sched.minimize import minimize_resources
+
+    found = minimize_resources(
+        graph, config.require_steps(),
+        initiation_interval=config.initiation_interval)
+    return found.schedule, found.allocation
+
+
+@register_scheduler("force_directed")
+def _force_directed_strategy(graph: CDFG, config: FlowConfig):
+    """Force-directed scheduling (Paulin & Knight)."""
+    from repro.sched.force_directed import force_directed_schedule
+
+    if config.initiation_interval is not None:
+        raise ValueError(
+            "the 'force_directed' scheduler does not support pipelining; "
+            "drop initiation_interval or use scheduler='list'")
+    schedule = force_directed_schedule(graph, config.require_steps())
+    return schedule, schedule.resource_usage()
+
+
+@register_scheduler("exact")
+def _exact_strategy(graph: CDFG, config: FlowConfig):
+    """Provably minimum-cost branch-and-bound schedule (small graphs)."""
+    from repro.sched.exact import exact_minimum_schedule
+
+    if config.initiation_interval is not None:
+        raise ValueError(
+            "the 'exact' scheduler does not support pipelining; "
+            "drop initiation_interval or use scheduler='list'")
+    found = exact_minimum_schedule(graph, config.require_steps())
+    return found.schedule, found.allocation

@@ -1,0 +1,49 @@
+"""Synthesis result containers (moved here from ``repro.flow``).
+
+``repro.flow`` re-exports both classes, so existing imports keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pm_pass import PMResult
+from repro.power.static import SelectModel, StaticPowerReport, static_power
+from repro.power.weights import PowerWeights
+from repro.rtl.design import SynthesizedDesign
+from repro.sched.schedule import Schedule
+
+
+@dataclass
+class SynthesisResult:
+    """Everything produced for one circuit at one step budget."""
+
+    design: SynthesizedDesign
+    pm: PMResult
+    schedule: Schedule
+
+    @property
+    def allocation(self):
+        return self.schedule.resource_usage()
+
+    def static_report(self, weights: PowerWeights | None = None,
+                      selects: SelectModel | None = None) -> StaticPowerReport:
+        return static_power(
+            self.pm,
+            weights=weights if weights is not None else PowerWeights(),
+            selects=selects if selects is not None else SelectModel())
+
+
+@dataclass
+class SynthesisPair:
+    """Power-managed design plus its traditional baseline."""
+
+    baseline: SynthesisResult
+    managed: SynthesisResult
+
+    @property
+    def area_increase(self) -> float:
+        """Table II column 4: extra execution-unit area needed by PM."""
+        orig = self.baseline.design.area().total
+        new = self.managed.design.area().total
+        return new / orig if orig else 0.0

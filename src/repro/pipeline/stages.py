@@ -1,0 +1,193 @@
+"""The named stages of the synthesis flow.
+
+Each stage is a small class declaring the artifacts it consumes
+(``requires``), the artifacts it publishes (``provides``), and the
+:class:`~repro.pipeline.FlowConfig` fields its output depends on
+(``config_fields`` — the basis of its cache key).  The default pipeline
+runs them in the paper's order::
+
+    validate -> analyze -> power_manage -> schedule -> allocate
+             -> elaborate -> verify -> report
+
+Splitting the flow this way keeps every stage independently cacheable
+and replaceable: swapping the scheduler is a config change, and a custom
+stage only has to honour the artifact contract.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.context import FlowContext
+from repro.pipeline.registry import get_scheduler
+from repro.pipeline.result import SynthesisResult
+
+
+class StageError(Exception):
+    """A stage broke its artifact contract."""
+
+
+class Stage:
+    """Base class: one named, introspectable step of the flow.
+
+    Subclasses override :meth:`run` to return a dict with exactly the
+    keys named in ``provides``.  ``cacheable`` stages must be pure
+    functions of the input graph plus their ``config_fields``.
+    """
+
+    name: str = ""
+    requires: tuple[str, ...] = ()
+    provides: tuple[str, ...] = ()
+    config_fields: tuple[str, ...] = ()
+    cacheable: bool = False
+
+    def run(self, ctx: FlowContext) -> dict[str, object]:
+        raise NotImplementedError
+
+    def cache_key(self, ctx: FlowContext) -> tuple:
+        return (self.name, ctx.fingerprint,
+                ctx.config.cache_key(self.config_fields))
+
+    def describe(self) -> str:
+        requires = ", ".join(self.requires) or "-"
+        provides = ", ".join(self.provides) or "-"
+        return (f"{self.name:<14s} {requires:<24s} -> {provides:<22s} "
+                f"[{'cached' if self.cacheable else 'always'}]")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class ValidateStage(Stage):
+    """Structural well-formedness of the input CDFG."""
+
+    name = "validate"
+    provides = ("validated",)
+
+    def run(self, ctx: FlowContext) -> dict[str, object]:
+        from repro.ir.validate import validate
+
+        validate(ctx.graph)
+        return {"validated": True}
+
+
+class AnalyzeStage(Stage):
+    """Circuit statistics (Table I numbers) for reports and exploration."""
+
+    name = "analyze"
+    provides = ("stats",)
+    cacheable = True
+
+    def run(self, ctx: FlowContext) -> dict[str, object]:
+        from repro.analysis.stats import circuit_stats
+
+        return {"stats": circuit_stats(ctx.graph)}
+
+
+class PowerManageStage(Stage):
+    """The paper's Figure-3 PM pass: commit control edges per MUX."""
+
+    name = "power_manage"
+    provides = ("pm",)
+    config_fields = ("n_steps", "pm")
+    cacheable = True
+
+    def run(self, ctx: FlowContext) -> dict[str, object]:
+        from repro.core.pm_pass import apply_power_management
+
+        pm = apply_power_management(ctx.graph, ctx.config.require_steps(),
+                                    ctx.config.pm_options)
+        return {"pm": pm}
+
+
+class ScheduleStage(Stage):
+    """Resource-minimizing scheduling via the registered strategy."""
+
+    name = "schedule"
+    requires = ("pm",)
+    provides = ("schedule", "allocation")
+    # "pm" options shape the augmented graph this stage schedules, so
+    # they are part of the key even though the stage reads them only
+    # through the pm artifact.
+    config_fields = ("n_steps", "pm", "scheduler", "initiation_interval")
+    cacheable = True
+
+    def run(self, ctx: FlowContext) -> dict[str, object]:
+        strategy = get_scheduler(ctx.config.scheduler)
+        schedule, allocation = strategy(ctx.get("pm").graph, ctx.config)
+        return {"schedule": schedule, "allocation": allocation}
+
+
+class AllocateStage(Stage):
+    """Bind operations to units and values to registers."""
+
+    name = "allocate"
+    requires = ("schedule",)
+    provides = ("binding", "registers")
+    config_fields = ("n_steps", "pm", "scheduler", "initiation_interval",
+                     "mutex_sharing")
+    cacheable = True
+
+    def run(self, ctx: FlowContext) -> dict[str, object]:
+        from repro.alloc.fu_binding import bind_operations
+        from repro.alloc.register_alloc import allocate_registers
+
+        schedule = ctx.get("schedule")
+        binding = bind_operations(schedule,
+                                  mutex_sharing=ctx.config.mutex_sharing)
+        registers = allocate_registers(schedule)
+        return {"binding": binding, "registers": registers}
+
+
+class ElaborateStage(Stage):
+    """Interconnect, guards, FSM controller: the finished RTL design."""
+
+    name = "elaborate"
+    requires = ("pm", "schedule", "binding", "registers")
+    provides = ("design",)
+    config_fields = ("n_steps", "pm", "scheduler", "initiation_interval",
+                     "mutex_sharing", "width")
+    cacheable = True
+
+    def run(self, ctx: FlowContext) -> dict[str, object]:
+        from repro.rtl.design import elaborate
+
+        design = elaborate(ctx.get("pm"), ctx.get("schedule"),
+                           width=ctx.config.width,
+                           binding=ctx.get("binding"),
+                           registers=ctx.get("registers"))
+        return {"design": design}
+
+
+class VerifyStage(Stage):
+    """Structural gating-soundness check (when ``config.verify``)."""
+
+    name = "verify"
+    requires = ("pm",)
+    provides = ("verified",)
+
+    def run(self, ctx: FlowContext) -> dict[str, object]:
+        if not ctx.config.verify:
+            return {"verified": False}
+        from repro.analysis.verify_gating import verify_gating
+
+        verify_gating(ctx.get("pm"))
+        return {"verified": True}
+
+
+class ReportStage(Stage):
+    """Assemble the public :class:`SynthesisResult`."""
+
+    name = "report"
+    requires = ("pm", "schedule", "design")
+    provides = ("result",)
+
+    def run(self, ctx: FlowContext) -> dict[str, object]:
+        return {"result": SynthesisResult(design=ctx.get("design"),
+                                          pm=ctx.get("pm"),
+                                          schedule=ctx.get("schedule"))}
+
+
+def default_stages() -> tuple[Stage, ...]:
+    """The full flow in its canonical order."""
+    return (ValidateStage(), AnalyzeStage(), PowerManageStage(),
+            ScheduleStage(), AllocateStage(), ElaborateStage(),
+            VerifyStage(), ReportStage())

@@ -9,7 +9,7 @@ the power estimates.  Used by the CLI and handy in notebooks/tests.
 from __future__ import annotations
 
 from repro.core.report import describe_decisions
-from repro.flow import SynthesisResult
+from repro.pipeline.result import SynthesisResult
 from repro.power.static import SelectModel, static_power
 from repro.power.weights import PowerWeights
 
@@ -68,9 +68,11 @@ def utilization(result: SynthesisResult) -> dict[str, float]:
 
 
 def full_report(result: SynthesisResult,
-                weights: PowerWeights = PowerWeights(),
-                selects: SelectModel = SelectModel()) -> str:
+                weights: PowerWeights | None = None,
+                selects: SelectModel | None = None) -> str:
     """The complete human-readable synthesis report."""
+    weights = weights if weights is not None else PowerWeights()
+    selects = selects if selects is not None else SelectModel()
     design = result.design
     sections = [design.summary(), ""]
 

@@ -72,10 +72,19 @@ class SynthesizedDesign:
 
 
 def elaborate(pm: PMResult, schedule: Schedule, width: int = 8,
-              mutex_sharing: bool = False) -> SynthesizedDesign:
-    """Bind, allocate, interconnect and control a scheduled PM result."""
-    binding = bind_operations(schedule, mutex_sharing=mutex_sharing)
-    registers = allocate_registers(schedule)
+              mutex_sharing: bool = False,
+              binding: Binding | None = None,
+              registers: RegisterFile | None = None) -> SynthesizedDesign:
+    """Bind, allocate, interconnect and control a scheduled PM result.
+
+    ``binding``/``registers`` may be passed precomputed (the pipeline's
+    allocate stage does, so they can be cached independently); otherwise
+    they are derived here.
+    """
+    if binding is None:
+        binding = bind_operations(schedule, mutex_sharing=mutex_sharing)
+    if registers is None:
+        registers = allocate_registers(schedule)
     interconnect = build_interconnect(binding, registers)
     guards = all_guards(pm)
     controller = build_controller(binding, registers, interconnect, guards)

@@ -1,0 +1,112 @@
+"""Artifact caching: fingerprints, hit/miss accounting, reuse rules."""
+
+import pytest
+
+from repro.circuits import build
+from repro.pipeline import (
+    ArtifactCache,
+    FlowConfig,
+    Pipeline,
+    graph_fingerprint,
+)
+
+CACHEABLE = ("analyze", "power_manage", "schedule", "allocate", "elaborate")
+
+
+class TestFingerprint:
+    def test_identical_builds_fingerprint_equally(self):
+        assert graph_fingerprint(build("gcd")) == \
+            graph_fingerprint(build("gcd"))
+
+    def test_different_circuits_differ(self):
+        assert graph_fingerprint(build("gcd")) != \
+            graph_fingerprint(build("dealer"))
+
+    def test_control_edges_change_the_fingerprint(self, abs_diff_graph):
+        from repro.core import apply_power_management
+
+        pm = apply_power_management(abs_diff_graph, 3)
+        assert pm.graph.control_edges()  # sanity: PM added edges
+        assert graph_fingerprint(pm.graph) != \
+            graph_fingerprint(abs_diff_graph)
+
+
+class TestHitMiss:
+    def test_identical_rerun_hits_every_cacheable_stage(self, gcd_graph):
+        pipeline = Pipeline(cache=ArtifactCache())
+        first = pipeline.run_context(gcd_graph, FlowConfig(n_steps=7))
+        second = pipeline.run_context(gcd_graph, FlowConfig(n_steps=7))
+        assert first.cache_hits == []
+        assert first.cache_misses == list(CACHEABLE)
+        assert second.cache_hits == list(CACHEABLE)
+        assert second.cache_misses == []
+
+    def test_cached_rerun_reproduces_the_same_design(self, gcd_graph):
+        pipeline = Pipeline(cache=ArtifactCache())
+        first = pipeline.run(gcd_graph, FlowConfig(n_steps=7))
+        second = pipeline.run(gcd_graph, FlowConfig(n_steps=7))
+        assert first.design.summary() == second.design.summary()
+        assert first.schedule.table() == second.schedule.table()
+
+    def test_changed_budget_misses(self, gcd_graph):
+        pipeline = Pipeline(cache=ArtifactCache())
+        pipeline.run(gcd_graph, FlowConfig(n_steps=7))
+        ctx = pipeline.run_context(gcd_graph, FlowConfig(n_steps=8))
+        # Budget-independent analysis is reused; the rest recomputes.
+        assert ctx.cache_hits == ["analyze"]
+
+    def test_width_change_reuses_pm_and_scheduling(self, gcd_graph):
+        pipeline = Pipeline(cache=ArtifactCache())
+        pipeline.run(gcd_graph, FlowConfig(n_steps=7, width=8))
+        ctx = pipeline.run_context(gcd_graph, FlowConfig(n_steps=7,
+                                                         width=16))
+        assert ctx.cache_hits == ["analyze", "power_manage", "schedule",
+                                  "allocate"]
+        assert ctx.cache_misses == ["elaborate"]
+        assert ctx.get("design").width == 16
+
+    def test_baseline_and_managed_share_analysis_only(self, gcd_graph):
+        pipeline = Pipeline(cache=ArtifactCache())
+        config = FlowConfig(n_steps=7)
+        pipeline.run(gcd_graph, config.baseline())
+        ctx = pipeline.run_context(gcd_graph, config)
+        assert ctx.cache_hits == ["analyze"]
+
+    def test_no_cache_means_no_accounting(self, gcd_graph):
+        ctx = Pipeline().run_context(gcd_graph, FlowConfig(n_steps=7))
+        assert ctx.cache_hits == [] and ctx.cache_misses == []
+
+    def test_stats_accumulate(self, gcd_graph):
+        cache = ArtifactCache()
+        pipeline = Pipeline(cache=cache)
+        pipeline.run(gcd_graph, FlowConfig(n_steps=7))
+        pipeline.run(gcd_graph, FlowConfig(n_steps=7))
+        assert cache.stats.hits == len(CACHEABLE)
+        assert cache.stats.misses == len(CACHEABLE)
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_context_summary_marks_cached_stages(self, gcd_graph):
+        pipeline = Pipeline(cache=ArtifactCache())
+        pipeline.run(gcd_graph, FlowConfig(n_steps=7))
+        ctx = pipeline.run_context(gcd_graph, FlowConfig(n_steps=7))
+        summary = ctx.summary()
+        assert "pm" in summary and "(cache)" in summary
+
+
+class TestEviction:
+    def test_lru_eviction_bounds_the_store(self):
+        cache = ArtifactCache(max_entries=2)
+        cache.store(("a",), {"x": 1})
+        cache.store(("b",), {"x": 2})
+        cache.store(("c",), {"x": 3})
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert cache.lookup(("a",)) is None
+        assert cache.lookup(("c",)) == {"x": 3}
+
+    def test_clear_resets_everything(self):
+        cache = ArtifactCache()
+        cache.store(("a",), {"x": 1})
+        cache.lookup(("a",))
+        cache.clear()
+        assert len(cache) == 0 and cache.stats.lookups == 0

@@ -1,0 +1,110 @@
+"""CLI features introduced with the pipeline API, plus load_circuit errors."""
+
+import pytest
+
+from repro.cli import load_circuit, main
+
+
+class TestLoadCircuit:
+    def test_registered_name(self):
+        assert load_circuit("dealer").name == "dealer"
+
+    def test_dsl_file(self, tmp_path):
+        source = tmp_path / "tiny.circ"
+        source.write_text("""
+circuit tiny {
+    input a, b;
+    c = a > b;
+    output out = c ? a : b;
+}
+""")
+        graph = load_circuit(str(source))
+        assert graph.name == "tiny"
+
+    def test_unknown_spec_is_a_clean_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            load_circuit("not_a_circuit_or_file")
+        message = str(excinfo.value)
+        assert "not_a_circuit_or_file" in message
+        assert "dealer" in message  # lists the registered names
+
+    def test_unreadable_path_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="neither"):
+            load_circuit(str(tmp_path / "missing.circ"))
+
+
+class TestSchedulerFlag:
+    def test_synthesize_with_named_scheduler(self, capsys):
+        assert main(["synthesize", "gcd", "--steps", "7",
+                     "--scheduler", "force_directed"]) == 0
+        assert "schedule:" in capsys.readouterr().out
+
+    def test_unknown_scheduler_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["synthesize", "gcd", "--steps", "7",
+                  "--scheduler", "hyper"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_verify_flag(self, capsys):
+        assert main(["synthesize", "gcd", "--steps", "7",
+                     "--verify"]) == 0
+
+
+class TestExploreCommand:
+    def test_sweep_prints_table_and_best_point(self, capsys):
+        assert main(["explore", "dealer", "gcd", "--budgets", "5,6"]) == 0
+        out = capsys.readouterr().out
+        assert "dealer" in out and "gcd" in out
+        assert "best point:" in out
+        # 2 circuits x 2 budgets.
+        assert out.count("default") == 4
+
+    def test_empty_budgets_rejected(self):
+        with pytest.raises(SystemExit, match="budgets"):
+            main(["explore", "dealer", "--budgets", ","])
+
+    def test_infeasible_budget_is_a_clean_error(self):
+        # dealer's critical path is 4; a 3-step sweep cannot schedule.
+        with pytest.raises(SystemExit, match="critical path"):
+            main(["explore", "dealer", "--budgets", "3"])
+
+    def test_non_integer_budgets_rejected(self):
+        with pytest.raises(SystemExit, match="comma-separated"):
+            main(["explore", "dealer", "--budgets", "5,six"])
+
+    def test_verify_flag_reaches_the_sweep_configs(self, monkeypatch):
+        import repro.cli as cli
+
+        seen = {}
+        real_explore = cli.explore
+
+        def fake_explore(circuits, budgets, configs, workers):
+            seen["verify"] = [c.verify for c in configs]
+            return real_explore(circuits, budgets, configs=configs,
+                                workers=workers)
+
+        monkeypatch.setattr(cli, "explore", fake_explore)
+        assert main(["explore", "gcd", "--budgets", "6", "--verify"]) == 0
+        assert seen["verify"] == [True]
+
+    def test_dsl_file_circuits_supported(self, tmp_path, capsys):
+        source = tmp_path / "tiny.circ"
+        source.write_text("""
+circuit tiny {
+    input a, b;
+    c = a > b;
+    output out = c ? a : b;
+}
+""")
+        assert main(["explore", str(source), "--budgets", "2,3"]) == 0
+        assert "tiny" in capsys.readouterr().out
+
+
+class TestStagesCommand:
+    def test_prints_wiring_and_schedulers(self, capsys):
+        assert main(["stages"]) == 0
+        out = capsys.readouterr().out
+        for stage in ("validate", "power_manage", "schedule", "elaborate",
+                      "report"):
+            assert stage in out
+        assert "force_directed" in out

@@ -1,0 +1,110 @@
+"""Batch design-space exploration: shapes, caching, parallel workers."""
+
+import pytest
+
+from repro.circuits import build
+from repro.core import PMOptions
+from repro.pipeline import (
+    ExplorationPoint,
+    ExplorationResult,
+    FlowConfig,
+    clear_explore_cache,
+    explore,
+)
+
+CIRCUITS = ["dealer", "gcd", "vender"]
+BUDGETS = [5, 6, 7]
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_explore_cache()
+    yield
+    clear_explore_cache()
+
+
+class TestShape:
+    def test_full_cross_product(self):
+        result = explore(CIRCUITS, BUDGETS)
+        assert isinstance(result, ExplorationResult)
+        assert len(result.points) == 9
+        assert all(isinstance(p, ExplorationPoint) for p in result.points)
+        assert result.circuits() == ("dealer", "gcd", "vender")
+        assert {p.n_steps for p in result.points} == set(BUDGETS)
+
+    def test_points_carry_synthesis_summaries(self):
+        result = explore(["gcd"], [7])
+        point = result.points[0]
+        assert point.circuit == "gcd"
+        assert point.managed_muxes == 2
+        assert point.power_reduction_pct == pytest.approx(11.76, abs=0.01)
+        assert point.area > 0 and point.controller_literals > 0
+        assert point.allocation_dict  # e.g. {'-': 1, '<': 1, 'mux': 1}
+
+    def test_per_circuit_budget_mapping(self):
+        result = explore(["dealer", "gcd"],
+                         {"dealer": [5, 6], "gcd": [7]})
+        assert [(p.circuit, p.n_steps) for p in result.points] == \
+            [("dealer", 5), ("dealer", 6), ("gcd", 7)]
+
+    def test_multiple_configs_per_point(self):
+        configs = [FlowConfig(label="pm"),
+                   FlowConfig(pm=PMOptions(enabled=False),
+                              label="baseline")]
+        result = explore(["gcd"], [7], configs=configs)
+        labels = [p.config_label for p in result.points]
+        assert labels == ["pm", "baseline"]
+        by_label = {p.config_label: p for p in result.points}
+        assert by_label["pm"].managed_muxes > 0
+        assert by_label["baseline"].managed_muxes == 0
+
+    def test_cdfg_objects_accepted(self, abs_diff_graph):
+        result = explore([abs_diff_graph], [3])
+        assert result.points[0].circuit == abs_diff_graph.name
+        assert result.points[0].managed_muxes == 1
+
+    def test_helpers(self):
+        result = explore(CIRCUITS, BUDGETS)
+        assert len(result.for_circuit("gcd")) == 3
+        best = result.best()
+        assert best.power_reduction_pct == \
+            max(p.power_reduction_pct for p in result.points)
+        table = result.table()
+        assert "dealer" in table and "stage-cache hits" in table
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValueError, match="at least one circuit"):
+            explore([], BUDGETS)
+        with pytest.raises(TypeError, match="registry name or CDFG"):
+            explore([42], BUDGETS)
+        with pytest.raises(KeyError):
+            explore(["nonesuch"], BUDGETS)
+
+
+class TestCaching:
+    def test_second_sweep_is_served_from_cache(self):
+        cold = explore(CIRCUITS, BUDGETS)
+        warm = explore(CIRCUITS, BUDGETS)
+        assert cold.cache_misses > 0
+        assert warm.cache_hits > 0
+        assert warm.cache_misses == 0
+        # Identical synthesis outcomes either way.
+        assert [(p.circuit, p.n_steps, p.managed_muxes, p.area,
+                 p.power_reduction_pct) for p in cold.points] == \
+               [(p.circuit, p.n_steps, p.managed_muxes, p.area,
+                 p.power_reduction_pct) for p in warm.points]
+
+    def test_first_sweep_already_shares_analysis_across_budgets(self):
+        cold = explore(["gcd"], BUDGETS)
+        # Budgets 6 and 7 reuse gcd's budget-independent analyze artifact.
+        assert cold.cache_hits >= 2
+
+
+class TestParallel:
+    def test_worker_processes_match_serial_results(self):
+        serial = explore(CIRCUITS, [5, 6])
+        parallel = explore(CIRCUITS, [5, 6], workers=2)
+        assert [(p.circuit, p.n_steps, p.managed_muxes, p.area,
+                 p.power_reduction_pct) for p in parallel.points] == \
+               [(p.circuit, p.n_steps, p.managed_muxes, p.area,
+                 p.power_reduction_pct) for p in serial.points]

@@ -1,0 +1,87 @@
+"""Scheduler-strategy registry: lookup, errors, third-party extension."""
+
+import pytest
+
+from repro.pipeline import (
+    FlowConfig,
+    Pipeline,
+    UnknownSchedulerError,
+    available_schedulers,
+    get_scheduler,
+    register_scheduler,
+    unregister_scheduler,
+)
+
+
+class TestLookup:
+    def test_builtins_registered(self):
+        assert {"list", "force_directed", "exact"} <= \
+            set(available_schedulers())
+
+    def test_unknown_name_raises_with_suggestions(self):
+        with pytest.raises(UnknownSchedulerError, match="force_directed"):
+            get_scheduler("hyper")
+
+    def test_unknown_name_fails_at_run_time(self, gcd_graph):
+        with pytest.raises(UnknownSchedulerError, match="hyper"):
+            Pipeline().run(gcd_graph, FlowConfig(n_steps=7,
+                                                 scheduler="hyper"))
+
+
+class TestSelectionByName:
+    @pytest.mark.parametrize("name", ["list", "force_directed", "exact"])
+    def test_each_builtin_schedules_gcd(self, gcd_graph, name):
+        result = Pipeline().run(gcd_graph, FlowConfig(n_steps=7,
+                                                      scheduler=name))
+        result.schedule.verify(result.allocation)
+        assert result.schedule.n_steps == 7
+
+    def test_exact_never_costs_more_than_list(self, dealer_graph):
+        pipeline = Pipeline()
+        lst = pipeline.run(dealer_graph, FlowConfig(n_steps=6))
+        exact = pipeline.run(dealer_graph,
+                             FlowConfig(n_steps=6, scheduler="exact"))
+        assert exact.allocation.cost() <= lst.allocation.cost()
+
+    def test_pipelining_rejected_by_non_list_strategies(self, gcd_graph):
+        for name in ("force_directed", "exact"):
+            with pytest.raises(ValueError, match="pipelining"):
+                Pipeline().run(gcd_graph, FlowConfig(
+                    n_steps=7, scheduler=name, initiation_interval=3))
+
+    def test_scheduler_choice_is_part_of_the_cache_key(self, gcd_graph):
+        from repro.pipeline import ArtifactCache
+
+        pipeline = Pipeline(cache=ArtifactCache())
+        pipeline.run(gcd_graph, FlowConfig(n_steps=7))
+        ctx = pipeline.run_context(
+            gcd_graph, FlowConfig(n_steps=7, scheduler="exact"))
+        assert "schedule" not in ctx.cache_hits
+        assert "power_manage" in ctx.cache_hits  # PM is scheduler-agnostic
+
+
+class TestRegistration:
+    def test_third_party_strategy_selectable_by_name(self, gcd_graph):
+        from repro.sched.minimize import minimize_resources
+
+        @register_scheduler("asap_greedy")
+        def _asap(graph, config):
+            found = minimize_resources(graph, config.require_steps())
+            return found.schedule, found.allocation
+
+        try:
+            result = Pipeline().run(
+                gcd_graph, FlowConfig(n_steps=7, scheduler="asap_greedy"))
+            result.schedule.verify(result.allocation)
+            assert "asap_greedy" in available_schedulers()
+        finally:
+            unregister_scheduler("asap_greedy")
+        assert "asap_greedy" not in available_schedulers()
+
+    def test_register_is_usable_without_decorator_sugar(self):
+        sentinel = lambda graph, config: None  # noqa: E731
+        register_scheduler("sentinel", sentinel)
+        try:
+            assert get_scheduler("sentinel") is sentinel
+        finally:
+            unregister_scheduler("sentinel")
