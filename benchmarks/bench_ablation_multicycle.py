@@ -17,7 +17,7 @@ from repro.pipeline import ArtifactCache, FlowConfig, Pipeline, run_pair
 from repro.ir.graph import CDFG
 from repro.power import static_power
 from repro.sched import critical_path_length
-from repro.sim import RTLSimulator, evaluate, random_vectors
+from repro.sim import CompiledEngine, evaluate, random_vectors
 
 
 def vender_multicycle(mul_latency: int) -> CDFG:
@@ -96,6 +96,6 @@ def test_bench_ablation_multicycle(benchmark):
         # And the generated hardware still computes the right thing.
         graph = row["graph"]
         vectors = random_vectors(graph, 12, seed=row["latency"])
-        sim = RTLSimulator(row["pair"].managed.design)
-        outputs, _ = sim.run_many(vectors)
+        engine = CompiledEngine(row["pair"].managed.design)
+        outputs, _ = engine.run_many(vectors)
         assert outputs == [evaluate(graph, v) for v in vectors]

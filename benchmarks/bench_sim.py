@@ -1,0 +1,149 @@
+"""Simulation-engine benchmark: interpreted RTLSimulator vs compiled engine.
+
+Times the ``measure_power`` hot path — construct the simulator cold
+(engine compilation included) and run a vector batch — identically for
+the legacy interpreter and the compiled batch engine on each benchmark
+circuit, verifies the two produce identical outputs and switching
+activity, and emits ``BENCH_sim.json`` at the repo root so the speedup
+trajectory is tracked across PRs.
+
+Usage::
+
+    python benchmarks/bench_sim.py            # full run (256 vectors, all circuits)
+    python benchmarks/bench_sim.py --smoke    # CI-fast run (64 vectors, 2 circuits)
+
+Exits nonzero if any circuit's engine results diverge from the
+interpreter's, or if the speedup falls below ``--min-speedup`` (default
+5x, the floor the acceptance criteria pin for the largest circuit).
+Under ``--smoke`` the speedup floor is advisory — millisecond-scale
+timings on shared CI runners are too noisy for a hard perf gate — while
+the equality check stays fatal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.circuits import build  # noqa: E402
+from repro.pipeline import FlowConfig, run_pair  # noqa: E402
+from repro.sim.engine import CompiledEngine  # noqa: E402
+from repro.sim.simulator import RTLSimulator  # noqa: E402
+from repro.sim.vectors import random_vectors  # noqa: E402
+
+# Circuit -> step budget; cordic is the largest circuit (Table I: 152 ops).
+FULL_CIRCUITS = {"dealer": 6, "gcd": 7, "vender": 6, "cordic": 48}
+SMOKE_CIRCUITS = {"dealer": 6, "gcd": 7}
+
+
+def bench_circuit(name: str, steps: int, n_vectors: int,
+                  repeats: int) -> dict[str, object]:
+    graph = build(name)
+    design = run_pair(graph, FlowConfig(n_steps=steps)).managed.design
+    vectors = random_vectors(graph, n_vectors)
+
+    # Symmetric workloads: each side constructs its simulator cold (the
+    # engine's one-off compilation included) and runs the same batch.
+    legacy_s = min(
+        _timed(lambda: RTLSimulator(design).run_many(vectors))
+        for _ in range(repeats))
+    engine_s = min(
+        _timed(lambda: CompiledEngine(design).run_many(vectors))
+        for _ in range(repeats))
+
+    compile_start = time.perf_counter()
+    engine = CompiledEngine(design)
+    compile_s = time.perf_counter() - compile_start
+    engine_outputs, engine_activity = engine.run_many(vectors)
+    legacy_outputs, legacy_activity = RTLSimulator(design).run_many(vectors)
+    identical = (engine_outputs == legacy_outputs
+                 and engine_activity == legacy_activity)
+    return {
+        "circuit": name,
+        "n_steps": steps,
+        "n_vectors": n_vectors,
+        "legacy_s": legacy_s,
+        "engine_s": engine_s,
+        "engine_compile_s": compile_s,
+        "speedup": legacy_s / engine_s,
+        "identical": identical,
+    }
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="fast CI subset: 64 vectors, dealer + gcd")
+    parser.add_argument("--vectors", type=int, default=None,
+                        help="vector count (default 256, smoke 64)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail if any circuit speeds up less than this "
+                             "(default 5.0; 2.0 under --smoke, where "
+                             "one-off engine compilation dominates the "
+                             "short run)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output path (default <repo>/BENCH_sim.json)")
+    args = parser.parse_args(argv)
+
+    circuits = SMOKE_CIRCUITS if args.smoke else FULL_CIRCUITS
+    if args.min_speedup is None:
+        args.min_speedup = 2.0 if args.smoke else 5.0
+    n_vectors = args.vectors or (64 if args.smoke else 256)
+    repeats = 3
+    out_path = args.out or (
+        Path(__file__).resolve().parent.parent / "BENCH_sim.json")
+
+    results = [bench_circuit(name, steps, n_vectors, repeats)
+               for name, steps in circuits.items()]
+    report = {
+        "bench": "sim_engine_vs_interpreter",
+        "mode": "smoke" if args.smoke else "full",
+        "n_vectors": n_vectors,
+        "min_speedup_required": args.min_speedup,
+        "results": results,
+        "min_speedup_measured": min(r["speedup"] for r in results),
+    }
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+
+    header = (f"{'circuit':<8s} {'steps':>5s} {'vecs':>5s} {'legacy_s':>9s} "
+              f"{'engine_s':>9s} {'speedup':>8s} identical")
+    print(header)
+    print("-" * len(header))
+    for r in results:
+        print(f"{r['circuit']:<8s} {r['n_steps']:>5d} {r['n_vectors']:>5d} "
+              f"{r['legacy_s']:>9.4f} {r['engine_s']:>9.4f} "
+              f"{r['speedup']:>7.1f}x {r['identical']}")
+    print(f"wrote {out_path}")
+
+    failures = [r["circuit"] for r in results if not r["identical"]]
+    if failures:
+        print(f"FAIL: engine diverges from interpreter on {failures}")
+        return 1
+    slow = [r["circuit"] for r in results
+            if r["speedup"] < args.min_speedup]
+    if slow:
+        if args.smoke:
+            # Millisecond-scale smoke timings are noisy on shared CI
+            # runners: the correctness gate above stays hard, the
+            # speedup floor is advisory here.
+            print(f"WARN: speedup below {args.min_speedup}x on {slow} "
+                  "(advisory in smoke mode)")
+            return 0
+        print(f"FAIL: speedup below {args.min_speedup}x on {slow}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

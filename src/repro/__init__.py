@@ -74,7 +74,7 @@ from repro.sched import (
     list_schedule,
     minimize_resources,
 )
-from repro.sim import RTLSimulator, evaluate, random_vectors
+from repro.sim import CompiledEngine, RTLSimulator, evaluate, random_vectors
 
 __version__ = "1.1.0"
 
@@ -82,6 +82,7 @@ __all__ = [
     "Allocation",
     "ArtifactCache",
     "CDFG",
+    "CompiledEngine",
     "ExplorationResult",
     "FlowConfig",
     "FlowContext",

@@ -24,7 +24,10 @@ from repro.power.simulated import measure_power
 from repro.power.static import SelectModel, expected_op_counts, static_power
 from repro.power.weights import PowerWeights
 from repro.sim.vectors import random_vectors
-from repro.sim.workloads import balanced_condition_vectors
+from repro.sim.workloads import (
+    balanced_condition_vectors,
+    iter_balanced_condition_vectors,
+)
 
 _PIPELINE = Pipeline(cache=ArtifactCache())
 
@@ -102,27 +105,42 @@ class MeasuredTable3Row:
         return 100.0 * (self.power_orig - self.power_new) / self.power_orig
 
 
-def measure_table3(n_vectors: int = 192,
-                   seed: int = 1996) -> list[MeasuredTable3Row]:
+def measure_table3(n_vectors: int = 192, seed: int = 1996,
+                   rel_tol: float | None = None) -> list[MeasuredTable3Row]:
     """Measured Table III: simulated power of orig vs PM designs.
 
     dealer/vender use uniform random vectors (the paper's method); gcd uses
     the balanced-condition workload (see EXPERIMENTS.md on why uniform
-    8-bit pairs starve its done-branch).
+    8-bit pairs starve its done-branch).  All simulation runs on the
+    compiled batch engine; ``rel_tol`` switches from the fixed
+    ``n_vectors`` sample to Monte Carlo estimation, streaming each
+    workload until the energy confidence interval converges.
     """
     rows = []
     for name, steps in TABLE3_BUDGETS.items():
         graph = build(name)
         pair = _pair(name, steps)
-        if name == "gcd":
-            vectors = balanced_condition_vectors(graph, count=n_vectors,
-                                                 seed=seed)
+        if rel_tol is not None:
+            # MC mode streams; two iterators because each design's
+            # estimator consumes its own (identically seeded) stream.
+            orig_vectors = managed_vectors = None
+            if name == "gcd":
+                orig_vectors = iter_balanced_condition_vectors(graph,
+                                                               seed=seed)
+                managed_vectors = iter_balanced_condition_vectors(graph,
+                                                                  seed=seed)
+        elif name == "gcd":
+            orig_vectors = managed_vectors = balanced_condition_vectors(
+                graph, count=n_vectors, seed=seed)
         else:
-            vectors = random_vectors(graph, n_vectors, seed=seed)
-        orig = measure_power(pair.baseline.design, vectors=vectors,
-                             power_management=False)
-        new = measure_power(pair.managed.design, vectors=vectors,
-                            power_management=True)
+            orig_vectors = managed_vectors = random_vectors(
+                graph, n_vectors, seed=seed)
+        orig = measure_power(pair.baseline.design, vectors=orig_vectors,
+                             power_management=False, seed=seed,
+                             rel_tol=rel_tol)
+        new = measure_power(pair.managed.design, vectors=managed_vectors,
+                            power_management=True, seed=seed,
+                            rel_tol=rel_tol)
         rows.append(MeasuredTable3Row(
             name=name,
             control_steps=steps,

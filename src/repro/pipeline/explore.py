@@ -56,6 +56,9 @@ class ExplorationPoint:
     allocation: tuple[tuple[str, int], ...]
     cache_hits: int
     cache_misses: int
+    #: Engine-simulated total power reduction vs the baseline design,
+    #: populated when ``explore(..., sim_vectors=N)`` is used.
+    simulated_reduction_pct: float | None = None
 
     @property
     def allocation_dict(self) -> dict[str, int]:
@@ -121,14 +124,22 @@ def _load_spec(spec: tuple[str, object]) -> CDFG:
     return graph_from_dict(data)
 
 
-def _run_point(job: tuple[tuple[str, object], FlowConfig],
+def _run_point(job: tuple[tuple[str, object], FlowConfig, int],
                ) -> ExplorationPoint:
-    spec, config = job
+    spec, config, sim_vectors = job
     graph = _load_spec(spec)
     pipeline = Pipeline(cache=_PROCESS_CACHE)
     ctx = pipeline.run_context(graph, config)
     result = ctx.result
     report = result.static_report()
+    simulated = None
+    if sim_vectors > 0:
+        from repro.power.simulated import compare_designs
+
+        baseline = pipeline.run(graph, config.baseline())
+        comparison = compare_designs(baseline.design, result.design,
+                                     n_vectors=sim_vectors)
+        simulated = comparison.reduction_pct
     return ExplorationPoint(
         circuit=graph.name,
         n_steps=config.n_steps,
@@ -141,6 +152,7 @@ def _run_point(job: tuple[tuple[str, object], FlowConfig],
         allocation=tuple(sorted(result.allocation.as_dict().items())),
         cache_hits=len(ctx.cache_hits),
         cache_misses=len(ctx.cache_misses),
+        simulated_reduction_pct=simulated,
     )
 
 
@@ -149,6 +161,7 @@ def explore(
     budgets: Iterable[int] | Mapping[str, Iterable[int]],
     configs: Sequence[FlowConfig] | None = None,
     workers: int = 1,
+    sim_vectors: int = 0,
 ) -> ExplorationResult:
     """Synthesize every (circuit, budget, config) point of a sweep.
 
@@ -156,14 +169,16 @@ def explore(
     ``circuit name -> budgets`` (the paper's per-circuit Table II shape).
     ``configs`` defaults to a single paper-defaults :class:`FlowConfig`;
     each config's ``n_steps`` is overridden per budget.  ``workers > 1``
-    distributes points over that many worker processes.
+    distributes points over that many worker processes.  ``sim_vectors >
+    0`` additionally simulates every point (baseline vs managed, on the
+    compiled batch engine) and fills ``simulated_reduction_pct``.
     """
     configs = tuple(configs) if configs else (FlowConfig(),)
     specs = [_as_spec(c) for c in circuits]
     if not specs:
         raise ValueError("explore() needs at least one circuit")
 
-    jobs: list[tuple[tuple[str, object], FlowConfig]] = []
+    jobs: list[tuple[tuple[str, object], FlowConfig, int]] = []
     for spec in specs:
         if isinstance(budgets, Mapping):
             name = spec[1] if spec[0] == "name" else spec[1]["name"]
@@ -172,7 +187,8 @@ def explore(
             circuit_budgets = budgets
         for steps in circuit_budgets:
             for config in configs:
-                jobs.append((spec, replace(config, n_steps=steps)))
+                jobs.append((spec, replace(config, n_steps=steps),
+                             sim_vectors))
 
     if workers > 1:
         with ProcessPoolExecutor(max_workers=workers) as pool:

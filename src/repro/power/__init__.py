@@ -2,6 +2,7 @@
 
 from repro.power.profile import profile_selects
 from repro.power.simulated import (
+    MonteCarloPower,
     PowerComparison,
     SimulatedPower,
     compare_designs,
@@ -18,6 +19,7 @@ from repro.power.static import (
 from repro.power.weights import PAPER_WEIGHTS, PowerWeights
 
 __all__ = [
+    "MonteCarloPower",
     "PAPER_WEIGHTS",
     "PowerComparison",
     "PowerWeights",

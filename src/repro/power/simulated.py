@@ -1,8 +1,8 @@
 """Simulation-based power estimation (paper Table III).
 
 The paper synthesized both designs to gates and measured them with
-Synopsys DesignPower.  Our stand-in: run the cycle-accurate RTL simulator
-on random input vectors for the original and power-managed designs and
+Synopsys DesignPower.  Our stand-in: run the cycle-accurate simulation on
+random input vectors for the original and power-managed designs and
 convert switching activity into weighted energy:
 
 * execution units: ``class weight x toggled-bit fraction`` per activation
@@ -11,17 +11,32 @@ convert switching activity into weighted energy:
 * controller: a per-literal-per-cycle charge, so the power-managed
   controller — which the paper notes is "slightly more complex" — eats
   part of the datapath savings exactly as Table III shows.
+
+Simulation runs on the :class:`~repro.sim.engine.CompiledEngine` (the
+interpreted :class:`~repro.sim.simulator.RTLSimulator` remains the oracle
+the engine is differentially tested against).  Two estimation modes:
+
+* fixed-sample (``vectors``/``n_vectors``): one batch, exact legacy
+  numbers — what the golden Table III regression pins;
+* Monte Carlo (``rel_tol=...``): draw vector blocks from a stream until
+  the per-sample energy estimate's confidence interval is tighter than
+  ``rel_tol`` of the mean, and report the CI achieved.
 """
 
 from __future__ import annotations
 
+import math
+import statistics
 from dataclasses import dataclass
+from itertools import islice
+from typing import Iterable
 
 from repro.ir.ops import ResourceClass
 from repro.power.weights import PowerWeights
 from repro.rtl.design import SynthesizedDesign
-from repro.sim.simulator import RTLSimulator
-from repro.sim.vectors import random_vectors
+from repro.sim.activity import ActivityCounter
+from repro.sim.engine import CompiledEngine
+from repro.sim.vectors import iter_random_vectors, random_vectors
 
 # Energy per toggled register bit, relative to the paper's unit weights.
 REGISTER_BIT_ENERGY = 0.10
@@ -47,40 +62,155 @@ class SimulatedPower:
         return self.datapath + self.controller_energy
 
 
-def measure_power(
-    design: SynthesizedDesign,
-    vectors: list[dict[str, int]] | None = None,
-    n_vectors: int = 256,
-    seed: int = 1996,
-    power_management: bool = True,
-    weights: PowerWeights = PowerWeights(),
-) -> SimulatedPower:
-    """Average per-sample energy of ``design`` over random vectors."""
-    graph = design.graph
-    if vectors is None:
-        vectors = random_vectors(graph, n_vectors, width=design.width,
-                                 seed=seed)
-    simulator = RTLSimulator(design, power_management=power_management)
-    _, activity = simulator.run_many(vectors)
-    samples = len(vectors)
+@dataclass(frozen=True)
+class MonteCarloPower(SimulatedPower):
+    """A :class:`SimulatedPower` with its convergence diagnostics.
 
+    ``ci_halfwidth`` is the half-width of the ``confidence`` interval on
+    the per-sample total energy, estimated over the means of the
+    ``blocks`` full-size blocks, using a Student-t quantile (partial
+    trailing blocks of a finite stream feed the estimate but not the
+    statistics) — ``math.inf`` when fewer than the minimum four full
+    blocks ran, so no interval was computed;
+    ``converged`` is False when ``max_vectors`` was hit (or the vector
+    stream ran dry) before the requested ``rel_tol`` was reached.
+    """
+
+    rel_tol: float = 0.0
+    confidence: float = 0.95
+    ci_halfwidth: float = 0.0
+    blocks: int = 0
+    converged: bool = True
+
+    @property
+    def rel_ci(self) -> float:
+        """CI half-width as a fraction of the total energy estimate."""
+        return self.ci_halfwidth / abs(self.total) if self.total else 0.0
+
+
+# Full blocks required before the Monte Carlo loop may declare
+# convergence; below this the CI on the block means is meaningless.
+_MIN_BLOCKS = 4
+
+
+def _t_quantile(p: float, df: int) -> float:
+    """Student-t quantile via the Cornish-Fisher expansion around the
+    normal quantile — accurate to <1% for ``df >= 3``, the smallest the
+    estimator ever uses (``_MIN_BLOCKS - 1``).  Using the normal z here
+    would be badly anti-conservative at small block counts."""
+    z = statistics.NormalDist().inv_cdf(p)
+    g1 = (z ** 3 + z) / 4.0
+    g2 = (5 * z ** 5 + 16 * z ** 3 + 3 * z) / 96.0
+    g3 = (3 * z ** 7 + 19 * z ** 5 + 17 * z ** 3 - 15 * z) / 384.0
+    return z + g1 / df + g2 / df ** 2 + g3 / df ** 3
+
+
+def _power_from_activity(activity: ActivityCounter, samples: int,
+                         width: int, weights: PowerWeights,
+                         ) -> tuple[dict[ResourceClass, float], float, float]:
+    """Component energies per sample from merged switching activity."""
     fu_energy: dict[ResourceClass, float] = {}
     for cls, toggles in activity.fu_input_toggles.items():
         out = activity.fu_output_toggles.get(cls, 0)
         # Toggled fraction of the unit's 3 datapath-width interfaces.
-        activity_factor = (toggles + out) / (3.0 * design.width)
+        activity_factor = (toggles + out) / (3.0 * width)
         fu_energy[cls] = weights.of(cls) * activity_factor / samples
-
     register_energy = REGISTER_BIT_ENERGY * activity.register_toggles / samples
     controller_energy = (
         CONTROLLER_LITERAL_ENERGY * activity.controller_literals / samples
     )
-    return SimulatedPower(
-        fu_energy=fu_energy,
-        register_energy=register_energy,
-        controller_energy=controller_energy,
-        samples=samples,
-    )
+    return fu_energy, register_energy, controller_energy
+
+
+def measure_power(
+    design: SynthesizedDesign,
+    vectors: Iterable[dict[str, int]] | None = None,
+    n_vectors: int = 256,
+    seed: int = 1996,
+    power_management: bool = True,
+    weights: PowerWeights | None = None,
+    rel_tol: float | None = None,
+    confidence: float = 0.95,
+    block_size: int = 64,
+    max_vectors: int = 1 << 16,
+    engine: CompiledEngine | None = None,
+) -> SimulatedPower:
+    """Average per-sample energy of ``design``.
+
+    Fixed mode (``rel_tol=None``): simulate ``vectors`` (or ``n_vectors``
+    seeded random ones) in one batch.  Monte Carlo mode (``rel_tol``
+    set): draw ``block_size`` vectors at a time — from ``vectors`` if
+    given (any iterable, streamed lazily), else from an endless seeded
+    random stream — until the ``confidence`` interval of the per-sample
+    energy is within ``rel_tol`` of the mean or ``max_vectors`` have been
+    simulated; returns :class:`MonteCarloPower`.
+
+    ``engine`` reuses a prebuilt :class:`CompiledEngine` (its persistent
+    state included); by default a cold-state engine is compiled, which
+    reproduces the legacy simulator's numbers exactly.
+    """
+    weights = weights if weights is not None else PowerWeights()
+    if engine is None:
+        engine = CompiledEngine(design, power_management=power_management)
+    elif engine.design is not design \
+            or engine.power_management != power_management:
+        raise ValueError(
+            "prebuilt engine does not match: it was compiled for "
+            f"design {engine.design.name!r} with power_management="
+            f"{engine.power_management}, but this call asked for "
+            f"{design.name!r} with power_management={power_management}")
+    if rel_tol is None:
+        if vectors is None:
+            vectors = random_vectors(design.graph, n_vectors,
+                                     width=design.width, seed=seed)
+        batch = engine.run_batch(vectors)
+        fu, reg, ctrl = _power_from_activity(
+            batch.activity, batch.samples, design.width, weights)
+        return SimulatedPower(fu_energy=fu, register_energy=reg,
+                              controller_energy=ctrl, samples=batch.samples)
+
+    if rel_tol <= 0.0:
+        raise ValueError(f"rel_tol must be positive, got {rel_tol}")
+    stream = iter(vectors) if vectors is not None else iter_random_vectors(
+        design.graph, None, width=design.width, seed=seed)
+    total = ActivityCounter(width=design.width)
+    block_means: list[float] = []
+    samples = 0
+    halfwidth = math.inf
+    converged = False
+    while samples < max_vectors:
+        # max_vectors is a hard simulation budget: clamp the last block.
+        block = list(islice(stream, min(block_size, max_vectors - samples)))
+        if not block:
+            break  # finite stream ran dry
+        result = engine.run_batch(block)
+        total.merge(result.activity)
+        samples += result.samples
+        if result.samples == block_size:
+            # Partial trailing blocks (finite stream ran short) still
+            # count toward the energy estimate but are excluded from the
+            # batch-means statistics: weighting a short block equally
+            # would bias the mean and SEM the CI is computed from.
+            fu, reg, ctrl = _power_from_activity(
+                result.activity, result.samples, design.width, weights)
+            block_means.append(sum(fu.values()) + reg + ctrl)
+        if len(block_means) >= _MIN_BLOCKS:
+            mean = statistics.fmean(block_means)
+            sem = statistics.stdev(block_means) / math.sqrt(len(block_means))
+            halfwidth = sem * _t_quantile(0.5 + confidence / 2.0,
+                                          len(block_means) - 1)
+            if halfwidth <= rel_tol * abs(mean):
+                converged = True
+                break
+    if samples == 0:
+        raise ValueError("vector stream produced no vectors")
+    fu, reg, ctrl = _power_from_activity(total, samples, design.width,
+                                         weights)
+    return MonteCarloPower(
+        fu_energy=fu, register_energy=reg, controller_energy=ctrl,
+        samples=samples, rel_tol=rel_tol, confidence=confidence,
+        ci_halfwidth=halfwidth, blocks=len(block_means),
+        converged=converged)
 
 
 @dataclass(frozen=True)
@@ -115,9 +245,10 @@ def compare_designs(
     managed: SynthesizedDesign,
     n_vectors: int = 256,
     seed: int = 1996,
-    weights: PowerWeights = PowerWeights(),
+    weights: PowerWeights | None = None,
 ) -> PowerComparison:
     """Simulate both designs on the *same* vector set and compare."""
+    weights = weights if weights is not None else PowerWeights()
     vectors = random_vectors(orig.graph, n_vectors, width=orig.width,
                              seed=seed)
     power_orig = measure_power(orig, vectors=vectors,

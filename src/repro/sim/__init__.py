@@ -1,20 +1,44 @@
 """Cycle-accurate RTL simulation with switching-activity accounting."""
 
 from repro.sim.activity import ActivityCounter, hamming
+from repro.sim.engine import (
+    BatchResult,
+    CompiledEngine,
+    ExecutionPlan,
+    compile_plan,
+    generate_source,
+)
 from repro.sim.reference import evaluate, evaluate_all
 from repro.sim.simulator import RTLSimulator, SampleResult
-from repro.sim.vectors import exhaustive_vectors, random_vectors
-from repro.sim.workloads import balanced_condition_vectors, gcd_trace_vectors
+from repro.sim.vectors import (
+    exhaustive_vectors,
+    iter_random_vectors,
+    random_vectors,
+)
+from repro.sim.workloads import (
+    balanced_condition_vectors,
+    gcd_trace_vectors,
+    iter_balanced_condition_vectors,
+    iter_gcd_trace_vectors,
+)
 
 __all__ = [
     "ActivityCounter",
+    "BatchResult",
+    "CompiledEngine",
+    "ExecutionPlan",
     "RTLSimulator",
     "SampleResult",
     "balanced_condition_vectors",
+    "compile_plan",
     "evaluate",
     "evaluate_all",
     "exhaustive_vectors",
     "gcd_trace_vectors",
+    "generate_source",
     "hamming",
+    "iter_balanced_condition_vectors",
+    "iter_gcd_trace_vectors",
+    "iter_random_vectors",
     "random_vectors",
 ]

@@ -1,0 +1,443 @@
+"""Compiled batch simulation engine.
+
+The interpreted :class:`~repro.sim.simulator.RTLSimulator` resolves every
+operand through the graph (``resolve_source``), evaluates guards against a
+freshly built driver-value dict and dispatches each opcode through an
+if-chain — per operand, per step, per vector.  That is the hot path of
+``measure_power`` and every Table III regeneration.
+
+This module compiles a :class:`~repro.rtl.design.SynthesizedDesign` once
+into a flat :class:`ExecutionPlan` — pre-resolved operand sources
+(register index / folded constant / shift chain), per-step start/end op
+tuples, guard-term drivers and FU latch ports as state-array slots — and
+then specializes the plan into straight-line Python (one generated
+``_run`` function per design, built with :func:`exec`).  Register file,
+input latches, FU outputs and all activity counters live in one flat
+state tuple that persists across batches, so switching activity between
+consecutive vectors — and between consecutive *batches* — is modelled
+exactly like one long interpreted run.
+
+The engine is bit-for-bit equivalent to the legacy simulator: the same
+outputs and the same merged :class:`~repro.sim.activity.ActivityCounter`
+(including which resource-class keys exist).  The differential property
+tests in ``tests/sim/test_engine_differential.py`` pin that equivalence
+against both the interpreter and the functional reference model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.alloc.lifetimes import resolve_source
+from repro.ir.ops import Op, OpSemantics, ResourceClass
+from repro.rtl.design import SynthesizedDesign
+from repro.sim.activity import ActivityCounter
+
+
+# -- the flat execution plan ----------------------------------------------
+
+
+@dataclass(frozen=True)
+class SourcePlan:
+    """One pre-resolved operand source.
+
+    Either a compile-time constant (wiring shifts over CONST roots are
+    folded away entirely) or a register index plus the shift chain to
+    apply to the registered value at read time.
+    """
+
+    const: int | None = None
+    register: int | None = None
+    shifts: tuple[tuple[Op, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class GuardPlan:
+    """A node's load guard in source-plan terms.
+
+    ``terms`` are (driver source, required truthiness) conjuncts;
+    ``never`` marks a contradictory guard whose op is never enabled.
+    """
+
+    terms: tuple[tuple[SourcePlan, int], ...] = ()
+    never: bool = False
+
+    @property
+    def unconditional(self) -> bool:
+        return not self.terms and not self.never
+
+
+@dataclass(frozen=True)
+class OpStart:
+    """Operand latching of one op at its start step."""
+
+    nid: int
+    resource: ResourceClass
+    unit: int                        # ordinal into the design's unit list
+    guard: GuardPlan
+    sources: tuple[SourcePlan, ...]  # one per operand port
+
+
+@dataclass(frozen=True)
+class OpEnd:
+    """Evaluation + result write-back of one op at its end step."""
+
+    nid: int
+    resource: ResourceClass
+    unit: int
+    op: Op
+    n_operands: int
+    dest_register: int
+
+
+@dataclass(frozen=True)
+class StepPlan:
+    starts: tuple[OpStart, ...] = ()
+    ends: tuple[OpEnd, ...] = ()
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """Everything the generated runner needs, flattened and index-bound."""
+
+    name: str
+    width: int
+    n_steps: int
+    controller_literals: int
+    inputs: tuple[tuple[str, int], ...]          # (name, register index)
+    outputs: tuple[tuple[str, SourcePlan], ...]  # (name, source)
+    steps: tuple[StepPlan, ...] = ()
+    registers: tuple[int, ...] = ()              # register indices in use
+    n_units: int = 0
+    latch_ports: tuple[tuple[int, int], ...] = ()  # (unit ordinal, port)
+    classes: tuple[ResourceClass, ...] = ()      # in first-appearance order
+
+
+def compile_plan(design: SynthesizedDesign) -> ExecutionPlan:
+    """Flatten ``design`` into an :class:`ExecutionPlan`.
+
+    All graph traversal — wiring resolution, guard lookup, schedule
+    grouping, unit/register binding — happens here, once; the runner
+    never touches the graph again.
+    """
+    graph = design.graph
+    schedule = design.schedule
+    semantics = OpSemantics(width=design.width)
+    registers = tuple(sorted(
+        {reg.index for reg in set(design.registers.assignment.values())}))
+    unit_ordinal = {unit: i for i, unit in enumerate(design.binding.units)}
+
+    def source_plan(operand: int) -> SourcePlan:
+        ref = resolve_source(graph, operand)
+        root = graph.node(ref.root)
+        if root.op is Op.CONST:
+            value = semantics.wrap(root.value)
+            for op, amount in ref.shifts:
+                value = semantics.evaluate(op, [value, amount])
+            return SourcePlan(const=value)
+        return SourcePlan(
+            register=design.registers.register_of(ref.root).index,
+            shifts=ref.shifts)
+
+    def guard_plan(nid: int) -> GuardPlan:
+        guard = design.guards[nid]
+        if guard.never:
+            return GuardPlan(never=True)
+        return GuardPlan(terms=tuple(
+            (source_plan(term.driver), term.value) for term in guard.terms))
+
+    # Group ops by start/end step in graph-operations order, exactly like
+    # the interpreter builds its event tables.
+    starts: dict[int, list[OpStart]] = {}
+    ends: dict[int, list[OpEnd]] = {}
+    latch_ports: dict[tuple[int, int], None] = {}
+    classes: dict[ResourceClass, None] = {}
+    for node in graph.operations():
+        step = schedule.step_of(node.nid)
+        unit = unit_ordinal[design.binding.unit_of(node.nid)]
+        classes.setdefault(node.resource, None)
+        sources = tuple(source_plan(p) for p in node.operands)
+        for port in range(len(sources)):
+            latch_ports.setdefault((unit, port), None)
+        starts.setdefault(step, []).append(OpStart(
+            nid=node.nid, resource=node.resource, unit=unit,
+            guard=guard_plan(node.nid), sources=sources))
+        ends.setdefault(step + node.latency - 1, []).append(OpEnd(
+            nid=node.nid, resource=node.resource, unit=unit, op=node.op,
+            n_operands=len(sources),
+            dest_register=design.registers.register_of(node.nid).index))
+
+    steps = tuple(
+        StepPlan(starts=tuple(starts.get(step, ())),
+                 ends=tuple(ends.get(step, ())))
+        for step in range(schedule.n_steps))
+    return ExecutionPlan(
+        name=graph.name,
+        width=design.width,
+        n_steps=schedule.n_steps,
+        controller_literals=design.controller.literal_count,
+        inputs=tuple((n.name, design.registers.register_of(n.nid).index)
+                     for n in graph.inputs()),
+        outputs=tuple((n.name, source_plan(n.operands[0]))
+                      for n in graph.outputs()),
+        steps=steps,
+        registers=registers,
+        n_units=len(unit_ordinal),
+        latch_ports=tuple(latch_ports),
+        classes=tuple(classes),
+    )
+
+
+# -- code generation -------------------------------------------------------
+
+# Activity-counter state variables, in the order they appear per class.
+_CLASS_COUNTERS = ("_ai", "_ao", "_aa", "_id")
+
+
+def _state_names(plan: ExecutionPlan) -> tuple[str, ...]:
+    names = [f"r{i}" for i in plan.registers]
+    names += [f"l{u}_{p}" for u, p in plan.latch_ports]
+    names += [f"fo{u}" for u in range(plan.n_units)]
+    names += ["_rt", "_cc", "_cl"]
+    for cls in plan.classes:
+        names += [f"{prefix}_{cls.name}" for prefix in _CLASS_COUNTERS]
+    return tuple(names)
+
+
+def _render_source(sp: SourcePlan, mask: int, sign: int) -> str:
+    if sp.const is not None:
+        return repr(sp.const)
+    expr = f"r{sp.register}"
+    for op, amount in sp.shifts:
+        if op is Op.SHL:
+            expr = f"(((({expr}) << {amount}) & {mask}) ^ {sign}) - {sign}"
+        else:  # arithmetic shift right of an in-range value stays in range
+            expr = f"(({expr}) >> {amount})"
+    return expr
+
+
+def _render_op(op: Op, operands: list[str], mask: int, sign: int) -> str:
+    def wrap(expr: str) -> str:
+        return f"((({expr}) & {mask}) ^ {sign}) - {sign}"
+
+    a = operands[0]
+    b = operands[1] if len(operands) > 1 else None
+    if op is Op.ADD:
+        return wrap(f"{a} + {b}")
+    if op is Op.SUB:
+        return wrap(f"{a} - {b}")
+    if op is Op.MUL:
+        return wrap(f"{a} * {b}")
+    if op is Op.GT:
+        return f"(1 if {a} > {b} else 0)"
+    if op is Op.LT:
+        return f"(1 if {a} < {b} else 0)"
+    if op is Op.GE:
+        return f"(1 if {a} >= {b} else 0)"
+    if op is Op.LE:
+        return f"(1 if {a} <= {b} else 0)"
+    if op is Op.EQ:
+        return f"(1 if {a} == {b} else 0)"
+    if op is Op.NE:
+        return f"(1 if {a} != {b} else 0)"
+    if op is Op.MUX:
+        return f"({operands[2]} if {a} else {operands[1]})"
+    if op is Op.AND:
+        return wrap(f"{a} & {b}")
+    if op is Op.OR:
+        return wrap(f"{a} | {b}")
+    if op is Op.XOR:
+        return wrap(f"{a} ^ {b}")
+    if op is Op.NOT:
+        return wrap(f"~{a}")
+    raise ValueError(f"cannot compile {op!r}")  # pragma: no cover
+
+
+def generate_source(plan: ExecutionPlan, power_management: bool) -> str:
+    """Python source of the specialized ``_run(vectors, state)`` runner."""
+    mask = (1 << plan.width) - 1
+    sign = 1 << (plan.width - 1)
+    names = _state_names(plan)
+
+    def render(sp: SourcePlan) -> str:
+        return _render_source(sp, mask, sign)
+
+    guards_by_nid = {start.nid: start.guard
+                     for step in plan.steps for start in step.starts}
+    lines: list[str] = []
+    emit = lines.append
+    emit(f"def _run(_vectors, _state):  # compiled from {plan.name!r}")
+    emit(f"    ({', '.join(names)},) = _state")
+    # Guard-activity flags for gated ops (reset by construction each run).
+    guarded = {
+        nid for nid, guard in guards_by_nid.items()
+        if power_management and not guard.unconditional and not guard.never
+    }
+    if guarded:
+        emit("    " + " = ".join(f"g{nid}" for nid in sorted(guarded))
+             + " = False")
+    emit("    _outs = []")
+    emit("    _append = _outs.append")
+    emit("    for _v in _vectors:")
+
+    # Clock edge into state 0: input registers load.
+    emit("        try:")
+    for k, (name, _reg) in enumerate(plan.inputs):
+        emit(f"            _in{k} = ((_v[{name!r}] & {mask}) ^ {sign})"
+             f" - {sign}")
+    if not plan.inputs:
+        emit("            pass")
+    emit("        except KeyError as _e:")
+    emit("            raise KeyError('missing input %r' % (_e.args[0],))"
+         " from None")
+    for k, (_name, reg) in enumerate(plan.inputs):
+        emit(f"        _rt += ((r{reg} ^ _in{k}) & {mask}).bit_count()"
+             f"; r{reg} = _in{k}")
+
+    # Controller: one FSM cycle per control step, every sample.
+    emit(f"        _cc += {plan.n_steps}")
+    emit(f"        _cl += {plan.n_steps * plan.controller_literals}")
+
+    for step_index, step in enumerate(plan.steps):
+        if step.starts or step.ends:
+            emit(f"        # step {step_index}")
+        for start in step.starts:
+            gated = power_management and not start.guard.unconditional
+            if power_management and start.guard.never:
+                emit(f"        _id_{start.resource.name} += 1")
+                continue
+            indent = "        "
+            if gated:
+                cond = " and ".join(
+                    f"({render(src)})" if value else f"(not ({render(src)}))"
+                    for src, value in start.guard.terms)
+                emit(f"        if {cond}:")
+                indent += "    "
+            ts = [f"t{start.nid}_{p}" for p in range(len(start.sources))]
+            for t, src in zip(ts, start.sources):
+                emit(f"{indent}{t} = {render(src)}")
+            toggles = " + ".join(
+                f"((l{start.unit}_{p} ^ {t}) & {mask}).bit_count()"
+                for p, t in enumerate(ts))
+            emit(f"{indent}_ai_{start.resource.name} += {toggles}")
+            emit(indent + "; ".join(
+                f"l{start.unit}_{p} = {t}" for p, t in enumerate(ts)))
+            if gated:
+                emit(f"{indent}g{start.nid} = True")
+                emit(f"        else:")
+                emit(f"            _id_{start.resource.name} += 1")
+        for end in step.ends:
+            if power_management and guards_by_nid[end.nid].never:
+                continue  # never-enabled op: no end event
+            indent = "        "
+            if end.nid in guarded:
+                emit(f"        if g{end.nid}:")
+                indent += "    "
+                emit(f"{indent}g{end.nid} = False")
+            ts = [f"t{end.nid}_{p}" for p in range(end.n_operands)]
+            emit(f"{indent}_x = {_render_op(end.op, ts, mask, sign)}")
+            emit(f"{indent}_ao_{end.resource.name} += "
+                 f"((fo{end.unit} ^ _x) & {mask}).bit_count()"
+                 f"; fo{end.unit} = _x")
+            emit(f"{indent}_aa_{end.resource.name} += 1")
+            emit(f"{indent}_rt += ((r{end.dest_register} ^ _x) & {mask})"
+                 f".bit_count(); r{end.dest_register} = _x")
+
+    out_items = ", ".join(
+        f"{name!r}: {render(src)}" for name, src in plan.outputs)
+    emit(f"        _append({{{out_items}}})")
+    emit(f"    return _outs, ({', '.join(names)},)")
+    return "\n".join(lines) + "\n"
+
+
+# -- the engine ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outputs and merged switching activity of one vector batch."""
+
+    outputs: list[dict[str, int]]
+    activity: ActivityCounter
+
+    @property
+    def samples(self) -> int:
+        return len(self.outputs)
+
+
+class CompiledEngine:
+    """Executes vector batches against a compiled design.
+
+    Hardware state (registers, input latches, FU outputs) persists across
+    :meth:`run_batch` calls, so splitting one vector sequence into many
+    batches is indistinguishable from one big batch — the property Monte
+    Carlo estimation relies on.
+    """
+
+    def __init__(self, design: SynthesizedDesign,
+                 power_management: bool = True) -> None:
+        self.design = design
+        self.power_management = power_management
+        self.plan = compile_plan(design)
+        self.source = generate_source(self.plan, power_management)
+        namespace: dict[str, object] = {}
+        exec(compile(self.source, f"<engine:{design.graph.name}>", "exec"),
+             namespace)
+        self._run = namespace["_run"]
+        self._names = _state_names(self.plan)
+        self._index = {name: i for i, name in enumerate(self._names)}
+        self._state: tuple[int, ...] = tuple(0 for _ in self._names)
+        self.samples = 0
+
+    def run_batch(self, vectors: Iterable[dict[str, int]]) -> BatchResult:
+        """Run ``vectors`` (any iterable, lists or streams) in sequence."""
+        before = self._state
+        outputs, after = self._run(vectors, before)
+        self._state = after
+        self.samples += len(outputs)
+        return BatchResult(outputs=outputs,
+                           activity=self._activity_delta(before, after))
+
+    def run_many(self, vectors: Iterable[dict[str, int]]) -> tuple[
+            list[dict[str, int]], ActivityCounter]:
+        """Drop-in signature twin of :meth:`RTLSimulator.run_many`."""
+        result = self.run_batch(vectors)
+        return result.outputs, result.activity
+
+    # -- activity accounting -------------------------------------------
+
+    def _delta(self, before: tuple[int, ...], after: tuple[int, ...],
+               name: str) -> int:
+        i = self._index[name]
+        return after[i] - before[i]
+
+    def _activity_delta(self, before: tuple[int, ...],
+                        after: tuple[int, ...]) -> ActivityCounter:
+        counter = ActivityCounter(width=self.plan.width)
+        counter.register_toggles = self._delta(before, after, "_rt")
+        counter.controller_cycles = self._delta(before, after, "_cc")
+        counter.controller_literals = self._delta(before, after, "_cl")
+        for cls in self.plan.classes:
+            activations = self._delta(before, after, f"_aa_{cls.name}")
+            if activations:
+                # Keys exist exactly when the interpreter would create
+                # them: an enabled start always reaches its end event.
+                counter.fu_input_toggles[cls] = self._delta(
+                    before, after, f"_ai_{cls.name}")
+                counter.fu_output_toggles[cls] = self._delta(
+                    before, after, f"_ao_{cls.name}")
+                counter.fu_activations[cls] = activations
+            idles = self._delta(before, after, f"_id_{cls.name}")
+            if idles:
+                counter.fu_idles[cls] = idles
+        return counter
+
+    def state(self) -> dict[str, int]:
+        """Named snapshot of the persistent state (debug/test aid)."""
+        return dict(zip(self._names, self._state))
+
+    def reset(self) -> None:
+        """Zero all hardware state and counters (cold power-up)."""
+        self._state = tuple(0 for _ in self._names)
+        self.samples = 0

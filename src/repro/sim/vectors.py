@@ -2,28 +2,42 @@
 
 The paper validates with "random input vectors"; we provide a seeded
 generator (reproducible runs) and an exhaustive enumerator for tiny
-widths (used by equivalence tests).
+widths (used by equivalence tests).  The ``iter_*`` variant streams
+vectors lazily — Monte Carlo power estimation draws from it block by
+block without materializing a full list.
 """
 
 from __future__ import annotations
 
 import itertools
 import random
+from typing import Iterator
 
 from repro.ir.graph import CDFG
+
+
+def iter_random_vectors(graph: CDFG, count: int | None = None,
+                        width: int = 8,
+                        seed: int = 1996) -> Iterator[dict[str, int]]:
+    """Stream uniform random input assignments for ``graph``.
+
+    ``count=None`` streams forever (the Monte Carlo estimator's source);
+    the first ``n`` draws are identical to ``random_vectors(graph, n)``
+    at the same seed.
+    """
+    rng = random.Random(seed)
+    names = [n.name for n in graph.inputs()]
+    lo = -(1 << (width - 1))
+    hi = (1 << (width - 1)) - 1
+    counter = itertools.count() if count is None else range(count)
+    for _ in counter:
+        yield {name: rng.randint(lo, hi) for name in names}
 
 
 def random_vectors(graph: CDFG, count: int, width: int = 8,
                    seed: int = 1996) -> list[dict[str, int]]:
     """``count`` uniform random input assignments for ``graph``."""
-    rng = random.Random(seed)
-    names = [n.name for n in graph.inputs()]
-    lo = -(1 << (width - 1))
-    hi = (1 << (width - 1)) - 1
-    return [
-        {name: rng.randint(lo, hi) for name in names}
-        for _ in range(count)
-    ]
+    return list(iter_random_vectors(graph, count, width=width, seed=seed))
 
 
 def exhaustive_vectors(graph: CDFG, width: int = 3) -> list[dict[str, int]]:

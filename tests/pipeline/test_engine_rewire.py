@@ -1,0 +1,53 @@
+"""Pipeline integration with the compiled simulation engine."""
+
+import pytest
+
+from repro.circuits import build
+from repro.pipeline import FlowConfig, Pipeline, explore, run_pair
+from repro.pipeline.explore import clear_explore_cache
+from repro.power.simulated import MonteCarloPower, compare_designs
+
+
+class TestVerifyStage:
+    def test_verify_runs_functional_differential(self, dealer_graph):
+        ctx = Pipeline().run_context(dealer_graph,
+                                     FlowConfig(n_steps=6, verify=True))
+        assert ctx.get("verified") is True
+
+    def test_verify_off_skips(self, dealer_graph):
+        ctx = Pipeline().run_context(dealer_graph,
+                                     FlowConfig(n_steps=6, verify=False))
+        assert ctx.get("verified") is False
+
+
+class TestSimulatedReport:
+    def test_result_simulated_report(self, dealer_graph):
+        result = Pipeline().run(dealer_graph, FlowConfig(n_steps=6))
+        power = result.simulated_report(n_vectors=64)
+        assert power.samples == 64
+        assert power.total > 0
+
+    def test_result_simulated_report_monte_carlo(self, dealer_graph):
+        result = Pipeline().run(dealer_graph, FlowConfig(n_steps=6))
+        power = result.simulated_report(rel_tol=0.2)
+        assert isinstance(power, MonteCarloPower)
+        assert power.converged
+
+
+class TestExploreSimulation:
+    def test_sim_vectors_populates_reduction(self):
+        clear_explore_cache()
+        space = explore(["dealer"], budgets=[6], sim_vectors=64)
+        (point,) = space.points
+        assert point.simulated_reduction_pct is not None
+        pair = run_pair(build("dealer"), FlowConfig(n_steps=6))
+        expected = compare_designs(pair.baseline.design, pair.managed.design,
+                                   n_vectors=64)
+        assert point.simulated_reduction_pct == pytest.approx(
+            expected.reduction_pct)
+
+    def test_default_explore_skips_simulation(self):
+        clear_explore_cache()
+        space = explore(["dealer"], budgets=[6])
+        (point,) = space.points
+        assert point.simulated_reduction_pct is None

@@ -1,0 +1,140 @@
+"""Golden regression: Table III simulated-power numbers at seed 1996.
+
+These values were produced by the interpreted RTLSimulator (the engine is
+differentially proven equal to it) and are pinned so that simulator or
+engine refactors cannot silently drift the repo's reproduction of the
+paper's Table III.  If a change legitimately alters the energy model,
+regenerate these constants and say so in the PR.
+"""
+
+import pytest
+
+from repro.circuits import TABLE3_BUDGETS, build
+from repro.ir.ops import ResourceClass
+from repro.paper_tables import measure_table3
+from repro.pipeline import FlowConfig, run_pair
+from repro.power.simulated import compare_designs
+
+# compare_designs defaults: 256 uniform random vectors, seed 1996.
+GOLDEN_COMPARE = {
+    "dealer": {
+        "area": (344, 364),
+        "orig_fu": {
+            ResourceClass.ADD: 2.498046875,
+            ResourceClass.COMP: 3.0227864583333335,
+            ResourceClass.MUX: 1.1722005208333333,
+            ResourceClass.SUB: 1.50390625,
+        },
+        "orig_reg": 4.20625,
+        "orig_ctrl": 2.088,
+        "orig_total": 14.49119010416667,
+        "managed_fu": {
+            ResourceClass.ADD: 2.0576171875,
+            ResourceClass.COMP: 2.9654947916666665,
+            ResourceClass.MUX: 0.9713541666666666,
+            ResourceClass.SUB: 0.2138671875,
+        },
+        "managed_reg": 2.6144531250000003,
+        "managed_ctrl": 2.448,
+        "managed_total": 11.270786458333333,
+        "reduction_pct": 22.223182655697613,
+        "datapath_reduction_pct": 28.866796491578018,
+    },
+    "gcd": {
+        "area": (288, 292),
+        "orig_fu": {
+            ResourceClass.COMP: 1.4908854166666667,
+            ResourceClass.MUX: 2.9803059895833335,
+            ResourceClass.SUB: 1.45556640625,
+        },
+        "orig_reg": 2.9515625,
+        "orig_ctrl": 2.436,
+        "orig_total": 11.3143203125,
+        "managed_fu": {
+            ResourceClass.COMP: 1.4908854166666667,
+            ResourceClass.MUX: 2.9803059895833335,
+            ResourceClass.SUB: 1.44775390625,
+        },
+        "managed_reg": 2.9484375000000003,
+        "managed_ctrl": 2.604,
+        "managed_total": 11.4713828125,
+        # Uniform 8-bit pairs starve gcd's done-branch: PM saves nothing
+        # and the bigger controller costs energy.  This is exactly why
+        # Table III regeneration uses the balanced workload for gcd.
+        "reduction_pct": -1.3881744166857157,
+        "datapath_reduction_pct": 0.1231933475592198,
+    },
+    "vender": {
+        "area": (784, 794),
+        "orig_fu": {
+            ResourceClass.ADD: 4.41064453125,
+            ResourceClass.COMP: 3.9348958333333335,
+            ResourceClass.MUL: 11.689453125,
+            ResourceClass.MUX: 2.3193359375,
+            ResourceClass.SUB: 4.45751953125,
+        },
+        "orig_reg": 7.56640625,
+        "orig_ctrl": 4.104,
+        "orig_total": 38.482255208333335,
+        "managed_fu": {
+            ResourceClass.ADD: 4.41064453125,
+            ResourceClass.COMP: 3.9348958333333335,
+            ResourceClass.MUL: 7.060546875,
+            ResourceClass.MUX: 3.0027669270833335,
+            ResourceClass.SUB: 1.52392578125,
+        },
+        "managed_reg": 6.153515625000001,
+        "managed_ctrl": 3.96,
+        "managed_total": 30.04629557291667,
+        "reduction_pct": 21.92168725493473,
+        "datapath_reduction_pct": 24.11978032383297,
+    },
+}
+
+# measure_table3 defaults: 192 vectors, per-circuit workloads, seed 1996.
+GOLDEN_TABLE3_ROWS = {
+    "dealer": (344, 364, 14.474414930555557, 11.242921875,
+               22.325552162622202),
+    "gcd": (288, 292, 9.536217013888889, 8.891630208333334,
+            6.759355461570932),
+    "vender": (784, 794, 38.28698611111111, 29.949236111111112,
+               21.77698180735186),
+}
+
+APPROX = dict(rel=1e-12, abs=1e-12)
+
+
+@pytest.mark.parametrize("name", sorted(TABLE3_BUDGETS))
+def test_compare_designs_pinned(name):
+    golden = GOLDEN_COMPARE[name]
+    pair = run_pair(build(name), FlowConfig(n_steps=TABLE3_BUDGETS[name]))
+    cmp = compare_designs(pair.baseline.design, pair.managed.design)
+    assert (cmp.area_orig, cmp.area_new) == golden["area"]
+    for power, prefix in ((cmp.orig, "orig"), (cmp.managed, "managed")):
+        assert power.samples == 256
+        assert set(power.fu_energy) == set(golden[f"{prefix}_fu"])
+        for cls, expected in golden[f"{prefix}_fu"].items():
+            assert power.fu_energy[cls] == pytest.approx(expected, **APPROX)
+        assert power.register_energy == pytest.approx(
+            golden[f"{prefix}_reg"], **APPROX)
+        assert power.controller_energy == pytest.approx(
+            golden[f"{prefix}_ctrl"], **APPROX)
+        assert power.total == pytest.approx(
+            golden[f"{prefix}_total"], **APPROX)
+    assert cmp.reduction_pct == pytest.approx(
+        golden["reduction_pct"], **APPROX)
+    assert cmp.datapath_reduction_pct == pytest.approx(
+        golden["datapath_reduction_pct"], **APPROX)
+
+
+def test_measure_table3_pinned():
+    rows = {row.name: row for row in measure_table3()}
+    assert set(rows) == set(GOLDEN_TABLE3_ROWS)
+    for name, (area_orig, area_new, power_orig, power_new,
+               reduction) in GOLDEN_TABLE3_ROWS.items():
+        row = rows[name]
+        assert row.control_steps == TABLE3_BUDGETS[name]
+        assert (row.area_orig, row.area_new) == (area_orig, area_new)
+        assert row.power_orig == pytest.approx(power_orig, **APPROX)
+        assert row.power_new == pytest.approx(power_new, **APPROX)
+        assert row.power_reduction_pct == pytest.approx(reduction, **APPROX)

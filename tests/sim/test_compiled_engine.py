@@ -1,0 +1,124 @@
+"""Unit tests for the compiled batch simulation engine."""
+
+import pytest
+
+from repro.ir.ops import ResourceClass
+from repro.pipeline import FlowConfig, run_pair
+from repro.sim.activity import ActivityCounter
+from repro.sim.engine import CompiledEngine, compile_plan, generate_source
+from repro.sim.simulator import RTLSimulator
+from repro.sim.vectors import iter_random_vectors, random_vectors
+
+
+@pytest.fixture
+def dealer_design(dealer_graph):
+    return run_pair(dealer_graph, FlowConfig(n_steps=6)).managed.design
+
+
+class TestBatchExecution:
+    def test_matches_legacy_run_many(self, dealer_graph, dealer_design):
+        vectors = random_vectors(dealer_graph, 50)
+        louts, lact = RTLSimulator(dealer_design).run_many(vectors)
+        eouts, eact = CompiledEngine(dealer_design).run_many(vectors)
+        assert eouts == louts
+        assert eact == lact
+
+    def test_split_batches_equal_one_batch(self, dealer_graph,
+                                           dealer_design):
+        """Persistent state makes batch boundaries invisible."""
+        vectors = random_vectors(dealer_graph, 40)
+        whole = CompiledEngine(dealer_design)
+        one = whole.run_batch(vectors)
+
+        split = CompiledEngine(dealer_design)
+        first = split.run_batch(vectors[:13])
+        second = split.run_batch(vectors[13:])
+        assert first.outputs + second.outputs == one.outputs
+        merged = ActivityCounter(width=dealer_design.width)
+        merged.merge(first.activity)
+        merged.merge(second.activity)
+        assert merged == one.activity
+
+    def test_accepts_streaming_input(self, dealer_graph, dealer_design):
+        stream = iter_random_vectors(dealer_graph, 25)
+        result = CompiledEngine(dealer_design).run_batch(stream)
+        assert result.samples == 25
+        expected = CompiledEngine(dealer_design).run_batch(
+            random_vectors(dealer_graph, 25))
+        assert result.outputs == expected.outputs
+        assert result.activity == expected.activity
+
+    def test_warm_state_sees_no_input_toggles(self, abs_diff_graph):
+        """A warm datapath replaying the same vector switches nothing
+        (each abs_diff op has its own unit, so latches hold steady)."""
+        design = run_pair(abs_diff_graph,
+                          FlowConfig(n_steps=3)).managed.design
+        engine = CompiledEngine(design)
+        vec = random_vectors(abs_diff_graph, 1)
+        engine.run_batch(vec)
+        repeat = engine.run_batch(vec)
+        assert sum(repeat.activity.fu_input_toggles.values()) == 0
+
+    def test_reset_returns_to_cold_state(self, dealer_graph, dealer_design):
+        engine = CompiledEngine(dealer_design)
+        vectors = random_vectors(dealer_graph, 10)
+        cold = engine.run_batch(vectors)
+        engine.reset()
+        assert engine.samples == 0
+        again = engine.run_batch(vectors)
+        assert again.outputs == cold.outputs
+        assert again.activity == cold.activity
+
+    def test_missing_input_raises(self, dealer_design):
+        engine = CompiledEngine(dealer_design)
+        with pytest.raises(KeyError, match="missing input"):
+            engine.run_batch([{"p": 1}])
+
+    def test_samples_accumulate(self, dealer_graph, dealer_design):
+        engine = CompiledEngine(dealer_design)
+        engine.run_batch(random_vectors(dealer_graph, 7))
+        engine.run_batch(random_vectors(dealer_graph, 5))
+        assert engine.samples == 12
+
+    def test_power_management_off_never_idles(self, dealer_graph,
+                                              dealer_design):
+        engine = CompiledEngine(dealer_design, power_management=False)
+        result = engine.run_batch(random_vectors(dealer_graph, 20))
+        assert result.activity.total_idles() == 0
+
+
+class TestPlanCompilation:
+    def test_plan_shape(self, dealer_graph, dealer_design):
+        plan = compile_plan(dealer_design)
+        assert plan.n_steps == 6
+        assert [name for name, _ in plan.inputs] == \
+            [n.name for n in dealer_graph.inputs()]
+        assert [name for name, _ in plan.outputs] == \
+            [n.name for n in dealer_graph.outputs()]
+        assert len(plan.steps) == plan.n_steps
+        starts = sum(len(s.starts) for s in plan.steps)
+        ends = sum(len(s.ends) for s in plan.steps)
+        assert starts == ends == len(dealer_graph.operations())
+        assert ResourceClass.MUX in plan.classes
+
+    def test_operand_sources_are_preresolved(self, dealer_design):
+        plan = compile_plan(dealer_design)
+        for step in plan.steps:
+            for start in step.starts:
+                for source in start.sources:
+                    assert (source.const is None) != (source.register is None)
+
+    def test_generated_source_is_python(self, dealer_design):
+        plan = compile_plan(dealer_design)
+        source = generate_source(plan, power_management=True)
+        assert source.startswith("def _run(")
+        compile(source, "<test>", "exec")  # must parse
+        engine = CompiledEngine(dealer_design)
+        assert engine.source == source
+
+    def test_state_snapshot_named(self, dealer_graph, dealer_design):
+        engine = CompiledEngine(dealer_design)
+        state = engine.state()
+        assert all(value == 0 for value in state.values())
+        engine.run_batch(random_vectors(dealer_graph, 3))
+        assert engine.state()["_cc"] == 3 * 6  # 3 samples x 6 steps

@@ -1,0 +1,108 @@
+"""Edge cases of the workload-shaped vector generators."""
+
+from itertools import islice
+
+import pytest
+
+from repro.sim.reference import evaluate
+from repro.sim.vectors import iter_random_vectors, random_vectors
+from repro.sim.workloads import (
+    balanced_condition_vectors,
+    gcd_trace_vectors,
+    iter_balanced_condition_vectors,
+    iter_gcd_trace_vectors,
+)
+
+
+class TestGcdTrace:
+    def test_runs_terminate_on_done_branch(self, gcd_graph):
+        """Each run ends the first time the done flag rises (or at the
+        iteration cap), so exactly one done-pair appears per finished run."""
+        n_runs = 8
+        vectors = gcd_trace_vectors(gcd_graph, n_runs=n_runs,
+                                    max_iterations=512)
+        # A generous cap means every run terminates naturally.
+        done_flags = [evaluate(gcd_graph, v)["done"] for v in vectors]
+        assert sum(1 for flag in done_flags if flag) == n_runs
+        # done is terminal within a run: the vector after a done-pair is
+        # the next run's fresh start, never a continuation.
+        assert done_flags[-1] == 1
+
+    def test_trace_pairs_follow_circuit_feedback(self, gcd_graph):
+        vectors = gcd_trace_vectors(gcd_graph, n_runs=3, max_iterations=512)
+        for current, following in zip(vectors, vectors[1:]):
+            out = evaluate(gcd_graph, current)
+            if not out["done"]:
+                assert following == {"a": out["gcd"], "b": out["next_b"]}
+
+    def test_max_iterations_caps_run_length(self, gcd_graph):
+        n_runs = 5
+        capped = gcd_trace_vectors(gcd_graph, n_runs=n_runs,
+                                   max_iterations=2)
+        assert len(capped) <= n_runs * 2
+        single = gcd_trace_vectors(gcd_graph, n_runs=n_runs,
+                                   max_iterations=1)
+        assert len(single) == n_runs
+
+    def test_all_operands_positive(self, gcd_graph):
+        for vector in gcd_trace_vectors(gcd_graph, n_runs=10):
+            assert vector["a"] > 0 and vector["b"] > 0
+
+    def test_iter_matches_list(self, gcd_graph):
+        streamed = list(iter_gcd_trace_vectors(gcd_graph, n_runs=4))
+        assert streamed == gcd_trace_vectors(gcd_graph, n_runs=4)
+
+    def test_endless_stream(self, gcd_graph):
+        stream = iter_gcd_trace_vectors(gcd_graph, n_runs=None)
+        chunk = list(islice(stream, 300))
+        assert len(chunk) == 300
+
+
+class TestBalancedCondition:
+    def test_equal_fraction_zero_never_forces_equality(self, gcd_graph):
+        vectors = balanced_condition_vectors(gcd_graph, count=200,
+                                             equal_fraction=0.0)
+        assert len(vectors) == 200
+        # Forcing never happens; coincidental equality is rare but legal.
+        assert sum(1 for v in vectors if v["a"] == v["b"]) < 30
+
+    def test_equal_fraction_one_forces_all_equal(self, gcd_graph):
+        vectors = balanced_condition_vectors(gcd_graph, count=150,
+                                             equal_fraction=1.0)
+        assert len(vectors) == 150
+        assert all(len(set(v.values())) == 1 for v in vectors)
+
+    @pytest.mark.parametrize("fraction", [-0.1, 1.0001, 2.0, -5.0])
+    def test_out_of_bounds_fraction_raises(self, gcd_graph, fraction):
+        with pytest.raises(ValueError, match="equal_fraction"):
+            balanced_condition_vectors(gcd_graph, count=10,
+                                       equal_fraction=fraction)
+
+    @pytest.mark.parametrize("fraction", [-0.1, 1.5])
+    def test_iter_raises_eagerly(self, gcd_graph, fraction):
+        """The streaming variant validates at call time, not first draw."""
+        with pytest.raises(ValueError, match="equal_fraction"):
+            iter_balanced_condition_vectors(gcd_graph,
+                                            equal_fraction=fraction)
+
+    def test_boundary_fractions_accepted(self, gcd_graph):
+        for fraction in (0.0, 1.0):
+            assert len(balanced_condition_vectors(
+                gcd_graph, count=5, equal_fraction=fraction)) == 5
+
+    def test_iter_matches_list(self, gcd_graph):
+        streamed = list(iter_balanced_condition_vectors(gcd_graph, count=64))
+        assert streamed == balanced_condition_vectors(gcd_graph, count=64)
+
+    def test_endless_stream(self, gcd_graph):
+        stream = iter_balanced_condition_vectors(gcd_graph)
+        assert len(list(islice(stream, 500))) == 500
+
+
+class TestRandomVectorStream:
+    def test_iter_matches_list(self, dealer_graph):
+        streamed = list(islice(iter_random_vectors(dealer_graph), 32))
+        assert streamed == random_vectors(dealer_graph, 32)
+
+    def test_count_limits_stream(self, dealer_graph):
+        assert len(list(iter_random_vectors(dealer_graph, 7))) == 7
