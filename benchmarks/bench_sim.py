@@ -1,23 +1,33 @@
-"""Simulation-engine benchmark: interpreted RTLSimulator vs compiled engine.
+"""Simulation-backend benchmark: interpreter vs compiled vs vectorized.
 
-Times the ``measure_power`` hot path — construct the simulator cold
-(engine compilation included) and run a vector batch — identically for
-the legacy interpreter and the compiled batch engine on each benchmark
-circuit, verifies the two produce identical outputs and switching
-activity, and emits ``BENCH_sim.json`` at the repo root so the speedup
-trajectory is tracked across PRs.
+Times the three simulation backends on each benchmark circuit and emits
+``BENCH_sim.json`` at the repo root so the speedup trajectory is tracked
+across PRs:
+
+* ``interpreter`` — the legacy :class:`RTLSimulator` oracle, timed on a
+  reduced vector count (it is ~3 orders of magnitude off the pace on
+  large batches) and normalized per vector;
+* ``compiled`` — :class:`CompiledEngine`, generated straight-line Python
+  per vector, timed on the full batch;
+* ``vectorized`` — :class:`VectorizedEngine`, generated NumPy array
+  programs per block, timed on the same batch fed as one pre-generated
+  input matrix.
+
+Every circuit row carries ``identical``: the vectorized and compiled
+backends must agree bit-for-bit (outputs + full ActivityCounter) on the
+full batch, and both must agree with the interpreter on the reduced
+batch.
 
 Usage::
 
-    python benchmarks/bench_sim.py            # full run (256 vectors, all circuits)
-    python benchmarks/bench_sim.py --smoke    # CI-fast run (64 vectors, 2 circuits)
+    python benchmarks/bench_sim.py            # full run (4096-vector batches)
+    python benchmarks/bench_sim.py --smoke    # CI-fast run (256 vectors, 2 circuits)
 
-Exits nonzero if any circuit's engine results diverge from the
-interpreter's, or if the speedup falls below ``--min-speedup`` (default
-5x, the floor the acceptance criteria pin for the largest circuit).
-Under ``--smoke`` the speedup floor is advisory — millisecond-scale
-timings on shared CI runners are too noisy for a hard perf gate — while
-the equality check stays fatal.
+Exits nonzero if any backend diverges, or if the vectorized-over-compiled
+speedup falls below ``--min-speedup`` (default 5x at 4096-vector batches,
+the acceptance floor).  Under ``--smoke`` the speedup floor is advisory —
+millisecond-scale timings on shared CI runners are too noisy for a hard
+perf gate — while the equality check stays fatal.
 """
 
 from __future__ import annotations
@@ -34,113 +44,150 @@ from repro.circuits import build  # noqa: E402
 from repro.pipeline import FlowConfig, run_pair  # noqa: E402
 from repro.sim.engine import CompiledEngine  # noqa: E402
 from repro.sim.simulator import RTLSimulator  # noqa: E402
-from repro.sim.vectors import random_vectors  # noqa: E402
+from repro.sim.vectorized import VectorizedEngine  # noqa: E402
+from repro.sim.vectors import random_vectors, vectors_to_array  # noqa: E402
 
 # Circuit -> step budget; cordic is the largest circuit (Table I: 152 ops).
 FULL_CIRCUITS = {"dealer": 6, "gcd": 7, "vender": 6, "cordic": 48}
 SMOKE_CIRCUITS = {"dealer": 6, "gcd": 7}
 
 
-def bench_circuit(name: str, steps: int, n_vectors: int,
+def _timed(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_circuit(name: str, steps: int, n_batch: int, n_interp: int,
                   repeats: int) -> dict[str, object]:
     graph = build(name)
     design = run_pair(graph, FlowConfig(n_steps=steps)).managed.design
-    vectors = random_vectors(graph, n_vectors)
-
-    # Symmetric workloads: each side constructs its simulator cold (the
-    # engine's one-off compilation included) and runs the same batch.
-    legacy_s = min(
-        _timed(lambda: RTLSimulator(design).run_many(vectors))
-        for _ in range(repeats))
-    engine_s = min(
-        _timed(lambda: CompiledEngine(design).run_many(vectors))
-        for _ in range(repeats))
+    batch = random_vectors(graph, n_batch)
+    small = batch[:n_interp]
 
     compile_start = time.perf_counter()
-    engine = CompiledEngine(design)
-    compile_s = time.perf_counter() - compile_start
-    engine_outputs, engine_activity = engine.run_many(vectors)
-    legacy_outputs, legacy_activity = RTLSimulator(design).run_many(vectors)
-    identical = (engine_outputs == legacy_outputs
-                 and engine_activity == legacy_activity)
+    compiled = CompiledEngine(design)
+    compiled_build_s = time.perf_counter() - compile_start
+    compile_start = time.perf_counter()
+    vectorized = VectorizedEngine(design)
+    vectorized_build_s = time.perf_counter() - compile_start
+    matrix = vectors_to_array(batch, vectorized.input_names)
+
+    interp_s = _timed(lambda: RTLSimulator(design).run_many(small), repeats)
+    compiled_s = _timed(lambda: (compiled.reset(),
+                                 compiled.run_batch(batch)), repeats)
+    vectorized_s = _timed(lambda: (vectorized.reset(),
+                                   vectorized.run_array(matrix)), repeats)
+
+    # Bit-identity: vectorized == compiled on the full batch; both ==
+    # interpreter on the reduced batch.
+    compiled.reset()
+    vectorized.reset()
+    cout, cact = compiled.run_many(batch)
+    vout, vact = vectorized.run_many(batch)
+    iout, iact = RTLSimulator(design).run_many(small)
+    compiled.reset()
+    sout, sact = compiled.run_many(small)
+    identical = (cout == vout and cact == vact
+                 and sout == iout and sact == iact)
+
+    per_interp = interp_s / n_interp
+    per_compiled = compiled_s / n_batch
+    per_vectorized = vectorized_s / n_batch
+    rows = [
+        {"backend": "interpreter", "n_vectors": n_interp,
+         "seconds": interp_s, "per_vector_us": per_interp * 1e6},
+        {"backend": "compiled", "n_vectors": n_batch,
+         "seconds": compiled_s, "per_vector_us": per_compiled * 1e6,
+         "build_s": compiled_build_s,
+         "speedup_vs_interpreter": per_interp / per_compiled},
+        {"backend": "vectorized", "n_vectors": n_batch,
+         "seconds": vectorized_s, "per_vector_us": per_vectorized * 1e6,
+         "build_s": vectorized_build_s,
+         "speedup_vs_interpreter": per_interp / per_vectorized,
+         "speedup_vs_compiled": compiled_s / vectorized_s},
+    ]
     return {
         "circuit": name,
         "n_steps": steps,
-        "n_vectors": n_vectors,
-        "legacy_s": legacy_s,
-        "engine_s": engine_s,
-        "engine_compile_s": compile_s,
-        "speedup": legacy_s / engine_s,
+        "rows": rows,
+        "vectorized_speedup_over_compiled": compiled_s / vectorized_s,
         "identical": identical,
     }
-
-
-def _timed(fn) -> float:
-    start = time.perf_counter()
-    fn()
-    return time.perf_counter() - start
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
-                        help="fast CI subset: 64 vectors, dealer + gcd")
+                        help="fast CI subset: 256-vector batches, "
+                             "dealer + gcd")
     parser.add_argument("--vectors", type=int, default=None,
-                        help="vector count (default 256, smoke 64)")
+                        help="batch size (default 4096, smoke 256)")
     parser.add_argument("--min-speedup", type=float, default=None,
-                        help="fail if any circuit speeds up less than this "
-                             "(default 5.0; 2.0 under --smoke, where "
-                             "one-off engine compilation dominates the "
-                             "short run)")
+                        help="fail if vectorized beats compiled by less "
+                             "than this (default 5.0; advisory under "
+                             "--smoke)")
     parser.add_argument("--out", type=Path, default=None,
                         help="output path (default <repo>/BENCH_sim.json)")
     args = parser.parse_args(argv)
 
     circuits = SMOKE_CIRCUITS if args.smoke else FULL_CIRCUITS
     if args.min_speedup is None:
-        args.min_speedup = 2.0 if args.smoke else 5.0
-    n_vectors = args.vectors or (64 if args.smoke else 256)
+        args.min_speedup = 5.0
+    n_batch = args.vectors or (256 if args.smoke else 4096)
+    n_interp = min(n_batch, 64 if args.smoke else 256)
     repeats = 3
     out_path = args.out or (
         Path(__file__).resolve().parent.parent / "BENCH_sim.json")
 
-    results = [bench_circuit(name, steps, n_vectors, repeats)
+    results = [bench_circuit(name, steps, n_batch, n_interp, repeats)
                for name, steps in circuits.items()]
     report = {
-        "bench": "sim_engine_vs_interpreter",
+        "bench": "sim_backends",
         "mode": "smoke" if args.smoke else "full",
-        "n_vectors": n_vectors,
+        "n_vectors": n_batch,
         "min_speedup_required": args.min_speedup,
         "results": results,
-        "min_speedup_measured": min(r["speedup"] for r in results),
+        "min_vectorized_speedup_measured": min(
+            r["vectorized_speedup_over_compiled"] for r in results),
     }
     out_path.write_text(json.dumps(report, indent=2) + "\n")
 
-    header = (f"{'circuit':<8s} {'steps':>5s} {'vecs':>5s} {'legacy_s':>9s} "
-              f"{'engine_s':>9s} {'speedup':>8s} identical")
+    header = (f"{'circuit':<8s} {'backend':<12s} {'vecs':>6s} "
+              f"{'seconds':>9s} {'us/vec':>8s} {'vs interp':>9s} "
+              f"{'vs compiled':>11s}")
     print(header)
     print("-" * len(header))
-    for r in results:
-        print(f"{r['circuit']:<8s} {r['n_steps']:>5d} {r['n_vectors']:>5d} "
-              f"{r['legacy_s']:>9.4f} {r['engine_s']:>9.4f} "
-              f"{r['speedup']:>7.1f}x {r['identical']}")
+    for result in results:
+        for row in result["rows"]:
+            vs_i = row.get("speedup_vs_interpreter")
+            vs_c = row.get("speedup_vs_compiled")
+            print(f"{result['circuit']:<8s} {row['backend']:<12s} "
+                  f"{row['n_vectors']:>6d} {row['seconds']:>9.4f} "
+                  f"{row['per_vector_us']:>8.2f} "
+                  f"{vs_i and f'{vs_i:8.1f}x' or '':>9s} "
+                  f"{vs_c and f'{vs_c:10.1f}x' or '':>11s}")
+        print(f"{'':8s} identical={result['identical']}")
     print(f"wrote {out_path}")
 
     failures = [r["circuit"] for r in results if not r["identical"]]
     if failures:
-        print(f"FAIL: engine diverges from interpreter on {failures}")
+        print(f"FAIL: backends diverge on {failures}")
         return 1
     slow = [r["circuit"] for r in results
-            if r["speedup"] < args.min_speedup]
+            if r["vectorized_speedup_over_compiled"] < args.min_speedup]
     if slow:
         if args.smoke:
             # Millisecond-scale smoke timings are noisy on shared CI
             # runners: the correctness gate above stays hard, the
             # speedup floor is advisory here.
-            print(f"WARN: speedup below {args.min_speedup}x on {slow} "
-                  "(advisory in smoke mode)")
+            print(f"WARN: vectorized speedup below {args.min_speedup}x on "
+                  f"{slow} (advisory in smoke mode)")
             return 0
-        print(f"FAIL: speedup below {args.min_speedup}x on {slow}")
+        print(f"FAIL: vectorized speedup below {args.min_speedup}x on {slow}")
         return 1
     return 0
 

@@ -78,6 +78,7 @@ def _flow_config(graph: CDFG, args: argparse.Namespace) -> FlowConfig:
         pm=_pm_options(args),
         scheduler=args.scheduler,
         verify=args.verify,
+        sim_backend=args.sim_backend,
     )
 
 
@@ -115,7 +116,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     config = _flow_config(graph, args)
     pair = run_pair(graph, config, pipeline=_PIPELINE)
     cmp = compare_designs(pair.baseline.design, pair.managed.design,
-                          n_vectors=args.vectors, seed=args.seed)
+                          n_vectors=args.vectors, seed=args.seed,
+                          backend=args.sim_backend)
     print(f"{graph.name} @ {config.n_steps} steps, {args.vectors} "
           f"random vectors")
     print(f"  baseline : {cmp.orig.total:8.3f} energy/sample, "
@@ -137,7 +139,8 @@ def cmd_explore(args: argparse.Namespace) -> int:
         raise SystemExit("error: --budgets needs a comma-separated list "
                          "of control-step counts, e.g. 5,6,7")
     configs = [FlowConfig(pm=_pm_options(args), scheduler=args.scheduler,
-                          verify=args.verify)]
+                          verify=args.verify,
+                          sim_backend=args.sim_backend)]
     circuits = [spec if spec in CIRCUITS else load_circuit(spec)
                 for spec in args.circuits]
     from repro.sched.timing import InfeasibleScheduleError
@@ -207,6 +210,10 @@ def make_parser() -> argparse.ArgumentParser:
                        help="base scheduling strategy (default: list)")
         p.add_argument("--verify", action="store_true",
                        help="run the gating-soundness check")
+        p.add_argument("--sim-backend", default="auto",
+                       choices=("compiled", "vectorized", "auto"),
+                       help="batch simulation engine (default: auto = "
+                            "vectorized NumPy where available)")
 
     def common(p: argparse.ArgumentParser) -> None:
         p.add_argument("circuit", help="benchmark name or DSL file")

@@ -29,6 +29,10 @@ class FlowConfig:
     initiation_interval:  pipelined initiation interval (``list`` only).
     mutex_sharing:        share units between mutually-exclusive ops.
     verify:               run the structural gating-soundness check.
+    sim_backend:          batch-simulation engine for verification and
+                          simulated power (``compiled`` | ``vectorized``
+                          | ``auto``); the backends are bit-identical,
+                          this only selects the execution strategy.
     label:                free-form tag used by ``explore()`` reports.
     """
 
@@ -39,6 +43,7 @@ class FlowConfig:
     initiation_interval: int | None = None
     mutex_sharing: bool = False
     verify: bool = False
+    sim_backend: str = "auto"
     label: str = field(default="default", compare=False)
 
     @property

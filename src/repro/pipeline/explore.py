@@ -138,7 +138,8 @@ def _run_point(job: tuple[tuple[str, object], FlowConfig, int],
 
         baseline = pipeline.run(graph, config.baseline())
         comparison = compare_designs(baseline.design, result.design,
-                                     n_vectors=sim_vectors)
+                                     n_vectors=sim_vectors,
+                                     backend=config.sim_backend)
         simulated = comparison.reduction_pct
     return ExplorationPoint(
         circuit=graph.name,

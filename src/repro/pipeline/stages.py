@@ -174,7 +174,7 @@ class VerifyStage(Stage):
         if not ctx.config.verify:
             return {"verified": False}
         from repro.analysis.verify_gating import verify_gating
-        from repro.sim.engine import CompiledEngine
+        from repro.sim.backend import create_engine
         from repro.sim.reference import evaluate
         from repro.sim.vectors import random_vectors
 
@@ -185,7 +185,8 @@ class VerifyStage(Stage):
         expected = [evaluate(ctx.graph, v, width=design.width)
                     for v in vectors]
         for pm in (True, False):
-            engine = CompiledEngine(design, power_management=pm)
+            engine = create_engine(design, power_management=pm,
+                                   backend=ctx.config.sim_backend)
             outputs, _ = engine.run_many(vectors)
             if outputs != expected:
                 raise StageError(

@@ -12,15 +12,21 @@ convert switching activity into weighted energy:
   controller — which the paper notes is "slightly more complex" — eats
   part of the datapath savings exactly as Table III shows.
 
-Simulation runs on the :class:`~repro.sim.engine.CompiledEngine` (the
-interpreted :class:`~repro.sim.simulator.RTLSimulator` remains the oracle
-the engine is differentially tested against).  Two estimation modes:
+Simulation runs on a batch engine selected by ``backend=`` — the
+vectorized NumPy backend by default where available, else the
+:class:`~repro.sim.engine.CompiledEngine`; both are bit-identical to the
+interpreted :class:`~repro.sim.simulator.RTLSimulator` oracle, so every
+estimate below is backend-independent at a fixed seed.  Two estimation
+modes:
 
 * fixed-sample (``vectors``/``n_vectors``): one batch, exact legacy
   numbers — what the golden Table III regression pins;
 * Monte Carlo (``rel_tol=...``): draw vector blocks from a stream until
   the per-sample energy estimate's confidence interval is tighter than
-  ``rel_tol`` of the mean, and report the CI achieved.
+  ``rel_tol`` of the mean, and report the CI achieved.  On the
+  vectorized backend every block is materialized as a pre-generated
+  ``(block, n_inputs)`` array before simulation, so the hot loop is
+  array code end to end.
 """
 
 from __future__ import annotations
@@ -35,8 +41,12 @@ from repro.ir.ops import ResourceClass
 from repro.power.weights import PowerWeights
 from repro.rtl.design import SynthesizedDesign
 from repro.sim.activity import ActivityCounter
-from repro.sim.engine import CompiledEngine
-from repro.sim.vectors import iter_random_vectors, random_vectors
+from repro.sim.backend import create_engine
+from repro.sim.vectors import (
+    iter_random_vectors,
+    random_vectors,
+    vectors_to_array,
+)
 
 # Energy per toggled register bit, relative to the paper's unit weights.
 REGISTER_BIT_ENERGY = 0.10
@@ -122,6 +132,35 @@ def _power_from_activity(activity: ActivityCounter, samples: int,
     return fu_energy, register_energy, controller_energy
 
 
+def _run_block(engine, block) -> object:
+    """Run one vector block on ``engine`` the fastest way it supports.
+
+    Lists of vector dicts go to the vectorized backend as a pre-packed
+    input matrix; ``(batch, n_inputs)`` arrays go to the compiled
+    backend as reconstructed dicts (slow path, for API symmetry).
+    """
+    run_array = getattr(engine, "run_array", None)
+    if isinstance(block, list):
+        if run_array is not None:
+            return run_array(vectors_to_array(block, engine.input_names))
+        return engine.run_batch(block)
+    if run_array is not None:
+        return run_array(block)
+    import numpy as np
+
+    if not np.issubdtype(np.asarray(block).dtype, np.integer):
+        raise TypeError(
+            f"input matrix must have an integer dtype, "
+            f"got {np.asarray(block).dtype}")
+    names = engine.input_names
+    if block.ndim != 2 or block.shape[1] != len(names):
+        raise ValueError(
+            f"expected a (batch, {len(names)}) input matrix, "
+            f"got shape {block.shape}")
+    return engine.run_batch([dict(zip(names, row))
+                             for row in block.tolist()])
+
+
 def measure_power(
     design: SynthesizedDesign,
     vectors: Iterable[dict[str, int]] | None = None,
@@ -133,25 +172,31 @@ def measure_power(
     confidence: float = 0.95,
     block_size: int = 64,
     max_vectors: int = 1 << 16,
-    engine: CompiledEngine | None = None,
+    engine=None,
+    backend: str = "auto",
 ) -> SimulatedPower:
     """Average per-sample energy of ``design``.
 
     Fixed mode (``rel_tol=None``): simulate ``vectors`` (or ``n_vectors``
     seeded random ones) in one batch.  Monte Carlo mode (``rel_tol``
     set): draw ``block_size`` vectors at a time — from ``vectors`` if
-    given (any iterable, streamed lazily), else from an endless seeded
-    random stream — until the ``confidence`` interval of the per-sample
-    energy is within ``rel_tol`` of the mean or ``max_vectors`` have been
-    simulated; returns :class:`MonteCarloPower`.
+    given (any iterable of dicts or a pre-generated ``(n, n_inputs)``
+    input matrix), else from an endless seeded random stream — until the
+    ``confidence`` interval of the per-sample energy is within
+    ``rel_tol`` of the mean or ``max_vectors`` have been simulated;
+    returns :class:`MonteCarloPower`.
 
-    ``engine`` reuses a prebuilt :class:`CompiledEngine` (its persistent
-    state included); by default a cold-state engine is compiled, which
-    reproduces the legacy simulator's numbers exactly.
+    ``backend`` selects the batch engine (``"compiled"``,
+    ``"vectorized"`` or ``"auto"``, see :func:`repro.sim.create_engine`);
+    the backends are bit-identical, so reports are byte-equal across
+    them at the same seed.  ``engine`` reuses a prebuilt engine instead
+    (its persistent state included); by default a cold-state engine is
+    built, which reproduces the legacy simulator's numbers exactly.
     """
     weights = weights if weights is not None else PowerWeights()
     if engine is None:
-        engine = CompiledEngine(design, power_management=power_management)
+        engine = create_engine(design, power_management=power_management,
+                               backend=backend)
     elif engine.design is not design \
             or engine.power_management != power_management:
         raise ValueError(
@@ -159,11 +204,13 @@ def measure_power(
             f"design {engine.design.name!r} with power_management="
             f"{engine.power_management}, but this call asked for "
             f"{design.name!r} with power_management={power_management}")
+    is_matrix = vectors is not None and hasattr(vectors, "ndim")
     if rel_tol is None:
         if vectors is None:
             vectors = random_vectors(design.graph, n_vectors,
                                      width=design.width, seed=seed)
-        batch = engine.run_batch(vectors)
+        batch = _run_block(engine, vectors) if is_matrix \
+            else _run_block(engine, list(vectors))
         fu, reg, ctrl = _power_from_activity(
             batch.activity, batch.samples, design.width, weights)
         return SimulatedPower(fu_energy=fu, register_energy=reg,
@@ -171,8 +218,13 @@ def measure_power(
 
     if rel_tol <= 0.0:
         raise ValueError(f"rel_tol must be positive, got {rel_tol}")
-    stream = iter(vectors) if vectors is not None else iter_random_vectors(
-        design.graph, None, width=design.width, seed=seed)
+    if is_matrix:
+        matrix, offset = vectors, 0
+        stream = None
+    else:
+        stream = iter(vectors) if vectors is not None \
+            else iter_random_vectors(design.graph, None, width=design.width,
+                                     seed=seed)
     total = ActivityCounter(width=design.width)
     block_means: list[float] = []
     samples = 0
@@ -180,10 +232,17 @@ def measure_power(
     converged = False
     while samples < max_vectors:
         # max_vectors is a hard simulation budget: clamp the last block.
-        block = list(islice(stream, min(block_size, max_vectors - samples)))
-        if not block:
-            break  # finite stream ran dry
-        result = engine.run_batch(block)
+        take = min(block_size, max_vectors - samples)
+        if stream is None:
+            block = matrix[offset:offset + take]
+            offset += block.shape[0]
+            if block.shape[0] == 0:
+                break  # finite matrix ran dry
+        else:
+            block = list(islice(stream, take))
+            if not block:
+                break  # finite stream ran dry
+        result = _run_block(engine, block)
         total.merge(result.activity)
         samples += result.samples
         if result.samples == block_size:
@@ -246,15 +305,18 @@ def compare_designs(
     n_vectors: int = 256,
     seed: int = 1996,
     weights: PowerWeights | None = None,
+    backend: str = "auto",
 ) -> PowerComparison:
     """Simulate both designs on the *same* vector set and compare."""
     weights = weights if weights is not None else PowerWeights()
     vectors = random_vectors(orig.graph, n_vectors, width=orig.width,
                              seed=seed)
     power_orig = measure_power(orig, vectors=vectors,
-                               power_management=False, weights=weights)
+                               power_management=False, weights=weights,
+                               backend=backend)
     power_new = measure_power(managed, vectors=vectors,
-                              power_management=True, weights=weights)
+                              power_management=True, weights=weights,
+                              backend=backend)
     return PowerComparison(
         orig=power_orig,
         managed=power_new,

@@ -52,6 +52,8 @@ def _windows(graph: CDFG, asap: dict[int, int], alap: dict[int, int],
 
 
 def _distribution(graph: CDFG, asap, alap) -> dict[tuple[ResourceClass, int], float]:
+    """Reference from-scratch distribution graph (kept as the oracle the
+    incremental :class:`_DistributionGraph` is tested against)."""
     dg: dict[tuple[ResourceClass, int], float] = {}
     for node in graph.operations():
         lo, hi = asap[node.nid], alap[node.nid]
@@ -63,38 +65,99 @@ def _distribution(graph: CDFG, asap, alap) -> dict[tuple[ResourceClass, int], fl
     return dg
 
 
+class _DistributionGraph:
+    """Expected-usage distribution maintained incrementally.
+
+    The original implementation rebuilt the whole distribution from
+    scratch on every placement iteration — O(ops x window x latency) per
+    fixed node.  Placing one node only narrows the windows of the nodes
+    on its precedence paths, so instead each node's contribution is
+    retracted and re-added only when its window actually changed.
+
+    Cell values are stored as exact integer counts per window width and
+    reduced to a float on demand, so a subtract-then-add sequence can
+    never leave floating-point residue behind (the schedule stays a pure
+    function of the windows, not of the update order).
+    """
+
+    def __init__(self) -> None:
+        # (class, step) -> {window width -> count}
+        self._counts: dict[tuple[ResourceClass, int], dict[int, int]] = {}
+        self._values: dict[tuple[ResourceClass, int], float] = {}
+        self._windows: dict[int, tuple[int, int]] = {}  # nid -> (lo, hi)
+
+    def get(self, key: tuple[ResourceClass, int],
+            default: float = 0.0) -> float:
+        return self._values.get(key, default)
+
+    def _apply(self, node, lo: int, hi: int, sign: int) -> None:
+        width = hi - lo + 1
+        for s in range(lo, hi + 1):
+            for occupied in range(s, s + node.latency):
+                key = (node.resource, occupied)
+                counts = self._counts.setdefault(key, {})
+                counts[width] = counts.get(width, 0) + sign
+                if counts[width] == 0:
+                    del counts[width]
+                self._values[key] = sum(
+                    c / w for w, c in sorted(counts.items()))
+
+    def update(self, graph: CDFG, asap, alap) -> int:
+        """Sync with new windows; returns how many nodes were touched."""
+        touched = 0
+        for node in graph.operations():
+            window = (asap[node.nid], alap[node.nid])
+            previous = self._windows.get(node.nid)
+            if window == previous:
+                continue
+            touched += 1
+            if previous is not None:
+                self._apply(node, previous[0], previous[1], -1)
+            self._apply(node, window[0], window[1], +1)
+            self._windows[node.nid] = window
+        return touched
+
+
 def force_directed_schedule(graph: CDFG, n_steps: int) -> Schedule:
     """Schedule ``graph`` in ``n_steps`` steps minimizing peak concurrency."""
     TimingFrame.compute(graph, n_steps)  # feasibility
     base_asap = asap_times(graph)
     base_alap = alap_times(graph, n_steps)
     fixed: dict[int, int] = {}
+    dg = _DistributionGraph()
 
     ops = [n.nid for n in graph.operations()]
+    # node.resource resolves through an enum table on every access; the
+    # force loop reads it O(ops x window) times per placement, so cache
+    # the per-op constants once.
+    resource_of = {n.nid: n.resource for n in graph.operations()}
+    latency_of = {n.nid: n.latency for n in graph.operations()}
     while len(fixed) < len(ops):
         asap, alap = _windows(graph, base_asap, base_alap, fixed)
-        dg = _distribution(graph, asap, alap)
+        dg.update(graph, asap, alap)
 
         best: tuple[float, int, int] | None = None  # (force, nid, step)
         for nid in ops:
             if nid in fixed:
                 continue
-            node = graph.node(nid)
             lo, hi = asap[nid], alap[nid]
             if lo == hi:
                 # Forced op: fix immediately, zero force.
                 best = (-float("inf"), nid, lo)
                 break
             width = hi - lo + 1
+            resource, latency = resource_of[nid], latency_of[nid]
+            # Self force of moving the op's probability mass onto `step`
+            # is (usage under the candidate's occupied cells) minus the
+            # window's mean usage — read each distribution cell once
+            # instead of once per candidate step.
+            cells = [dg.get((resource, occ))
+                     for occ in range(lo, hi + latency)]
+            mean = sum(
+                sum(cells[s - lo:s - lo + latency])
+                for s in range(lo, hi + 1)) / width
             for step in range(lo, hi + 1):
-                # Self force of moving the op's probability mass onto `step`.
-                force = 0.0
-                for s in range(lo, hi + 1):
-                    for occ in range(s, s + node.latency):
-                        dg_val = dg.get((node.resource, occ), 0.0)
-                        old_prob = 1.0 / width
-                        new_prob = 1.0 if s == step else 0.0
-                        force += dg_val * (new_prob - old_prob)
+                force = sum(cells[step - lo:step - lo + latency]) - mean
                 key = (force, nid, step)
                 if best is None or key < best:
                     best = key

@@ -1,0 +1,61 @@
+"""Simulation backend selection.
+
+Two interchangeable, bit-identical batch engines exist:
+
+* ``"compiled"`` — :class:`~repro.sim.engine.CompiledEngine`, generated
+  straight-line Python executed per vector.  No dependencies; the
+  fallback everywhere.
+* ``"vectorized"`` — :class:`~repro.sim.vectorized.VectorizedEngine`,
+  generated NumPy array programs executed per *block*.  The fast path
+  for Monte Carlo power estimation and sweeps; needs ``numpy``.
+* ``"auto"`` — vectorized when NumPy is importable and the design's
+  guarded state has a closed-form batch formulation, else compiled.
+
+:func:`create_engine` is the single construction point the power
+estimator, the pipeline's verify stage and ``explore()`` go through.
+"""
+
+from __future__ import annotations
+
+from repro.rtl.design import SynthesizedDesign
+from repro.sim.engine import CompiledEngine
+
+BACKENDS = ("compiled", "vectorized", "auto")
+
+
+def numpy_available() -> bool:
+    """True when the vectorized backend's only dependency is importable."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:  # pragma: no cover - numpy is a declared dep
+        return False
+    return True
+
+
+def create_engine(design: SynthesizedDesign, power_management: bool = True,
+                  backend: str = "auto"):
+    """Build the batch engine ``backend`` names for ``design``.
+
+    ``"auto"`` prefers the vectorized backend and silently falls back to
+    the compiled one when NumPy is missing or the design cannot be
+    vectorized (:class:`~repro.sim.vectorized.VectorizationError`);
+    ``"vectorized"`` propagates those failures instead.
+    """
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown simulation backend {backend!r}; "
+            f"choose one of {', '.join(BACKENDS)}")
+    if backend == "compiled":
+        return CompiledEngine(design, power_management=power_management)
+    if backend == "vectorized":
+        from repro.sim.vectorized import VectorizedEngine
+
+        return VectorizedEngine(design, power_management=power_management)
+    if numpy_available():
+        from repro.sim.vectorized import VectorizationError, VectorizedEngine
+
+        try:
+            return VectorizedEngine(design, power_management=power_management)
+        except VectorizationError:
+            pass
+    return CompiledEngine(design, power_management=power_management)

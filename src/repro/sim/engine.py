@@ -26,6 +26,9 @@ against both the interpreter and the functional reference model.
 
 from __future__ import annotations
 
+import hashlib
+import json
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -351,6 +354,100 @@ def generate_source(plan: ExecutionPlan, power_management: bool) -> str:
     return "\n".join(lines) + "\n"
 
 
+# -- compile-once caches ---------------------------------------------------
+
+# ``CompiledEngine`` used to recompile the plan and regenerate source on
+# every construction.  Designs are immutable once elaborated, so plans,
+# generated sources and exec-compiled runners are cached module-wide,
+# keyed by a content fingerprint of the design — two equal designs built
+# independently (e.g. the same exploration point revisited by an
+# ``explore()`` worker process) share one compilation.
+
+_LRU_MAX = 512
+
+# Every cache built with _make_lru registers here so
+# clear_compile_caches() can flush the vectorized backend's runner cache
+# too without a circular import.
+_ALL_CACHES: list[OrderedDict] = []
+
+
+def _make_lru() -> OrderedDict:
+    cache: OrderedDict = OrderedDict()
+    _ALL_CACHES.append(cache)
+    return cache
+
+
+def _lru_get(cache: OrderedDict, key):
+    entry = cache.get(key)
+    if entry is not None:
+        cache.move_to_end(key)
+    return entry
+
+
+def _lru_put(cache: OrderedDict, key, value) -> None:
+    cache[key] = value
+    cache.move_to_end(key)
+    while len(cache) > _LRU_MAX:
+        cache.popitem(last=False)
+
+
+_PLAN_CACHE = _make_lru()    # fingerprint -> ExecutionPlan
+_RUNNER_CACHE = _make_lru()  # (fingerprint, pm) -> (plan, source, runner)
+
+
+def design_fingerprint(design: SynthesizedDesign) -> str:
+    """Stable content hash of everything plan compilation reads.
+
+    Covers the graph, schedule, unit binding, register assignment,
+    guards, controller complexity and datapath width; memoized on the
+    design instance (designs are treated as immutable once elaborated).
+    """
+    cached = design.__dict__.get("_sim_fingerprint")
+    if cached is not None:
+        return cached
+    from repro.ir.serialize import graph_to_dict
+
+    payload = {
+        "graph": graph_to_dict(design.graph),
+        "width": design.width,
+        "n_steps": design.schedule.n_steps,
+        "start": sorted(design.schedule.start.items()),
+        "binding": sorted(
+            (nid, unit.resource.name, unit.index)
+            for nid, unit in design.binding.assignment.items()),
+        "registers": sorted(
+            (nid, reg.index)
+            for nid, reg in design.registers.assignment.items()),
+        "guards": sorted(
+            (nid, guard.never,
+             [(t.driver, t.value) for t in guard.terms])
+            for nid, guard in design.guards.items()),
+        "controller_literals": design.controller.literal_count,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    fingerprint = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    design.__dict__["_sim_fingerprint"] = fingerprint
+    return fingerprint
+
+
+def cached_plan(design: SynthesizedDesign) -> ExecutionPlan:
+    """The design's :class:`ExecutionPlan`, compiled at most once per
+    content fingerprint (shared by the compiled and vectorized backends)."""
+    key = design_fingerprint(design)
+    plan = _lru_get(_PLAN_CACHE, key)
+    if plan is None:
+        plan = compile_plan(design)
+        _lru_put(_PLAN_CACHE, key, plan)
+    return plan
+
+
+def clear_compile_caches() -> None:
+    """Drop all cached plans and generated runners, every backend's
+    (mainly for tests)."""
+    for cache in _ALL_CACHES:
+        cache.clear()
+
+
 # -- the engine ------------------------------------------------------------
 
 
@@ -366,44 +463,23 @@ class BatchResult:
         return len(self.outputs)
 
 
-class CompiledEngine:
-    """Executes vector batches against a compiled design.
+class _EngineBase:
+    """State plumbing shared by the compiled and vectorized backends:
+    one flat tuple of ints holding hardware state plus activity counters,
+    persisted across batches, with delta-based activity accounting."""
 
-    Hardware state (registers, input latches, FU outputs) persists across
-    :meth:`run_batch` calls, so splitting one vector sequence into many
-    batches is indistinguishable from one big batch — the property Monte
-    Carlo estimation relies on.
-    """
+    plan: ExecutionPlan
 
-    def __init__(self, design: SynthesizedDesign,
-                 power_management: bool = True) -> None:
-        self.design = design
-        self.power_management = power_management
-        self.plan = compile_plan(design)
-        self.source = generate_source(self.plan, power_management)
-        namespace: dict[str, object] = {}
-        exec(compile(self.source, f"<engine:{design.graph.name}>", "exec"),
-             namespace)
-        self._run = namespace["_run"]
+    def _init_state(self) -> None:
         self._names = _state_names(self.plan)
         self._index = {name: i for i, name in enumerate(self._names)}
         self._state: tuple[int, ...] = tuple(0 for _ in self._names)
         self.samples = 0
 
-    def run_batch(self, vectors: Iterable[dict[str, int]]) -> BatchResult:
-        """Run ``vectors`` (any iterable, lists or streams) in sequence."""
-        before = self._state
-        outputs, after = self._run(vectors, before)
-        self._state = after
-        self.samples += len(outputs)
-        return BatchResult(outputs=outputs,
-                           activity=self._activity_delta(before, after))
-
-    def run_many(self, vectors: Iterable[dict[str, int]]) -> tuple[
-            list[dict[str, int]], ActivityCounter]:
-        """Drop-in signature twin of :meth:`RTLSimulator.run_many`."""
-        result = self.run_batch(vectors)
-        return result.outputs, result.activity
+    @property
+    def input_names(self) -> tuple[str, ...]:
+        """Input names in plan order (the column order of input arrays)."""
+        return tuple(name for name, _reg in self.plan.inputs)
 
     # -- activity accounting -------------------------------------------
 
@@ -441,3 +517,51 @@ class CompiledEngine:
         """Zero all hardware state and counters (cold power-up)."""
         self._state = tuple(0 for _ in self._names)
         self.samples = 0
+
+
+class CompiledEngine(_EngineBase):
+    """Executes vector batches against a compiled design.
+
+    Hardware state (registers, input latches, FU outputs) persists across
+    :meth:`run_batch` calls, so splitting one vector sequence into many
+    batches is indistinguishable from one big batch — the property Monte
+    Carlo estimation relies on.
+
+    Plan compilation, source generation and the exec-compiled runner are
+    cached module-wide by design fingerprint, so constructing many
+    engines for equal designs compiles exactly once.
+    """
+
+    backend = "compiled"
+
+    def __init__(self, design: SynthesizedDesign,
+                 power_management: bool = True) -> None:
+        self.design = design
+        self.power_management = power_management
+        key = (design_fingerprint(design), power_management)
+        cached = _lru_get(_RUNNER_CACHE, key)
+        if cached is None:
+            plan = cached_plan(design)
+            source = generate_source(plan, power_management)
+            namespace: dict[str, object] = {}
+            exec(compile(source, f"<engine:{design.graph.name}>", "exec"),
+                 namespace)
+            cached = (plan, source, namespace["_run"])
+            _lru_put(_RUNNER_CACHE, key, cached)
+        self.plan, self.source, self._run = cached
+        self._init_state()
+
+    def run_batch(self, vectors: Iterable[dict[str, int]]) -> BatchResult:
+        """Run ``vectors`` (any iterable, lists or streams) in sequence."""
+        before = self._state
+        outputs, after = self._run(vectors, before)
+        self._state = after
+        self.samples += len(outputs)
+        return BatchResult(outputs=outputs,
+                           activity=self._activity_delta(before, after))
+
+    def run_many(self, vectors: Iterable[dict[str, int]]) -> tuple[
+            list[dict[str, int]], ActivityCounter]:
+        """Drop-in signature twin of :meth:`RTLSimulator.run_many`."""
+        result = self.run_batch(vectors)
+        return result.outputs, result.activity

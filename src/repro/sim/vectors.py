@@ -4,16 +4,43 @@ The paper validates with "random input vectors"; we provide a seeded
 generator (reproducible runs) and an exhaustive enumerator for tiny
 widths (used by equivalence tests).  The ``iter_*`` variant streams
 vectors lazily — Monte Carlo power estimation draws from it block by
-block without materializing a full list.
+block without materializing a full list.  The ``array_*`` variant
+materializes a block as a ``(batch, n_inputs)`` int64 matrix for the
+vectorized backend; it draws from the same seeded stream, so the
+``array_``, ``iter_`` and list forms produce identical value sequences
+at the same seed (what keeps Monte Carlo estimates backend-independent).
 """
 
 from __future__ import annotations
 
 import itertools
 import random
-from typing import Iterator
+from typing import Iterable, Iterator, Sequence
 
 from repro.ir.graph import CDFG
+
+
+def input_names(graph: CDFG) -> list[str]:
+    """Input names of ``graph`` in declaration order (array column order)."""
+    return [n.name for n in graph.inputs()]
+
+
+def vectors_to_array(vectors: Iterable[dict[str, int]],
+                     names: Sequence[str]):
+    """Pack vector dicts into a ``(batch, len(names))`` int64 matrix.
+
+    Raises the same ``KeyError`` as the batch engines when a vector is
+    missing an input.
+    """
+    import numpy as np
+
+    rows = []
+    for vector in vectors:
+        try:
+            rows.append([vector[name] for name in names])
+        except KeyError as e:
+            raise KeyError("missing input %r" % (e.args[0],)) from None
+    return np.array(rows, dtype=np.int64).reshape(len(rows), len(names))
 
 
 def iter_random_vectors(graph: CDFG, count: int | None = None,
@@ -40,6 +67,18 @@ def random_vectors(graph: CDFG, count: int, width: int = 8,
     return list(iter_random_vectors(graph, count, width=width, seed=seed))
 
 
+def array_random_vectors(graph: CDFG, count: int, width: int = 8,
+                         seed: int = 1996):
+    """``count`` seeded random vectors as a ``(count, n_inputs)`` matrix.
+
+    Row ``i`` holds the same values as ``random_vectors(graph, count)[i]``
+    at the same seed, in :func:`input_names` column order.
+    """
+    return vectors_to_array(
+        iter_random_vectors(graph, count, width=width, seed=seed),
+        input_names(graph))
+
+
 def exhaustive_vectors(graph: CDFG, width: int = 3) -> list[dict[str, int]]:
     """Every input assignment at a reduced width (keeps the count small)."""
     names = [n.name for n in graph.inputs()]
@@ -50,3 +89,9 @@ def exhaustive_vectors(graph: CDFG, width: int = 3) -> list[dict[str, int]]:
         dict(zip(names, combo))
         for combo in itertools.product(values, repeat=len(names))
     ]
+
+
+def array_exhaustive_vectors(graph: CDFG, width: int = 3):
+    """Every input assignment at a reduced width, as an int64 matrix."""
+    return vectors_to_array(exhaustive_vectors(graph, width=width),
+                            input_names(graph))

@@ -27,9 +27,22 @@ class TestExactKnownCases:
             exact_minimum_schedule(abs_diff(), 1)
 
     def test_node_limit_enforced(self):
-        graph = build("cordic")
+        # vender@6 still needs thousands of search nodes even with the
+        # suffix lower bound (cordic no longer does — see below).
+        graph = build("vender")
         with pytest.raises(RuntimeError, match="exceeded"):
-            exact_minimum_schedule(graph, 40, node_limit=100)
+            exact_minimum_schedule(graph, 6, node_limit=100)
+
+    def test_cordic_certified_without_search_blowup(self):
+        """The seeded incumbent plus the memoized suffix lower bound let
+        exact scheduling certify cordic (the paper's largest benchmark,
+        152 ops) instead of timing out: the heuristic schedule is optimal
+        and the root bound proves it almost immediately."""
+        graph = build("cordic")
+        heuristic = minimize_resources(graph, 48).allocation
+        result = exact_minimum_schedule(graph, 48, node_limit=10_000)
+        assert result.allocation.cost() == heuristic.cost()
+        assert result.explored <= 10_000
 
 
 class TestHeuristicCertification:

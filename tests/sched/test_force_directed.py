@@ -48,3 +48,42 @@ class TestBalancing:
         g.add_control_edge(comp.nid, sub.nid)
         schedule = force_directed_schedule(g, 3)
         assert schedule.step_of(sub.nid) >= schedule.finish_of(comp.nid)
+
+
+class TestIncrementalDistribution:
+    def test_matches_reference_rebuild(self, vender_graph):
+        """The incrementally maintained distribution graph equals the
+        from-scratch reference after any sequence of window updates."""
+        from repro.sched.force_directed import (
+            _DistributionGraph,
+            _distribution,
+            _windows,
+        )
+        from repro.sched.timing import alap_times, asap_times
+
+        graph = vender_graph
+        base_asap = asap_times(graph)
+        base_alap = alap_times(graph, 6)
+        dg = _DistributionGraph()
+        fixed = {}
+        for nid in [n.nid for n in graph.operations()]:
+            asap, alap = _windows(graph, base_asap, base_alap, fixed)
+            dg.update(graph, asap, alap)
+            reference = _distribution(graph, asap, alap)
+            keys = set(reference)
+            assert {k for k, v in dg._values.items() if v} <= keys
+            for key in keys:
+                assert dg.get(key) == pytest.approx(reference[key], abs=1e-12)
+            fixed[nid] = asap[nid]
+
+    def test_second_update_is_cheap(self, vender_graph):
+        from repro.sched.force_directed import _DistributionGraph, _windows
+        from repro.sched.timing import alap_times, asap_times
+
+        graph = vender_graph
+        asap, alap = _windows(graph, asap_times(graph),
+                              alap_times(graph, 6), {})
+        dg = _DistributionGraph()
+        first = dg.update(graph, asap, alap)
+        assert first == len(list(graph.operations()))
+        assert dg.update(graph, asap, alap) == 0  # unchanged windows

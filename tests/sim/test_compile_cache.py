@@ -1,0 +1,89 @@
+"""Compile-once semantics: plans and runners are cached by fingerprint."""
+
+import pytest
+
+from repro.circuits import build
+from repro.pipeline import FlowConfig, run_pair
+from repro.sim.engine import (
+    CompiledEngine,
+    cached_plan,
+    clear_compile_caches,
+    design_fingerprint,
+)
+from repro.sim.vectorized import VectorizedEngine
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_compile_caches()
+    yield
+    clear_compile_caches()
+
+
+def _design(steps=7):
+    return run_pair(build("gcd"), FlowConfig(n_steps=steps)).managed.design
+
+
+class TestFingerprint:
+    def test_stable_across_equal_rebuilds(self):
+        """Two independently synthesized but equal designs share one
+        fingerprint — what lets explore() workers compile once."""
+        assert design_fingerprint(_design()) == design_fingerprint(_design())
+
+    def test_memoized_on_instance(self):
+        design = _design()
+        first = design_fingerprint(design)
+        assert design.__dict__["_sim_fingerprint"] == first
+        assert design_fingerprint(design) is first
+
+    def test_differs_across_budgets_and_circuits(self):
+        assert design_fingerprint(_design(7)) != design_fingerprint(_design(6))
+        other = run_pair(build("dealer"),
+                         FlowConfig(n_steps=6)).managed.design
+        assert design_fingerprint(_design()) != design_fingerprint(other)
+
+    def test_differs_between_managed_and_baseline(self):
+        pair = run_pair(build("gcd"), FlowConfig(n_steps=7))
+        assert design_fingerprint(pair.managed.design) \
+            != design_fingerprint(pair.baseline.design)
+
+
+class TestCompileOnce:
+    def test_plan_shared_across_engines(self):
+        design = _design()
+        assert cached_plan(design) is cached_plan(design)
+        a = CompiledEngine(design)
+        b = CompiledEngine(design)
+        assert a.plan is b.plan
+        assert a._run is b._run  # the exec-compiled runner is reused
+
+    def test_plan_shared_across_equal_designs(self):
+        a = CompiledEngine(_design())
+        b = CompiledEngine(_design())
+        assert a.plan is b.plan
+
+    def test_backends_share_one_plan(self):
+        design = _design()
+        assert CompiledEngine(design).plan is VectorizedEngine(design).plan
+
+    def test_pm_modes_cached_separately(self):
+        design = _design()
+        on = CompiledEngine(design, power_management=True)
+        off = CompiledEngine(design, power_management=False)
+        assert on.source != off.source
+        assert on.plan is off.plan
+
+    def test_cached_engines_stay_independent(self):
+        """Shared runners, private state: one engine's batches must not
+        leak into another's counters."""
+        from repro.sim.vectors import random_vectors
+
+        design = _design()
+        a = CompiledEngine(design)
+        b = CompiledEngine(design)
+        vectors = random_vectors(design.graph, 8)
+        a.run_batch(vectors)
+        assert a.samples == 8
+        assert b.samples == 0
+        fresh = CompiledEngine(design).run_batch(vectors)
+        assert fresh.activity == CompiledEngine(design).run_batch(vectors).activity

@@ -1,0 +1,226 @@
+"""Differential tests: vectorized backend vs compiled engine vs interpreter.
+
+The vectorized NumPy backend must be bit-for-bit equivalent to the
+compiled engine (which is itself pinned against the interpreter and the
+functional reference): same outputs AND the same merged
+:class:`ActivityCounter`, key presence included — with power management
+both on and off, for every registered benchmark, for multicycle variants,
+for arbitrary Hypothesis-generated circuits, and across every batch
+boundary (odd sizes, size-1 blocks, empty blocks).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import TABLE2_BUDGETS, build
+from repro.pipeline import FlowConfig, run_pair
+from repro.sched.timing import critical_path_length
+from repro.sim.activity import ActivityCounter
+from repro.sim.backend import create_engine
+from repro.sim.engine import CompiledEngine
+from repro.sim.simulator import RTLSimulator
+from repro.sim.vectorized import VectorizedEngine
+from repro.sim.vectors import (
+    array_random_vectors,
+    random_vectors,
+    vectors_to_array,
+)
+from repro.sim.workloads import (
+    array_balanced_condition_vectors,
+    array_gcd_trace_vectors,
+    balanced_condition_vectors,
+    gcd_trace_vectors,
+)
+from tests.strategies import circuits
+
+
+def assert_identical(design, vectors, power_management):
+    """Vectorized == compiled == interpreter: outputs + full activity."""
+    legacy = RTLSimulator(design, power_management=power_management)
+    louts, lact = legacy.run_many(vectors)
+    compiled = CompiledEngine(design, power_management=power_management)
+    couts, cact = compiled.run_many(vectors)
+    vector = VectorizedEngine(design, power_management=power_management)
+    vouts, vact = vector.run_many(vectors)
+    assert vouts == couts == louts
+    assert vact.fu_input_toggles == cact.fu_input_toggles
+    assert vact.fu_output_toggles == cact.fu_output_toggles
+    assert vact.fu_activations == cact.fu_activations
+    assert vact.fu_idles == cact.fu_idles
+    assert vact.register_toggles == cact.register_toggles
+    assert vact.controller_cycles == cact.controller_cycles
+    assert vact.controller_literals == cact.controller_literals
+    assert vact == cact == lact
+
+
+class TestRegisteredCircuits:
+    @pytest.mark.parametrize("name,steps", [
+        (name, steps)
+        for name, budgets in TABLE2_BUDGETS.items() for steps in budgets
+    ])
+    def test_all_budgets_identical(self, name, steps):
+        graph = build(name)
+        pair = run_pair(graph, FlowConfig(n_steps=steps))
+        n = 8 if name == "cordic" else 48
+        vectors = random_vectors(graph, n, seed=steps)
+        for result in (pair.managed, pair.baseline):
+            for pm in (True, False):
+                assert_identical(result.design, vectors, pm)
+
+    def test_gcd_workload_vectors(self, gcd_graph):
+        pair = run_pair(gcd_graph, FlowConfig(n_steps=7))
+        for vectors in (gcd_trace_vectors(gcd_graph, n_runs=6),
+                        balanced_condition_vectors(gcd_graph, count=40)):
+            assert_identical(pair.managed.design, vectors, True)
+            assert_identical(pair.managed.design, vectors, False)
+
+    def test_multicycle_multiplier_identical(self):
+        from repro.circuits import vender
+        from repro.ir.ops import Op
+
+        graph = vender()
+        for node in graph.operations():
+            if node.op is Op.MUL:
+                node.latency = 2
+        cp = critical_path_length(graph)
+        pair = run_pair(graph, FlowConfig(n_steps=cp + 1))
+        vectors = random_vectors(graph, 24)
+        assert_identical(pair.managed.design, vectors, True)
+        assert_identical(pair.baseline.design, vectors, False)
+
+
+class TestBatchShapes:
+    @pytest.mark.parametrize("sizes", [
+        (1,), (2,), (1, 1, 1), (4095,), (1, 4095), (7, 64, 1, 28),
+    ])
+    def test_odd_batch_sizes(self, gcd_graph, sizes):
+        """Splitting across odd block boundaries changes nothing."""
+        design = run_pair(gcd_graph, FlowConfig(n_steps=7)).managed.design
+        total = sum(sizes)
+        vectors = random_vectors(gcd_graph, total)
+        one = CompiledEngine(design).run_batch(vectors)
+        split = VectorizedEngine(design)
+        merged = ActivityCounter(width=design.width)
+        outputs = []
+        offset = 0
+        for size in sizes:
+            part = split.run_batch(vectors[offset:offset + size])
+            outputs += part.outputs
+            merged.merge(part.activity)
+            offset += size
+        assert outputs == one.outputs
+        assert merged == one.activity
+
+    def test_empty_batch_is_identity(self, gcd_graph):
+        design = run_pair(gcd_graph, FlowConfig(n_steps=7)).managed.design
+        engine = VectorizedEngine(design)
+        before = engine.state()
+        result = engine.run_batch([])
+        assert result.outputs == []
+        assert result.activity == ActivityCounter(width=design.width)
+        assert engine.state() == before
+        assert engine.samples == 0
+
+    def test_run_array_matches_run_batch(self, gcd_graph):
+        design = run_pair(gcd_graph, FlowConfig(n_steps=7)).managed.design
+        vectors = random_vectors(gcd_graph, 33)
+        a = VectorizedEngine(design)
+        b = VectorizedEngine(design)
+        matrix = vectors_to_array(vectors, a.input_names)
+        array_result = a.run_array(matrix)
+        batch_result = b.run_batch(vectors)
+        assert array_result.activity == batch_result.activity
+        assert array_result.samples == batch_result.samples == 33
+        for name, column in array_result.outputs.items():
+            assert column.tolist() == [o[name] for o in batch_result.outputs]
+
+    def test_missing_input_raises_like_compiled(self, gcd_graph):
+        design = run_pair(gcd_graph, FlowConfig(n_steps=7)).managed.design
+        engine = VectorizedEngine(design)
+        with pytest.raises(KeyError, match="missing input"):
+            engine.run_batch([{"a": 1}])
+
+    def test_bad_matrix_shape_raises(self, gcd_graph):
+        import numpy as np
+
+        design = run_pair(gcd_graph, FlowConfig(n_steps=7)).managed.design
+        engine = VectorizedEngine(design)
+        with pytest.raises(ValueError, match="input matrix"):
+            engine.run_array(np.zeros((4, 7), dtype=np.int64))
+
+
+class TestArrayBuilders:
+    """array_* builders draw the identical sequence as the list forms."""
+
+    def test_array_random_vectors(self, gcd_graph):
+        matrix = array_random_vectors(gcd_graph, 50, seed=7)
+        rows = [dict(zip(("a", "b"), row)) for row in matrix.tolist()]
+        assert rows == random_vectors(gcd_graph, 50, seed=7)
+
+    def test_array_workloads(self, gcd_graph):
+        matrix = array_gcd_trace_vectors(gcd_graph, n_runs=5, seed=3)
+        rows = [dict(zip(("a", "b"), row)) for row in matrix.tolist()]
+        assert rows == gcd_trace_vectors(gcd_graph, n_runs=5, seed=3)
+        matrix = array_balanced_condition_vectors(gcd_graph, count=40)
+        rows = [dict(zip(("a", "b"), row)) for row in matrix.tolist()]
+        assert rows == balanced_condition_vectors(gcd_graph, count=40)
+
+
+class TestBackendSelection:
+    def test_create_engine_backends(self, gcd_graph):
+        design = run_pair(gcd_graph, FlowConfig(n_steps=7)).managed.design
+        assert isinstance(create_engine(design, backend="compiled"),
+                          CompiledEngine)
+        assert isinstance(create_engine(design, backend="vectorized"),
+                          VectorizedEngine)
+        assert isinstance(create_engine(design, backend="auto"),
+                          VectorizedEngine)
+
+    def test_unknown_backend_rejected(self, gcd_graph):
+        design = run_pair(gcd_graph, FlowConfig(n_steps=7)).managed.design
+        with pytest.raises(ValueError, match="unknown simulation backend"):
+            create_engine(design, backend="fortran")
+
+
+class TestRandomCircuits:
+    @settings(max_examples=40, deadline=None)
+    @given(circuits(max_ops=10), st.integers(min_value=0, max_value=2),
+           st.integers(min_value=0, max_value=10_000))
+    def test_vectorized_equals_compiled_and_legacy(self, graph, slack, seed):
+        from repro.sim.vectorized import VectorizationError
+
+        cp = critical_path_length(graph)
+        pair = run_pair(graph, FlowConfig(n_steps=cp + slack))
+        vectors = random_vectors(graph, 6, seed=seed)
+        for result in (pair.managed, pair.baseline):
+            for pm in (True, False):
+                try:
+                    assert_identical(result.design, vectors, pm)
+                except VectorizationError:
+                    # A genuine cross-vector recurrence: the vectorized
+                    # backend must refuse loudly and "auto" must fall
+                    # back to the (bit-exact) compiled engine.
+                    engine = create_engine(result.design,
+                                           power_management=pm,
+                                           backend="auto")
+                    assert isinstance(engine, CompiledEngine)
+                    legacy = RTLSimulator(result.design,
+                                          power_management=pm)
+                    assert engine.run_many(vectors) == \
+                        legacy.run_many(vectors)
+
+    @settings(max_examples=20, deadline=None)
+    @given(circuits(max_ops=8), st.integers(min_value=0, max_value=10_000))
+    def test_batch_boundaries_do_not_matter(self, graph, seed):
+        cp = critical_path_length(graph)
+        design = run_pair(graph, FlowConfig(n_steps=cp + 1)).managed.design
+        vectors = random_vectors(graph, 9, seed=seed)
+        one = VectorizedEngine(design).run_batch(vectors)
+        split = VectorizedEngine(design)
+        parts = [split.run_batch(vectors[:4]), split.run_batch(vectors[4:])]
+        assert sum((p.outputs for p in parts), []) == one.outputs
+        merged = ActivityCounter(width=design.width)
+        for p in parts:
+            merged.merge(p.activity)
+        assert merged == one.activity
