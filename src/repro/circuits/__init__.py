@@ -7,6 +7,8 @@ from repro.circuits.diffeq import diffeq
 from repro.circuits.gcd import gcd
 from repro.circuits.suite import (
     CIRCUITS,
+    FAMILIES,
+    register_family,
     PAPER_TABLE1,
     PAPER_TABLE2,
     PAPER_TABLE3,
@@ -22,6 +24,7 @@ from repro.circuits.vender import vender
 __all__ = [
     "ANGLE_TABLE",
     "CIRCUITS",
+    "FAMILIES",
     "N_ITERATIONS",
     "PAPER_TABLE1",
     "PAPER_TABLE2",
@@ -37,5 +40,6 @@ __all__ = [
     "dealer",
     "diffeq",
     "gcd",
+    "register_family",
     "vender",
 ]

@@ -25,15 +25,55 @@ CIRCUITS: dict[str, Callable[[], CDFG]] = {
     "cordic": cordic,
 }
 
+#: Parameterized scenario families: ``prefix -> builder(param_spec)``.
+#: A family turns an open-ended space of circuits into stable names —
+#: ``build("gen:branchy:42")`` calls ``FAMILIES["gen"]("branchy:42")``.
+FAMILIES: dict[str, Callable[[str], CDFG]] = {}
+
+#: Families registered on first use: ``prefix -> module`` whose import
+#: calls :func:`register_family`.  Keeps ``repro.circuits`` importable
+#: without its family providers (and vice versa).
+LAZY_FAMILIES: dict[str, str] = {"gen": "repro.gen"}
+
+
+def register_family(prefix: str, builder: Callable[[str], CDFG]) -> None:
+    """Register a parameterized circuit family under ``prefix``.
+
+    Family specs are ``"<prefix>:<param>"``; the builder receives the
+    param part and must return the same graph for the same spec (specs
+    are shipped by name to ``explore`` worker processes and journals).
+    """
+    if not prefix or ":" in prefix:
+        raise ValueError(f"bad family prefix {prefix!r}")
+    if prefix in CIRCUITS:
+        raise ValueError(
+            f"family prefix {prefix!r} collides with a benchmark circuit")
+    FAMILIES[prefix] = builder
+
 
 def build(name: str) -> CDFG:
-    """Build a registered benchmark circuit by name."""
-    try:
+    """Build a registered benchmark circuit or family member by name.
+
+    Plain names come from ``CIRCUITS``; names containing ``:`` are
+    family specs (``gen:<preset>:<seed>`` for the random-CDFG
+    generator, which is imported on first use).
+    """
+    if name in CIRCUITS:
         return CIRCUITS[name]()
-    except KeyError:
+    if ":" in name:
+        prefix, _, param = name.partition(":")
+        if prefix not in FAMILIES and prefix in LAZY_FAMILIES:
+            import importlib
+
+            importlib.import_module(LAZY_FAMILIES[prefix])
+        if prefix in FAMILIES:
+            return FAMILIES[prefix](param)
         raise KeyError(
-            f"unknown circuit {name!r}; choose from {sorted(CIRCUITS)}"
-        ) from None
+            f"unknown circuit family {prefix!r} in {name!r}; registered "
+            f"families: {sorted(set(FAMILIES) | set(LAZY_FAMILIES))}")
+    raise KeyError(
+        f"unknown circuit {name!r}; choose from {sorted(CIRCUITS)} or a "
+        f"family spec like 'gen:medium:42'")
 
 
 @dataclass(frozen=True)
@@ -119,6 +159,8 @@ TABLE3_BUDGETS: dict[str, int] = {"dealer": 6, "gcd": 7, "vender": 6}
 
 __all__ = [
     "CIRCUITS",
+    "FAMILIES",
+    "register_family",
     "PAPER_TABLE1",
     "PAPER_TABLE2",
     "PAPER_TABLE3",

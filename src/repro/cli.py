@@ -9,6 +9,8 @@ Usage (after ``pip install -e .``)::
     python -m repro vhdl vender --steps 6 -o vender.vhd
     python -m repro simulate dealer --steps 6 --vectors 256
     python -m repro explore dealer gcd vender --budgets 5,6,7 --workers 4
+    python -m repro explore gcd "gen:branchy:42" --budgets 6,7,8 \
+        --store .cache/explore --resume sweep.jsonl --pareto
     python -m repro tables                          # Tables I-III summary
 
 Circuit arguments are either a registered benchmark name (dealer, gcd,
@@ -47,15 +49,21 @@ _PIPELINE = Pipeline(cache=ArtifactCache())
 
 
 def load_circuit(spec: str) -> CDFG:
-    """Registered benchmark name or a DSL source file path."""
-    if spec in CIRCUITS:
+    """Benchmark name, family spec (``gen:<preset>:<seed>``), or a DSL
+    source file path."""
+    try:
         return build(spec)
+    except ValueError as error:  # a family spec with bad parameters
+        raise SystemExit(f"error: {error}") from None
+    except KeyError:
+        pass
     path = pathlib.Path(spec)
     if path.exists():
         return compile_circuit(path.read_text())
     raise SystemExit(
         f"error: {spec!r} is neither a known circuit "
-        f"({', '.join(sorted(CIRCUITS))}) nor a readable file")
+        f"({', '.join(sorted(CIRCUITS))}), nor a generator spec like "
+        f"'gen:medium:42', nor a readable file")
 
 
 def _pm_options(args: argparse.Namespace) -> PMOptions:
@@ -130,6 +138,17 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _explore_spec(spec: str) -> "str | CDFG":
+    """Keep registry/family names as strings (cheap to ship to workers
+    and stable in resume journals); load file paths into CDFGs."""
+    if spec in CIRCUITS:
+        return spec
+    if ":" in spec and not pathlib.Path(spec).exists():
+        load_circuit(spec)  # validate the family spec eagerly
+        return spec
+    return load_circuit(spec)
+
+
 def cmd_explore(args: argparse.Namespace) -> int:
     try:
         budgets = [int(b) for b in args.budgets.split(",") if b]
@@ -141,18 +160,25 @@ def cmd_explore(args: argparse.Namespace) -> int:
     configs = [FlowConfig(pm=_pm_options(args), scheduler=args.scheduler,
                           verify=args.verify,
                           sim_backend=args.sim_backend)]
-    circuits = [spec if spec in CIRCUITS else load_circuit(spec)
-                for spec in args.circuits]
+    circuits = [_explore_spec(spec) for spec in args.circuits]
     from repro.sched.timing import InfeasibleScheduleError
 
     try:
         result = explore(circuits, budgets, configs=configs,
-                         workers=args.workers)
+                         workers=args.workers,
+                         sim_vectors=args.sim_vectors,
+                         store=args.store, resume=args.resume)
     except InfeasibleScheduleError as error:
         raise SystemExit(
             f"error: {error} — drop that budget or raise it past the "
             f"critical path") from None
-    print(result.table())
+    if args.pareto:
+        front = result.pareto()
+        print(front.table())
+        print(f"pareto front: {len(front.points)} of {len(result.points)} "
+              f"points survive on (area, power, latency)")
+    else:
+        print(result.table())
     best = result.best()
     print(f"best point: {best.circuit} @ {best.n_steps} steps "
           f"({best.power_reduction_pct:.2f}% datapath power saved)")
@@ -253,6 +279,18 @@ def make_parser() -> argparse.ArgumentParser:
                            help="comma-separated step budgets, e.g. 5,6,7")
     p_explore.add_argument("--workers", type=int, default=1,
                            help="worker processes (default 1 = in-process)")
+    p_explore.add_argument("--store", default=None, metavar="DIR",
+                           help="disk-backed artifact store directory "
+                                "shared across workers and runs")
+    p_explore.add_argument("--resume", default=None, metavar="FILE",
+                           help="JSONL journal: finished points are "
+                                "appended and skipped on re-runs")
+    p_explore.add_argument("--pareto", action="store_true",
+                           help="print only the (area, power, latency) "
+                                "Pareto front of the sweep")
+    p_explore.add_argument("--sim-vectors", type=int, default=0,
+                           help="engine-simulate every point on N random "
+                                "vectors (default 0 = static estimate)")
     flow_options(p_explore)
     p_explore.set_defaults(func=cmd_explore)
 

@@ -1,0 +1,40 @@
+"""Seeded random-CDFG workload generation (``repro.gen``).
+
+Quick start::
+
+    from repro.gen import random_cdfg
+
+    graph = random_cdfg(42, preset="branchy")   # deterministic
+
+or by scenario name through the circuit registry::
+
+    from repro.circuits import build
+
+    graph = build("gen:branchy:42")
+
+Importing this package registers the ``gen`` scenario family with
+:mod:`repro.circuits.suite` (``circuits.build`` also does this lazily on
+the first ``gen:`` spec it sees).
+"""
+
+from repro.gen.random_cdfg import (
+    DEFAULT_OP_MIX,
+    PRESETS,
+    GenConfig,
+    build_spec,
+    generate,
+    random_cdfg,
+)
+
+from repro.circuits.suite import register_family
+
+register_family("gen", build_spec)
+
+__all__ = [
+    "DEFAULT_OP_MIX",
+    "GenConfig",
+    "PRESETS",
+    "build_spec",
+    "generate",
+    "random_cdfg",
+]

@@ -1,0 +1,270 @@
+"""Seeded random-CDFG workload generator.
+
+The paper's four benchmarks are points in a much larger space of
+control-dominated dataflow circuits.  ``generate`` grows arbitrarily many
+*valid* CDFGs from a seed through the ordinary :class:`GraphBuilder`
+API, so every downstream consumer (PM pass, schedulers, allocators, the
+three simulation backends, the VHDL emitter, the language printer) sees
+exactly the graphs it would see from hand-written sources.
+
+Knobs (:class:`GenConfig`):
+
+* ``op_mix`` — relative weights of the arithmetic/comparison/logic
+  operation kinds drawn for dataflow nodes;
+* ``mux_density`` — how often a grown operation is a conditional (a MUX
+  plus its freshly-built select comparison);
+* ``mutex_density`` — probability that a conditional's two data inputs
+  are *private branch cones*: operation chains consumed only by that MUX
+  side, i.e. mutually-exclusive regions — precisely the structure the
+  paper's power-management pass (and ``mutex_sharing`` allocation)
+  exists to exploit;
+* ``nesting_depth`` — how deeply conditionals may nest inside branch
+  cones;
+* ``n_inputs`` / ``reuse_window`` — DAG shape: many inputs with
+  unrestricted operand reuse gives wide, shallow graphs; few inputs with
+  a small reuse window forces long dependence chains (deep graphs).
+
+Everything is driven by one ``random.Random(seed)`` stream, so a
+``(config, seed)`` pair is a stable, shareable scenario name — the
+``circuits.build("gen:<preset>:<seed>")`` family interface and the
+differential-fuzz suites rely on that determinism.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+
+from repro.ir.builder import GraphBuilder, Value
+from repro.ir.graph import CDFG
+
+#: Default relative weights of the dataflow operation kinds.
+DEFAULT_OP_MIX: tuple[tuple[str, float], ...] = (
+    ("add", 3.0), ("sub", 2.0), ("mul", 1.0), ("comp", 2.0), ("logic", 1.0),
+)
+
+_COMPARISONS = ("gt", "lt", "ge", "le", "eq", "ne")
+_LOGIC = ("and_", "or_", "xor")
+_KINDS = {"add", "sub", "mul", "comp", "logic"}
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Everything :func:`generate` needs to grow one random circuit.
+
+    The config is frozen (usable as a dict key / preset) and fully
+    determines the output together with nothing else: two calls with
+    equal configs build fingerprint-identical graphs.
+    """
+
+    seed: int = 0
+    #: Target number of schedulable operations (the generator stops
+    #: growing once it reaches or passes this count).
+    n_ops: int = 16
+    #: Primary inputs — the width of the DAG at its top.
+    n_inputs: int = 3
+    #: Relative weights for add/sub/mul/comp/logic dataflow nodes.
+    op_mix: tuple[tuple[str, float], ...] = DEFAULT_OP_MIX
+    #: Probability a grown operation is a conditional (MUX + select).
+    mux_density: float = 0.3
+    #: Probability a conditional's data inputs are private mutually-
+    #: exclusive branch cones rather than shared public values.
+    mutex_density: float = 0.6
+    #: Operations per private branch cone.
+    branch_ops: int = 2
+    #: Maximum conditional nesting depth inside branch cones.
+    nesting_depth: int = 2
+    #: Probability a cone operation nests a further conditional (while
+    #: depth budget remains).
+    nest_density: float = 0.25
+    #: Operand locality: operands are drawn from the most recent
+    #: ``reuse_window`` public values (``None`` = the whole pool).
+    #: Small windows force chains (deep DAGs); ``None`` gives wide DAGs.
+    reuse_window: int | None = None
+    #: Probability of injecting a small constant operand.
+    const_density: float = 0.1
+    #: Graph name; empty derives ``gen:custom:<seed>``.
+    name: str = ""
+
+    def validate(self) -> None:
+        if self.n_ops < 1:
+            raise ValueError(f"n_ops must be >= 1, got {self.n_ops}")
+        if self.n_inputs < 1:
+            raise ValueError(f"n_inputs must be >= 1, got {self.n_inputs}")
+        if self.branch_ops < 1:
+            raise ValueError(
+                f"branch_ops must be >= 1, got {self.branch_ops}")
+        if self.nesting_depth < 0:
+            raise ValueError(
+                f"nesting_depth must be >= 0, got {self.nesting_depth}")
+        if self.reuse_window is not None and self.reuse_window < 1:
+            raise ValueError(
+                f"reuse_window must be >= 1 or None, got {self.reuse_window}")
+        for knob in ("mux_density", "mutex_density", "nest_density",
+                     "const_density"):
+            value = getattr(self, knob)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{knob} must be in [0, 1], got {value}")
+        kinds = [kind for kind, _ in self.op_mix]
+        unknown = sorted(set(kinds) - _KINDS)
+        if unknown:
+            raise ValueError(
+                f"unknown op_mix kinds {unknown}; choose from "
+                f"{sorted(_KINDS)}")
+        if not any(weight > 0 for _, weight in self.op_mix):
+            raise ValueError("op_mix needs at least one positive weight")
+
+
+#: Named parameter families: scenario shapes the test suites and the
+#: ``gen:<preset>:<seed>`` circuit specs select by name.
+PRESETS: dict[str, GenConfig] = {
+    "tiny": GenConfig(n_ops=6, n_inputs=2, nesting_depth=1),
+    "small": GenConfig(n_ops=10, n_inputs=3, nesting_depth=1),
+    "medium": GenConfig(n_ops=20, n_inputs=4, nesting_depth=2),
+    "branchy": GenConfig(n_ops=24, n_inputs=4, mux_density=0.5,
+                         mutex_density=0.9, nesting_depth=3),
+    "wide": GenConfig(n_ops=24, n_inputs=8, mux_density=0.2,
+                      reuse_window=None),
+    "deep": GenConfig(n_ops=24, n_inputs=2, mux_density=0.2,
+                      reuse_window=2),
+    "large": GenConfig(n_ops=48, n_inputs=6, nesting_depth=3),
+}
+
+
+class _Grower:
+    """One generation run: the builder plus the op budget bookkeeping."""
+
+    def __init__(self, config: GenConfig, name: str) -> None:
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.builder = GraphBuilder(name)
+        self.ops_built = 0
+        # Public pool: values later operations may consume.  Private cone
+        # values never enter it, which is what makes cones mutually
+        # exclusive (each is consumed only through its MUX side).
+        self.pool: list[Value] = [
+            self.builder.input(f"i{k}") for k in range(config.n_inputs)
+        ]
+        kinds = [kind for kind, weight in config.op_mix if weight > 0]
+        weights = [weight for _, weight in config.op_mix if weight > 0]
+        self._kinds, self._weights = kinds, weights
+
+    # -- operand selection ----------------------------------------------
+
+    def pick(self) -> Value:
+        if (self.config.const_density and
+                self.rng.random() < self.config.const_density):
+            return self.builder.const(self.rng.randint(-16, 16))
+        window = self.config.reuse_window
+        candidates = (self.pool if window is None or window >= len(self.pool)
+                      else self.pool[-window:])
+        return self.rng.choice(candidates)
+
+    # -- growth ----------------------------------------------------------
+
+    def binary(self, a: Value, b: Value) -> Value:
+        kind = self.rng.choices(self._kinds, weights=self._weights)[0]
+        if kind == "comp":
+            method = self.rng.choice(_COMPARISONS)
+        elif kind == "logic":
+            method = self.rng.choice(_LOGIC)
+        else:
+            method = kind
+        self.ops_built += 1
+        return getattr(self.builder, method)(a, b)
+
+    def cone(self, depth: int) -> Value:
+        """A private operation chain consumed only by one MUX side."""
+        value = self.binary(self.pick(), self.pick())
+        for _ in range(self.config.branch_ops - 1):
+            if (depth < self.config.nesting_depth and
+                    self.rng.random() < self.config.nest_density):
+                value = self.conditional(depth + 1, in0=value)
+            else:
+                value = self.binary(value, self.pick())
+        return value
+
+    def conditional(self, depth: int, in0: Value | None = None) -> Value:
+        """A MUX with a fresh select comparison; optionally with private
+        mutually-exclusive branch cones."""
+        select = getattr(self.builder, self.rng.choice(_COMPARISONS))(
+            self.pick(), self.pick())
+        self.ops_built += 1
+        if self.rng.random() < self.config.mutex_density:
+            if in0 is None:
+                in0 = self.cone(depth)
+            in1 = self.cone(depth)
+        else:
+            if in0 is None:
+                in0 = self.pick()
+            in1 = self.pick()
+        self.ops_built += 1
+        return self.builder.mux(select, in0, in1)
+
+    def grow(self) -> CDFG:
+        config = self.config
+        while self.ops_built < config.n_ops:
+            if (config.nesting_depth > 0 and
+                    self.rng.random() < config.mux_density):
+                self.pool.append(self.conditional(depth=1))
+            else:
+                self.pool.append(self.binary(self.pick(), self.pick()))
+        # Export every sink so no operation is dead and validate() holds.
+        graph = self.builder.graph
+        exported = 0
+        for value in self.pool:
+            node = graph.node(value.nid)
+            if node.is_schedulable and not graph.data_succs(value.nid):
+                self.builder.output(value, f"o{exported}")
+                exported += 1
+        if exported == 0:
+            self.builder.output(self.pool[-1], "o0")
+        return self.builder.build()
+
+
+def generate(config: GenConfig) -> CDFG:
+    """Build the (deterministic) random circuit ``config`` describes."""
+    config.validate()
+    name = config.name or f"gen:custom:{config.seed}"
+    return _Grower(config, name).grow()
+
+
+def random_cdfg(seed: int, preset: str = "medium", **overrides) -> CDFG:
+    """Convenience wrapper: a preset family member at ``seed``.
+
+    ``overrides`` are :class:`GenConfig` field replacements; the graph is
+    named after the family spec (``gen:<preset>:<seed>``) so it can be
+    rebuilt by name through :func:`repro.circuits.build`.
+    """
+    try:
+        base = PRESETS[preset]
+    except KeyError:
+        raise KeyError(
+            f"unknown generator preset {preset!r}; choose from "
+            f"{sorted(PRESETS)}") from None
+    name = overrides.pop("name", f"gen:{preset}:{seed}")
+    config = replace(base, seed=seed, name=name, **overrides)
+    return generate(config)
+
+
+def build_spec(spec: str) -> CDFG:
+    """Family builder for ``circuits.build``: ``"<preset>:<seed>"``.
+
+    ``"<seed>"`` alone selects the ``medium`` preset, so the shortest
+    scenario names are ``gen:0``, ``gen:1``, ...
+    """
+    preset, _, seed_text = spec.rpartition(":")
+    preset = preset or "medium"
+    try:
+        seed = int(seed_text)
+    except ValueError:
+        raise ValueError(
+            f"bad generator spec {spec!r}: expected '<preset>:<seed>' or "
+            f"'<seed>' with an integer seed") from None
+    if preset not in PRESETS:
+        # ValueError, not KeyError: callers treat KeyError as "not a
+        # known circuit" and would bury the preset typo.
+        raise ValueError(
+            f"bad generator spec {spec!r}: unknown preset {preset!r} "
+            f"(choose from {sorted(PRESETS)})")
+    return random_cdfg(seed, preset=preset)

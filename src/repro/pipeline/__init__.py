@@ -24,10 +24,12 @@ from repro.pipeline.engine import (
     run_pair,
 )
 from repro.pipeline.explore import (
+    PARETO_OBJECTIVES,
     ExplorationPoint,
     ExplorationResult,
     clear_explore_cache,
     explore,
+    job_key,
 )
 from repro.pipeline.registry import (
     UnknownSchedulerError,
@@ -37,6 +39,7 @@ from repro.pipeline.registry import (
     unregister_scheduler,
 )
 from repro.pipeline.result import SynthesisPair, SynthesisResult
+from repro.pipeline.store import DiskArtifactCache
 from repro.pipeline.stages import (
     AllocateStage,
     AnalyzeStage,
@@ -56,12 +59,14 @@ __all__ = [
     "AnalyzeStage",
     "ArtifactCache",
     "CacheStats",
+    "DiskArtifactCache",
     "ElaborateStage",
     "ExplorationPoint",
     "ExplorationResult",
     "FlowConfig",
     "FlowContext",
     "MissingArtifactError",
+    "PARETO_OBJECTIVES",
     "Pipeline",
     "PipelineWiringError",
     "PowerManageStage",
@@ -80,6 +85,7 @@ __all__ = [
     "explore",
     "get_scheduler",
     "graph_fingerprint",
+    "job_key",
     "register_scheduler",
     "run_flow",
     "run_pair",

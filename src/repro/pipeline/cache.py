@@ -53,12 +53,23 @@ class CacheStats:
 
 @dataclass
 class ArtifactCache:
-    """LRU store of ``{artifact name -> object}`` dicts keyed per stage."""
+    """LRU store of ``{artifact name -> object}`` dicts keyed per stage.
+
+    Bounded: once more than ``max_entries`` distinct keys are stored the
+    least-recently-used entries are evicted (``lookup`` counts as use),
+    so long-lived processes sweeping large design spaces cannot grow the
+    cache without bound.  ``stats`` tallies hits/misses/evictions.
+    """
 
     max_entries: int = 4096
     stats: CacheStats = field(default_factory=CacheStats)
     _store: "OrderedDict[CacheKey, dict[str, object]]" = \
         field(default_factory=OrderedDict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_entries < 1:
+            raise ValueError(
+                f"max_entries must be >= 1, got {self.max_entries}")
 
     def lookup(self, key: CacheKey) -> dict[str, object] | None:
         entry = self._store.get(key)

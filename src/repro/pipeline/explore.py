@@ -3,37 +3,65 @@
 ``explore`` runs the full flow over the cross product of circuits x
 step budgets x flow configs and returns one summary row per point —
 the loop ``paper_tables`` and the ablation benches used to write by
-hand.  Points are independent, so with ``workers > 1`` they fan out over
-a :class:`concurrent.futures.ProcessPoolExecutor`; each worker keeps the
-module-level artifact cache of its process warm, and every point reports
-how many of its stages were cache hits, so sweeps that revisit a
-(circuit, budget, config) neighbourhood get measurably cheaper.
+hand.  Points are independent, so with ``workers > 1`` they fan out in
+chunks over a :class:`concurrent.futures.ProcessPoolExecutor`.
 
-Circuits may be registry names (preferred — cheap to ship to workers) or
-CDFG objects (serialized to the workers through the IR's JSON form).
+Three service-grade facilities turn one-shot sweeps into resumable,
+shareable jobs:
 
-Portability note: runtime ``register_scheduler`` registrations live in
-this process.  Workers inherit them on fork-start platforms (Linux);
-under spawn (macOS/Windows) a custom scheduler must be registered at
-import time of a module the workers also import, or the sweep must run
-with ``workers=1``.
+* **Persistent store** — pass ``store=`` (a
+  :class:`~repro.pipeline.store.DiskArtifactCache` or a directory path)
+  and every stage artifact is kept on disk, shared across worker
+  processes *and* across runs: the second sweep over the same grid is
+  served from the store.  Per-point disk hit/miss counts surface on
+  :class:`ExplorationPoint` and aggregate on :class:`ExplorationResult`.
+  Without a store, each process keeps its in-memory cache, exactly as
+  before.
+
+* **Journaled resume** — pass ``resume=`` (a JSONL journal path) and
+  every finished point is appended as it completes.  A killed sweep
+  rerun with the same journal recomputes only the missing points; each
+  job is identified by a stable content key over (circuit spec, config,
+  sim_vectors), so grids can also be *extended* and re-run against the
+  same journal.
+
+* **Pareto reduction** — ``result.pareto()`` keeps only the points not
+  dominated on (area, power, latency).
+
+Circuits may be registry names — including parameterized family specs
+like ``gen:branchy:42`` — or CDFG objects (serialized to the workers
+through the IR's JSON form).
+
+Portability note: runtime ``register_scheduler``/``register_family``
+registrations live in this process.  Workers inherit them on fork-start
+platforms (Linux); under spawn (macOS/Windows) a custom registration
+must happen at import time of a module the workers also import, or the
+sweep must run with ``workers=1``.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, replace
-from typing import Iterable, Mapping, Sequence
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, fields, replace
+from pathlib import Path
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.ir.graph import CDFG
 from repro.ir.serialize import graph_from_dict, graph_to_dict
 from repro.pipeline.cache import ArtifactCache
 from repro.pipeline.config import FlowConfig
 from repro.pipeline.engine import Pipeline
+from repro.pipeline.store import DiskArtifactCache
 
 # Per-process artifact store.  The parent's cache is inherited by forked
 # workers, and repeated explore() calls in one process build on it.
+# (With an explicit ``store=`` the disk store is used instead.)
 _PROCESS_CACHE = ArtifactCache()
+
+JOURNAL_FORMAT = 1
 
 
 def clear_explore_cache() -> None:
@@ -59,10 +87,43 @@ class ExplorationPoint:
     #: Engine-simulated total power reduction vs the baseline design,
     #: populated when ``explore(..., sim_vectors=N)`` is used.
     simulated_reduction_pct: float | None = None
+    #: Disk-store lookups served / computed while synthesizing this
+    #: point (0 when no ``store=`` was passed).
+    store_hits: int = 0
+    store_misses: int = 0
 
     @property
     def allocation_dict(self) -> dict[str, int]:
         return dict(self.allocation)
+
+    # -- journal round trip ----------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-compatible form (the journal record payload)."""
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["allocation"] = [list(pair) for pair in self.allocation]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ExplorationPoint":
+        known = {f.name for f in fields(cls)}
+        kwargs = {name: value for name, value in data.items()
+                  if name in known}
+        kwargs["allocation"] = tuple(
+            (str(unit), int(count)) for unit, count in kwargs["allocation"])
+        return cls(**kwargs)
+
+
+#: Objective extractors for :meth:`ExplorationResult.pareto`; every
+#: objective is minimized.  ``power`` prefers the engine-simulated total
+#: reduction when present, the static datapath estimate otherwise.
+PARETO_OBJECTIVES: dict[str, Callable[[ExplorationPoint], float]] = {
+    "area": lambda p: float(p.area),
+    "power": lambda p: -(p.simulated_reduction_pct
+                         if p.simulated_reduction_pct is not None
+                         else p.power_reduction_pct),
+    "latency": lambda p: float(p.n_steps),
+}
 
 
 @dataclass(frozen=True)
@@ -70,6 +131,8 @@ class ExplorationResult:
     """All points of one sweep plus aggregate cache behaviour."""
 
     points: tuple[ExplorationPoint, ...]
+    #: Points served from the resume journal instead of recomputed.
+    resumed: int = 0
 
     @property
     def cache_hits(self) -> int:
@@ -78,6 +141,15 @@ class ExplorationResult:
     @property
     def cache_misses(self) -> int:
         return sum(p.cache_misses for p in self.points)
+
+    @property
+    def store_hits(self) -> int:
+        """Disk-store hits across all computed points of the sweep."""
+        return sum(p.store_hits for p in self.points)
+
+    @property
+    def store_misses(self) -> int:
+        return sum(p.store_misses for p in self.points)
 
     def circuits(self) -> tuple[str, ...]:
         seen = dict.fromkeys(p.circuit for p in self.points)
@@ -93,6 +165,34 @@ class ExplorationResult:
         return max(self.points,
                    key=key or (lambda p: p.power_reduction_pct))
 
+    def pareto(self, objectives: Sequence[str] = ("area", "power", "latency"),
+               ) -> "ExplorationResult":
+        """The non-dominated front of the sweep.
+
+        A point survives unless some other point is at least as good on
+        *every* named objective and strictly better on one.  Objectives
+        (all minimized) come from :data:`PARETO_OBJECTIVES`.
+        """
+        try:
+            metrics = [PARETO_OBJECTIVES[name] for name in objectives]
+        except KeyError as error:
+            raise KeyError(
+                f"unknown Pareto objective {error.args[0]!r}; choose from "
+                f"{sorted(PARETO_OBJECTIVES)}") from None
+        if not metrics:
+            raise ValueError("pareto() needs at least one objective")
+        scored = [tuple(metric(p) for metric in metrics)
+                  for p in self.points]
+
+        def dominated(mine) -> bool:
+            return any(other != mine and
+                       all(o <= m for o, m in zip(other, mine))
+                       for other in scored)
+
+        front = tuple(p for p, mine in zip(self.points, scored)
+                      if not dominated(mine))
+        return ExplorationResult(points=front, resumed=0)
+
     def table(self) -> str:
         lines = [f"{'circuit':<10s} {'steps':>5s} {'config':<18s} "
                  f"{'muxes':>5s} {'saved%':>7s} {'area':>6s} {'cache':>7s}"]
@@ -103,6 +203,11 @@ class ExplorationResult:
                 f"{p.area:>6d} {p.cache_hits:>3d}/{p.cache_hits + p.cache_misses:<3d}")
         lines.append(f"total stage-cache hits: {self.cache_hits} "
                      f"({self.cache_misses} computed)")
+        if self.store_hits or self.store_misses:
+            lines.append(f"disk-store hits: {self.store_hits} "
+                         f"({self.store_misses} stored)")
+        if self.resumed:
+            lines.append(f"resumed from journal: {self.resumed} points")
         return "\n".join(lines)
 
 
@@ -124,11 +229,32 @@ def _load_spec(spec: tuple[str, object]) -> CDFG:
     return graph_from_dict(data)
 
 
-def _run_point(job: tuple[tuple[str, object], FlowConfig, int],
-               ) -> ExplorationPoint:
-    spec, config, sim_vectors = job
+def job_key(spec: tuple[str, object], config: FlowConfig,
+            sim_vectors: int) -> str:
+    """Stable content key identifying one job of a sweep.
+
+    The key survives process restarts and grid reordering, which is what
+    lets a resume journal skip exactly the work already done.  It covers
+    the *full* config repr including ``label`` (which ``FlowConfig``
+    equality ignores): two grid configs differing only by label must
+    journal as distinct jobs so each point replays under its own label —
+    the cost is that renaming a label invalidates that config's journal
+    entries.
+    """
+    payload = json.dumps(
+        {"spec": spec, "config": repr(config), "sim_vectors": sim_vectors},
+        sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+def _run_point(spec: tuple[str, object], config: FlowConfig,
+               sim_vectors: int,
+               store: DiskArtifactCache | None) -> ExplorationPoint:
+    cache = store if store is not None else _PROCESS_CACHE
+    hits0 = cache.stats.hits
+    misses0 = cache.stats.misses
     graph = _load_spec(spec)
-    pipeline = Pipeline(cache=_PROCESS_CACHE)
+    pipeline = Pipeline(cache=cache)
     ctx = pipeline.run_context(graph, config)
     result = ctx.result
     report = result.static_report()
@@ -154,7 +280,81 @@ def _run_point(job: tuple[tuple[str, object], FlowConfig, int],
         cache_hits=len(ctx.cache_hits),
         cache_misses=len(ctx.cache_misses),
         simulated_reduction_pct=simulated,
+        store_hits=(cache.stats.hits - hits0) if store is not None else 0,
+        store_misses=(cache.stats.misses - misses0)
+        if store is not None else 0,
     )
+
+
+def _run_chunk(job: tuple[DiskArtifactCache | None,
+                          list[tuple[int, str, tuple[str, object],
+                                     FlowConfig, int]]],
+               ) -> list[tuple[int, str, ExplorationPoint]]:
+    """Worker task: one chunk of jobs against one (shared) store."""
+    store, chunk = job
+    return [(index, key, _run_point(spec, config, sim_vectors, store))
+            for index, key, spec, config, sim_vectors in chunk]
+
+
+# -- resume journal ------------------------------------------------------
+
+
+def _load_journal(path: Path) -> dict[str, ExplorationPoint]:
+    """Completed points by job key; tolerates a torn trailing record."""
+    completed: dict[str, ExplorationPoint] = {}
+    if not path.exists():
+        return completed
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write from a killed run
+            if not isinstance(record, dict) or "key" not in record:
+                continue  # meta line
+            try:
+                completed[record["key"]] = \
+                    ExplorationPoint.from_dict(record["point"])
+            except (KeyError, TypeError, ValueError):
+                continue
+    return completed
+
+
+def _open_journal(path: Path):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fresh = not path.exists()
+    if not fresh:
+        # A kill can leave a torn record with no trailing newline; start
+        # appending on a fresh line so only that record is lost.
+        with open(path, "rb") as handle:
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() > 0:
+                handle.seek(-1, os.SEEK_END)
+                torn_tail = handle.read(1) != b"\n"
+            else:
+                torn_tail = False
+    handle = open(path, "a", encoding="utf-8")
+    if fresh:
+        handle.write(json.dumps({"format": JOURNAL_FORMAT,
+                                 "kind": "explore-journal"}) + "\n")
+        handle.flush()
+    elif torn_tail:
+        handle.write("\n")
+        handle.flush()
+    return handle
+
+
+def _journal_record(handle, key: str, point: ExplorationPoint) -> None:
+    handle.write(json.dumps({"key": key, "point": point.to_dict()},
+                            separators=(",", ":")) + "\n")
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+# -- the sweep -----------------------------------------------------------
 
 
 def explore(
@@ -163,6 +363,9 @@ def explore(
     configs: Sequence[FlowConfig] | None = None,
     workers: int = 1,
     sim_vectors: int = 0,
+    store: DiskArtifactCache | str | os.PathLike | None = None,
+    resume: str | os.PathLike | None = None,
+    chunk_size: int | None = None,
 ) -> ExplorationResult:
     """Synthesize every (circuit, budget, config) point of a sweep.
 
@@ -170,16 +373,25 @@ def explore(
     ``circuit name -> budgets`` (the paper's per-circuit Table II shape).
     ``configs`` defaults to a single paper-defaults :class:`FlowConfig`;
     each config's ``n_steps`` is overridden per budget.  ``workers > 1``
-    distributes points over that many worker processes.  ``sim_vectors >
-    0`` additionally simulates every point (baseline vs managed, on the
-    compiled batch engine) and fills ``simulated_reduction_pct``.
+    distributes job chunks over that many worker processes
+    (``chunk_size`` jobs per task; default balances ~4 chunks per
+    worker).  ``sim_vectors > 0`` additionally simulates every point
+    (baseline vs managed, on the batch engine) and fills
+    ``simulated_reduction_pct``.
+
+    ``store`` (a :class:`DiskArtifactCache` or a directory path) makes
+    stage artifacts persistent and shared across workers and runs;
+    ``resume`` (a JSONL path) journals finished points and skips them on
+    re-runs.  See the module docstring for the semantics of both.
     """
     configs = tuple(configs) if configs else (FlowConfig(),)
     specs = [_as_spec(c) for c in circuits]
     if not specs:
         raise ValueError("explore() needs at least one circuit")
+    if isinstance(store, (str, os.PathLike)):
+        store = DiskArtifactCache(store)
 
-    jobs: list[tuple[tuple[str, object], FlowConfig, int]] = []
+    jobs: list[tuple[int, str, tuple[str, object], FlowConfig, int]] = []
     for spec in specs:
         if isinstance(budgets, Mapping):
             name = spec[1] if spec[0] == "name" else spec[1]["name"]
@@ -188,12 +400,46 @@ def explore(
             circuit_budgets = budgets
         for steps in circuit_budgets:
             for config in configs:
-                jobs.append((spec, replace(config, n_steps=steps),
-                             sim_vectors))
+                job_config = replace(config, n_steps=steps)
+                jobs.append((len(jobs), job_key(spec, job_config,
+                                                sim_vectors),
+                             spec, job_config, sim_vectors))
 
-    if workers > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            points = list(pool.map(_run_point, jobs))
-    else:
-        points = [_run_point(job) for job in jobs]
-    return ExplorationResult(points=tuple(points))
+    points: dict[int, ExplorationPoint] = {}
+    completed = _load_journal(Path(resume)) if resume is not None else {}
+    pending = []
+    for index, key, spec, config, n_sim in jobs:
+        if key in completed:
+            points[index] = completed[key]
+        else:
+            pending.append((index, key, spec, config, n_sim))
+    resumed = len(jobs) - len(pending)
+
+    journal = _open_journal(Path(resume)) if resume is not None else None
+    try:
+        if workers > 1 and len(pending) > 1:
+            if chunk_size is None:
+                chunk_size = max(1, -(-len(pending) // (workers * 4)))
+            chunks = [pending[i:i + chunk_size]
+                      for i in range(0, len(pending), chunk_size)]
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [pool.submit(_run_chunk, (store, chunk))
+                           for chunk in chunks]
+                for future in as_completed(futures):
+                    for index, key, point in future.result():
+                        points[index] = point
+                        if journal is not None:
+                            _journal_record(journal, key, point)
+        else:
+            for index, key, spec, config, n_sim in pending:
+                point = _run_point(spec, config, n_sim, store)
+                points[index] = point
+                if journal is not None:
+                    _journal_record(journal, key, point)
+    finally:
+        if journal is not None:
+            journal.close()
+
+    return ExplorationResult(
+        points=tuple(points[index] for index in sorted(points)),
+        resumed=resumed)

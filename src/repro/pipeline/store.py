@@ -1,0 +1,177 @@
+"""Disk-backed, content-addressed stage-artifact store.
+
+:class:`DiskArtifactCache` is the persistent sibling of the in-memory
+:class:`~repro.pipeline.cache.ArtifactCache`: same ``lookup``/``store``
+contract (so a :class:`~repro.pipeline.Pipeline` accepts either), but
+entries live as sharded pickle files under a root directory, so
+
+* warm re-runs of a sweep survive process restarts,
+* every ``explore`` worker process sharing the root also shares the
+  cache (writes are atomic renames; readers never see partial files),
+* the store can be shipped to workers and journals by path alone.
+
+Layout: a cache key (stage name, CDFG content fingerprint, per-stage
+config subset) is digested to sha256; the entry is stored at
+``<root>/<digest[:2]>/<digest[2:]>.pkl``, giving 256 shard directories
+that keep listings cheap at hundreds of thousands of entries.
+
+Bounding is best-effort LRU on file mtimes: ``lookup`` touches the file,
+``store`` prunes the oldest entries once the count passes
+``max_entries``.  Concurrent processes may transiently overshoot the
+bound; they converge on the next prune.  A corrupt or torn entry (e.g. a
+reader racing a writer on a non-POSIX filesystem, or a killed process)
+is treated as a miss and deleted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from repro.pipeline.cache import CacheKey, CacheStats
+
+#: Bump when the on-disk entry format changes incompatibly; part of the
+#: digest, so old trees are simply never hit instead of misread.
+STORE_FORMAT = 1
+
+
+class DiskArtifactCache:
+    """Persistent ``{cache key -> artifact dict}`` store under ``root``."""
+
+    def __init__(self, root: str | os.PathLike, max_entries: int = 4096,
+                 ) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._count: int | None = None  # lazily scanned, then maintained
+
+    # -- key mapping -----------------------------------------------------
+
+    @staticmethod
+    def digest(key: CacheKey) -> str:
+        """Stable content digest of a stage cache key."""
+        payload = f"v{STORE_FORMAT}:{key!r}"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def path_for(self, key: CacheKey) -> Path:
+        """The sharded file path an entry for ``key`` lives at."""
+        digest = self.digest(key)
+        return self.root / digest[:2] / f"{digest[2:]}.pkl"
+
+    # -- ArtifactCache contract ------------------------------------------
+
+    def lookup(self, key: CacheKey) -> dict[str, object] | None:
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                artifacts = pickle.load(handle)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            # Torn write or stale format: drop the entry, treat as a miss.
+            self._discard(path)
+            self.stats.misses += 1
+            return None
+        try:
+            os.utime(path)  # LRU recency
+        except OSError:
+            pass
+        self.stats.hits += 1
+        return artifacts
+
+    def store(self, key: CacheKey, artifacts: dict[str, object]) -> None:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        existed = path.exists()
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(dict(artifacts), handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        if not existed and self._count is not None:
+            self._count += 1
+        if len(self) > self.max_entries:
+            self._prune()
+
+    def clear(self) -> None:
+        for path in self._entries():
+            self._discard(path)
+        self.stats = CacheStats()
+        self._count = 0
+
+    def __len__(self) -> int:
+        if self._count is None:
+            self._count = sum(1 for _ in self._entries())
+        return self._count
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return self.path_for(key).exists()
+
+    # -- internals -------------------------------------------------------
+
+    def _entries(self):
+        return self.root.glob("??/*.pkl")
+
+    def _discard(self, path: Path) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            return
+        if self._count is not None and self._count > 0:
+            self._count -= 1
+
+    def _prune(self) -> None:
+        """Delete oldest-mtime entries to get back under ``max_entries``.
+
+        Scanning the tree is O(entries), so eviction works in batches:
+        large stores prune ~1/16th below the bound at once, making the
+        scan cost amortized O(1) per store instead of per-store once the
+        bound is reached.  (Small bounds keep exact single-entry
+        eviction.)
+        """
+        aged = []
+        for path in self._entries():
+            try:
+                aged.append((path.stat().st_mtime_ns, path))
+            except OSError:
+                continue  # concurrently removed
+        self._count = len(aged)
+        target = self.max_entries - max(0, self.max_entries // 16 - 1)
+        excess = len(aged) - target
+        if len(aged) <= self.max_entries or excess <= 0:
+            return
+        aged.sort()
+        for _, path in aged[:excess]:
+            self._discard(path)
+            self.stats.evictions += 1
+
+    # -- multiprocessing -------------------------------------------------
+
+    def __getstate__(self) -> dict[str, object]:
+        # Workers share the directory, not the in-process counters.
+        return {"root": self.root, "max_entries": self.max_entries}
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.root = state["root"]
+        self.max_entries = state["max_entries"]
+        self.stats = CacheStats()
+        self._count = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"DiskArtifactCache({str(self.root)!r}, "
+                f"max_entries={self.max_entries})")

@@ -8,7 +8,7 @@ from repro.core.pm_pass import apply_power_management
 from repro.ir.serialize import dumps, graph_from_dict, graph_to_dict, loads
 from repro.sim.reference import evaluate
 from repro.sim.vectors import random_vectors
-from tests.strategies import circuits
+from tests.strategies import circuits, generated_circuits
 
 
 @pytest.mark.parametrize("name", ["dealer", "gcd", "vender", "cordic"])
@@ -59,3 +59,29 @@ def test_random_circuits_round_trip(graph):
     restored = loads(dumps(graph))
     vec = {n.name: -7 for n in graph.inputs()}
     assert evaluate(restored, vec) == evaluate(graph, vec)
+
+
+@settings(max_examples=50, deadline=None)
+@given(generated_circuits())
+def test_generated_circuits_dump_load_is_lossless(graph):
+    """dump -> load -> dump is a fixpoint over repro.gen workloads:
+    the reloaded graph is content-identical (same fingerprint), not
+    merely behaviourally equivalent."""
+    from repro.pipeline import graph_fingerprint
+
+    restored = loads(dumps(graph))
+    assert graph_to_dict(restored) == graph_to_dict(graph)
+    assert graph_fingerprint(restored) == graph_fingerprint(graph)
+    for vec in random_vectors(graph, 4, seed=11):
+        assert evaluate(restored, vec) == evaluate(graph, vec)
+
+
+@settings(max_examples=25, deadline=None)
+@given(generated_circuits(presets=("tiny", "branchy")))
+def test_generated_circuits_control_edges_survive(graph):
+    from repro.sched.timing import critical_path_length
+
+    result = apply_power_management(graph, critical_path_length(graph) + 1)
+    restored = loads(dumps(result.graph))
+    assert sorted(restored.control_edges()) == \
+        sorted(result.graph.control_edges())

@@ -11,7 +11,7 @@ from repro.lang.parser import parse
 from repro.lang.printer import graph_to_source, print_expr, print_program
 from repro.sim.reference import evaluate
 from repro.sim.vectors import random_vectors
-from tests.strategies import circuits
+from tests.strategies import circuits, generated_circuits
 
 
 class TestProgramRoundTrip:
@@ -82,3 +82,27 @@ class TestGraphDecompilation:
         vec = {n.name: 13 for n in graph.inputs()}
         assert list(evaluate(recompiled, vec).values()) == \
             list(evaluate(graph, vec).values())
+
+
+class TestGeneratedCircuitRoundTrips:
+    """parse <-> print and decompile <-> recompile over repro.gen
+    workloads: nested conditionals and mutually-exclusive branch cones
+    stress the printer far harder than the hand-written sources."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(generated_circuits())
+    def test_parse_print_parse_fixpoint(self, graph):
+        program = parse(graph_to_source(graph))
+        printed = print_program(program)
+        assert parse(printed) == program
+        # And printing is itself a fixpoint after one round.
+        assert print_program(parse(printed)) == printed
+
+    @settings(max_examples=50, deadline=None)
+    @given(generated_circuits())
+    def test_decompile_recompile_preserves_behaviour_and_ops(self, graph):
+        recompiled = compile_circuit(graph_to_source(graph))
+        assert recompiled.op_counts() == graph.op_counts()
+        for vec in random_vectors(graph, 5, seed=17):
+            assert list(evaluate(recompiled, vec).values()) == \
+                list(evaluate(graph, vec).values())

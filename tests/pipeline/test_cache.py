@@ -104,6 +104,61 @@ class TestEviction:
         assert cache.lookup(("a",)) is None
         assert cache.lookup(("c",)) == {"x": 3}
 
+    def test_eviction_order_is_least_recently_used(self):
+        cache = ArtifactCache(max_entries=3)
+        for key in ("a", "b", "c"):
+            cache.store((key,), {"v": key})
+        cache.store(("d",), {"v": "d"})  # evicts a (oldest)
+        cache.store(("e",), {"v": "e"})  # evicts b
+        assert ("a",) not in cache and ("b",) not in cache
+        assert all((k,) in cache for k in ("c", "d", "e"))
+        assert cache.stats.evictions == 2
+
+    def test_lookup_refreshes_recency(self):
+        cache = ArtifactCache(max_entries=2)
+        cache.store(("a",), {"v": 1})
+        cache.store(("b",), {"v": 2})
+        assert cache.lookup(("a",)) is not None  # a becomes most recent
+        cache.store(("c",), {"v": 3})            # so b is evicted
+        assert ("a",) in cache
+        assert ("b",) not in cache
+
+    def test_restore_refreshes_recency_without_growth(self):
+        cache = ArtifactCache(max_entries=2)
+        cache.store(("a",), {"v": 1})
+        cache.store(("b",), {"v": 2})
+        cache.store(("a",), {"v": 10})  # re-store: refresh, not grow
+        assert len(cache) == 2 and cache.stats.evictions == 0
+        cache.store(("c",), {"v": 3})   # now b is the LRU entry
+        assert ("a",) in cache and ("b",) not in cache
+        assert cache.lookup(("a",)) == {"v": 10}
+
+    def test_eviction_stats_accumulate_with_hits_and_misses(self):
+        cache = ArtifactCache(max_entries=1)
+        cache.lookup(("a",))               # miss
+        cache.store(("a",), {"v": 1})
+        cache.lookup(("a",))               # hit
+        cache.store(("b",), {"v": 2})      # evicts a
+        cache.lookup(("a",))               # miss again
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.evictions == 1
+        assert cache.stats.lookups == 3
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_bounded_under_sustained_load(self):
+        cache = ArtifactCache(max_entries=8)
+        for k in range(1000):
+            cache.store((k,), {"v": k})
+        assert len(cache) == 8
+        assert cache.stats.evictions == 992
+        # The survivors are exactly the 8 most recent.
+        assert all((k,) in cache for k in range(992, 1000))
+
+    def test_bad_max_entries_rejected(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            ArtifactCache(max_entries=0)
+
     def test_clear_resets_everything(self):
         cache = ArtifactCache()
         cache.store(("a",), {"x": 1})

@@ -78,10 +78,10 @@ class TestExploreCommand:
         seen = {}
         real_explore = cli.explore
 
-        def fake_explore(circuits, budgets, configs, workers):
+        def fake_explore(circuits, budgets, configs, workers, **kwargs):
             seen["verify"] = [c.verify for c in configs]
             return real_explore(circuits, budgets, configs=configs,
-                                workers=workers)
+                                workers=workers, **kwargs)
 
         monkeypatch.setattr(cli, "explore", fake_explore)
         assert main(["explore", "gcd", "--budgets", "6", "--verify"]) == 0
@@ -98,6 +98,53 @@ circuit tiny {
 """)
         assert main(["explore", str(source), "--budgets", "2,3"]) == 0
         assert "tiny" in capsys.readouterr().out
+
+    def test_generator_specs_supported(self, capsys):
+        assert main(["explore", "gen:tiny:3", "--budgets", "8,9"]) == 0
+        out = capsys.readouterr().out
+        assert "gen:tiny:3" in out
+
+    def test_bad_generator_spec_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="bad generator spec"):
+            main(["explore", "gen:tiny:x", "--budgets", "8"])
+
+    def test_typoed_preset_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="unknown preset 'larg'"):
+            main(["explore", "gen:larg:42", "--budgets", "8"])
+
+    def test_dsl_file_with_colon_in_name_still_loads(self, tmp_path,
+                                                     capsys):
+        source = tmp_path / "my:circ.dsl"
+        source.write_text("""
+circuit colonfile {
+    input a, b;
+    c = a > b;
+    output out = c ? a : b;
+}
+""")
+        assert main(["explore", str(source), "--budgets", "2,3"]) == 0
+        assert "colonfile" in capsys.readouterr().out
+
+    def test_store_and_resume_flags(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        journal = tmp_path / "sweep.jsonl"
+        argv = ["explore", "gcd", "--budgets", "6,7",
+                "--store", str(store), "--resume", str(journal)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "disk-store hits" in first
+        assert store.is_dir() and journal.exists()
+        # Second run: all points replayed from the journal.
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "resumed from journal: 2 points" in second
+
+    def test_pareto_flag_prints_the_front(self, capsys):
+        assert main(["explore", "dealer", "gcd", "--budgets", "5,6",
+                     "--pareto"]) == 0
+        out = capsys.readouterr().out
+        assert "pareto front:" in out
+        assert "best point:" in out
 
 
 class TestStagesCommand:

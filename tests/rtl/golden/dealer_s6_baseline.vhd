@@ -1,0 +1,151 @@
+-- dealer: baseline design, 6 control steps, 8-bit datapath
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity dealer_datapath is
+  port (
+    clk   : in std_logic;
+    p : in signed(7 downto 0);
+    d : in signed(7 downto 0);
+    c : in signed(7 downto 0);
+    payout : out signed(7 downto 0);
+    total : out signed(7 downto 0);
+    dealer_total : out signed(7 downto 0);
+    load  : in std_logic_vector(8 downto 0);
+    steer : in std_logic_vector(31 downto 0)
+  );
+end entity dealer_datapath;
+
+architecture rtl of dealer_datapath is
+  signal r0 : signed(7 downto 0) := (others => '0');
+  signal r1 : signed(7 downto 0) := (others => '0');
+  signal r2 : signed(7 downto 0) := (others => '0');
+  signal r3 : signed(7 downto 0) := (others => '0');
+  signal r4 : signed(7 downto 0) := (others => '0');
+  signal r5 : signed(7 downto 0) := (others => '0');
+  signal add0_out : signed(7 downto 0);
+  signal sub0_out : signed(7 downto 0);
+  signal comp0_out : signed(7 downto 0);
+  signal mux0_out : signed(7 downto 0);
+begin
+  -- add0: hit:+, total:+
+  add0_proc : process (clk)
+  begin
+    if rising_edge(clk) then
+      -- combinational: a + b
+      null;  -- behaviour driven by controller microcode
+    end if;
+  end process add0_proc;
+  -- sub0: margin:-
+  sub0_proc : process (clk)
+  begin
+    if rising_edge(clk) then
+      -- combinational: a - b
+      null;  -- behaviour driven by controller microcode
+    end if;
+  end process sub0_proc;
+  -- comp0: c_hi:>, c_win:>, c_bust:>
+  comp0_proc : process (clk)
+  begin
+    if rising_edge(clk) then
+      -- comparator: a > b
+      null;  -- behaviour driven by controller microcode
+    end if;
+  end process comp0_proc;
+  -- mux0: dealer_final:mux, payout:mux, final:mux
+  mux0_proc : process (clk)
+  begin
+    if rising_edge(clk) then
+      -- selector: sel ? b : a
+      null;  -- behaviour driven by controller microcode
+    end if;
+  end process mux0_proc;
+  payout <= r0;
+  total <= r1;
+  dealer_total <= r2;
+end architecture rtl;
+
+entity dealer_controller is
+  port (
+    clk, rst : in std_logic;
+    cond     : in std_logic_vector(15 downto 0);
+    load     : out std_logic_vector(8 downto 0);
+    steer    : out std_logic_vector(31 downto 0)
+  );
+end entity dealer_controller;
+
+architecture fsm of dealer_controller is
+  type state_t is (s0, s1, s2, s3, s4, s5);
+  signal state : state_t := s0;
+begin
+  step : process (clk)
+  begin
+    if rising_edge(clk) then
+      case state is
+        when s0 =>
+          load(3) <= '1';  -- c_hi
+          load(4) <= '1';  -- hit
+          load(5) <= '1';  -- margin
+          steer(0 + 2*0) <= '1';  -- add0 port 0
+          steer(0 + 2*0) <= '1';  -- comp0 port 0
+          steer(1 + 2*0) <= '1';  -- comp0 port 1
+          state <= s1;
+        when s1 =>
+          load(1) <= '1';  -- total
+          load(2) <= '1';  -- dealer_final
+          load(3) <= '1';  -- c_win
+          steer(0 + 2*1) <= '1';  -- add0 port 0
+          steer(0 + 2*1) <= '1';  -- comp0 port 0
+          steer(1 + 2*1) <= '1';  -- comp0 port 1
+          steer(0 + 2*0) <= '1';  -- mux0 port 0
+          steer(1 + 2*0) <= '1';  -- mux0 port 1
+          steer(2 + 2*0) <= '1';  -- mux0 port 2
+          state <= s2;
+        when s2 =>
+          load(0) <= '1';  -- c_bust
+          load(3) <= '1';  -- payout
+          steer(0 + 2*1) <= '1';  -- comp0 port 0
+          steer(1 + 2*2) <= '1';  -- comp0 port 1
+          steer(0 + 2*1) <= '1';  -- mux0 port 0
+          steer(1 + 2*1) <= '1';  -- mux0 port 1
+          steer(2 + 2*1) <= '1';  -- mux0 port 2
+          state <= s3;
+        when s3 =>
+          load(0) <= '1';  -- final
+          steer(0 + 2*2) <= '1';  -- mux0 port 0
+          steer(1 + 2*2) <= '1';  -- mux0 port 1
+          steer(2 + 2*2) <= '1';  -- mux0 port 2
+          state <= s4;
+        when s4 =>
+          state <= s5;
+        when s5 =>
+          state <= s0;
+      end case;
+    end if;
+  end process step;
+end architecture fsm;
+
+entity dealer_top is
+  port (
+    clk, rst : in std_logic;
+    p : in signed(7 downto 0);
+    d : in signed(7 downto 0);
+    c : in signed(7 downto 0);
+    payout : out signed(7 downto 0);
+    total : out signed(7 downto 0);
+    dealer_total : out signed(7 downto 0)
+  );
+end entity dealer_top;
+
+architecture structural of dealer_top is
+  signal load_bus  : std_logic_vector(8 downto 0);
+  signal steer_bus : std_logic_vector(31 downto 0);
+  signal cond_bus  : std_logic_vector(15 downto 0);
+begin
+  u_ctrl : entity work.dealer_controller
+    port map (clk => clk, rst => rst, cond => cond_bus,
+              load => load_bus, steer => steer_bus);
+  u_dp : entity work.dealer_datapath
+    port map (clk => clk, p => p, d => d, c => c, payout => payout, total => total, dealer_total => dealer_total, load => load_bus, steer => steer_bus);
+end architecture structural;

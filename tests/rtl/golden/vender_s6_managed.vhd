@@ -1,0 +1,224 @@
+-- vender: power-managed design, 6 control steps, 8-bit datapath
+library ieee;
+use ieee.std_logic_1164.all;
+use ieee.numeric_std.all;
+
+entity vender_datapath is
+  port (
+    clk   : in std_logic;
+    coins : in signed(7 downto 0);
+    credit : in signed(7 downto 0);
+    price : in signed(7 downto 0);
+    sel : in signed(7 downto 0);
+    amount : out signed(7 downto 0);
+    vend : out signed(7 downto 0);
+    balance : out signed(7 downto 0);
+    ovf : out signed(7 downto 0);
+    load  : in std_logic_vector(11 downto 0);
+    steer : in std_logic_vector(31 downto 0)
+  );
+end entity vender_datapath;
+
+architecture rtl of vender_datapath is
+  signal r0 : signed(7 downto 0) := (others => '0');
+  signal r1 : signed(7 downto 0) := (others => '0');
+  signal r2 : signed(7 downto 0) := (others => '0');
+  signal r3 : signed(7 downto 0) := (others => '0');
+  signal r4 : signed(7 downto 0) := (others => '0');
+  signal r5 : signed(7 downto 0) := (others => '0');
+  signal r6 : signed(7 downto 0) := (others => '0');
+  signal r7 : signed(7 downto 0) := (others => '0');
+  signal mul0_out : signed(7 downto 0);
+  signal add0_out : signed(7 downto 0);
+  signal sub0_out : signed(7 downto 0);
+  signal sub1_out : signed(7 downto 0);
+  signal sub2_out : signed(7 downto 0);
+  signal comp0_out : signed(7 downto 0);
+  signal mux0_out : signed(7 downto 0);
+  signal mux1_out : signed(7 downto 0);
+begin
+  -- mul0: p2:*, p3:*
+  mul0_proc : process (clk)
+  begin
+    if rising_edge(clk) then
+      -- combinational: a * b
+      null;  -- behaviour driven by controller microcode
+    end if;
+  end process mul0_proc;
+  -- add0: funds:+, t2:+, balance:+
+  add0_proc : process (clk)
+  begin
+    if rising_edge(clk) then
+      -- combinational: a + b
+      null;  -- behaviour driven by controller microcode
+    end if;
+  end process add0_proc;
+  -- sub0: change:-
+  sub0_proc : process (clk)
+  begin
+    if rising_edge(clk) then
+      -- combinational: a - b
+      null;  -- behaviour driven by controller microcode
+    end if;
+  end process sub0_proc;
+  -- sub1: short:-
+  sub1_proc : process (clk)
+  begin
+    if rising_edge(clk) then
+      -- combinational: a - b
+      null;  -- behaviour driven by controller microcode
+    end if;
+  end process sub1_proc;
+  -- sub2: wrapped:-
+  sub2_proc : process (clk)
+  begin
+    if rising_edge(clk) then
+      -- combinational: a - b
+      null;  -- behaviour driven by controller microcode
+    end if;
+  end process sub2_proc;
+  -- comp0: c_two:>, c_pay:>, c_ovf:>
+  comp0_proc : process (clk)
+  begin
+    if rising_edge(clk) then
+      -- comparator: a > b
+      null;  -- behaviour driven by controller microcode
+    end if;
+  end process comp0_proc;
+  -- mux0: account:mux, vend:mux, cost:mux, ovf:mux, amount:mux
+  mux0_proc : process (clk)
+  begin
+    if rising_edge(clk) then
+      -- selector: sel ? b : a
+      null;  -- behaviour driven by controller microcode
+    end if;
+  end process mux0_proc;
+  -- mux1: newbal:mux
+  mux1_proc : process (clk)
+  begin
+    if rising_edge(clk) then
+      -- selector: sel ? b : a
+      null;  -- behaviour driven by controller microcode
+    end if;
+  end process mux1_proc;
+  amount <= r0;
+  vend <= r3;
+  balance <= r1;
+  ovf <= r7;
+end architecture rtl;
+
+entity vender_controller is
+  port (
+    clk, rst : in std_logic;
+    cond     : in std_logic_vector(15 downto 0);
+    load     : out std_logic_vector(11 downto 0);
+    steer    : out std_logic_vector(31 downto 0)
+  );
+end entity vender_controller;
+
+architecture fsm of vender_controller is
+  type state_t is (s0, s1, s2, s3, s4, s5);
+  signal state : state_t := s0;
+begin
+  step : process (clk)
+  begin
+    if rising_edge(clk) then
+      case state is
+        when s0 =>
+          load(4) <= '1';  -- c_two
+          load(5) <= '1';  -- funds
+          steer(0 + 2*0) <= '1';  -- add0 port 0
+          steer(1 + 2*0) <= '1';  -- add0 port 1
+          steer(0 + 2*0) <= '1';  -- comp0 port 0
+          steer(1 + 2*0) <= '1';  -- comp0 port 1
+          state <= s1;
+        when s1 =>
+          if cond(5 mod 16) = '0' then  -- power management: p2
+            load(0) <= '1';
+          end if;
+          load(1) <= '1';  -- c_pay
+          load(3) <= '1';  -- account
+          load(6) <= '1';  -- t2
+          steer(0 + 2*1) <= '1';  -- add0 port 0
+          steer(1 + 2*1) <= '1';  -- add0 port 1
+          steer(0 + 2*1) <= '1';  -- comp0 port 0
+          steer(1 + 2*1) <= '1';  -- comp0 port 1
+          steer(1 + 2*0) <= '1';  -- mul0 port 1
+          steer(0 + 2*0) <= '1';  -- mux0 port 0
+          steer(1 + 2*0) <= '1';  -- mux0 port 1
+          steer(2 + 2*0) <= '1';  -- mux0 port 2
+          state <= s2;
+        when s2 =>
+          if cond(5 mod 16) = '1' then  -- power management: p3
+            load(2) <= '1';
+          end if;
+          load(3) <= '1';  -- vend
+          load(6) <= '1';  -- balance
+          steer(0 + 2*2) <= '1';  -- add0 port 0
+          steer(1 + 2*2) <= '1';  -- add0 port 1
+          steer(1 + 2*1) <= '1';  -- mul0 port 1
+          steer(0 + 2*1) <= '1';  -- mux0 port 0
+          steer(1 + 2*1) <= '1';  -- mux0 port 1
+          steer(2 + 2*1) <= '1';  -- mux0 port 2
+          state <= s3;
+        when s3 =>
+          load(0) <= '1';  -- cost
+          load(2) <= '1';  -- c_ovf
+          steer(0 + 2*2) <= '1';  -- comp0 port 0
+          steer(1 + 2*2) <= '1';  -- comp0 port 1
+          steer(0 + 2*0) <= '1';  -- mux0 port 0
+          steer(1 + 2*2) <= '1';  -- mux0 port 1
+          steer(2 + 2*2) <= '1';  -- mux0 port 2
+          state <= s4;
+        when s4 =>
+          if cond(13 mod 16) = '1' then  -- power management: change
+            load(0) <= '1';
+          end if;
+          if cond(13 mod 16) = '0' then  -- power management: short
+            load(4) <= '1';
+          end if;
+          if cond(23 mod 16) = '1' then  -- power management: wrapped
+            load(5) <= '1';
+          end if;
+          load(7) <= '1';  -- ovf
+          steer(0 + 2*2) <= '1';  -- mux0 port 0
+          steer(1 + 2*3) <= '1';  -- mux0 port 1
+          steer(2 + 2*3) <= '1';  -- mux0 port 2
+          state <= s5;
+        when s5 =>
+          load(0) <= '1';  -- amount
+          load(1) <= '1';  -- newbal
+          steer(0 + 2*1) <= '1';  -- mux0 port 0
+          steer(1 + 2*4) <= '1';  -- mux0 port 1
+          steer(2 + 2*4) <= '1';  -- mux0 port 2
+          state <= s0;
+      end case;
+    end if;
+  end process step;
+end architecture fsm;
+
+entity vender_top is
+  port (
+    clk, rst : in std_logic;
+    coins : in signed(7 downto 0);
+    credit : in signed(7 downto 0);
+    price : in signed(7 downto 0);
+    sel : in signed(7 downto 0);
+    amount : out signed(7 downto 0);
+    vend : out signed(7 downto 0);
+    balance : out signed(7 downto 0);
+    ovf : out signed(7 downto 0)
+  );
+end entity vender_top;
+
+architecture structural of vender_top is
+  signal load_bus  : std_logic_vector(11 downto 0);
+  signal steer_bus : std_logic_vector(31 downto 0);
+  signal cond_bus  : std_logic_vector(15 downto 0);
+begin
+  u_ctrl : entity work.vender_controller
+    port map (clk => clk, rst => rst, cond => cond_bus,
+              load => load_bus, steer => steer_bus);
+  u_dp : entity work.vender_datapath
+    port map (clk => clk, coins => coins, credit => credit, price => price, sel => sel, amount => amount, vend => vend, balance => balance, ovf => ovf, load => load_bus, steer => steer_bus);
+end architecture structural;

@@ -1,0 +1,48 @@
+"""Golden VHDL snapshot regression for the paper benchmark suite.
+
+Every Table III synthesis point (baseline and power-managed) must emit
+byte-identical VHDL to the pinned snapshot under ``tests/rtl/golden/``.
+A failure means the RTL emission changed: if intended, regenerate with
+
+    PYTHONPATH=src python tests/rtl/update_golden.py
+
+and commit the reviewed diff (see that script's docstring).
+"""
+
+import pytest
+
+from tests.rtl.update_golden import (
+    GOLDEN_DIR,
+    SNAPSHOT_POINTS,
+    generate_snapshot,
+    snapshot_name,
+)
+
+POINTS = [(circuit, steps, variant)
+          for circuit, steps in SNAPSHOT_POINTS
+          for variant in ("baseline", "managed")]
+
+
+@pytest.mark.parametrize("circuit,steps,variant", POINTS)
+def test_vhdl_matches_golden_snapshot(circuit, steps, variant):
+    path = GOLDEN_DIR / snapshot_name(circuit, steps, variant)
+    assert path.exists(), (
+        f"missing golden snapshot {path.name}; run "
+        f"'PYTHONPATH=src python tests/rtl/update_golden.py'")
+    generated = generate_snapshot(circuit, steps, variant)
+    golden = path.read_text()
+    assert generated == golden, (
+        f"VHDL for {circuit}@{steps} ({variant}) diverged from "
+        f"{path.name}; if the emission change is intended, regenerate "
+        f"the snapshots (see tests/rtl/update_golden.py) and review the "
+        f"diff")
+
+
+def test_managed_and_baseline_snapshots_differ():
+    """Sanity: power management visibly changes the emitted RTL."""
+    circuit, steps = SNAPSHOT_POINTS[0]
+    baseline = (GOLDEN_DIR / snapshot_name(circuit, steps,
+                                           "baseline")).read_text()
+    managed = (GOLDEN_DIR / snapshot_name(circuit, steps,
+                                          "managed")).read_text()
+    assert baseline != managed

@@ -1,0 +1,53 @@
+"""Golden VHDL snapshot helpers + regeneration script.
+
+The snapshots pin ``rtl/vhdl.py`` output for the paper benchmark suite
+at the Table III budgets (baseline and power-managed designs).  When an
+*intended* RTL-emission change lands, regenerate them with::
+
+    PYTHONPATH=src python tests/rtl/update_golden.py
+
+then review the diff like any other code change — the point of the
+goldens is that VHDL churn is always a conscious decision.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: (circuit, control steps) — the paper's Table III synthesis points.
+SNAPSHOT_POINTS = (("dealer", 6), ("gcd", 7), ("vender", 6))
+
+
+def snapshot_name(circuit: str, steps: int, variant: str) -> str:
+    return f"{circuit}_s{steps}_{variant}.vhd"
+
+
+def generate_snapshot(circuit: str, steps: int, variant: str) -> str:
+    """The VHDL text a snapshot file pins (variant: baseline|managed)."""
+    from repro.circuits import build
+    from repro.pipeline import FlowConfig, run_pair
+    from repro.rtl.vhdl import generate_vhdl
+
+    pair = run_pair(build(circuit), FlowConfig(n_steps=steps))
+    design = pair.managed.design if variant == "managed" \
+        else pair.baseline.design
+    return generate_vhdl(design)
+
+
+def main() -> int:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    for circuit, steps in SNAPSHOT_POINTS:
+        for variant in ("baseline", "managed"):
+            path = GOLDEN_DIR / snapshot_name(circuit, steps, variant)
+            path.write_text(generate_snapshot(circuit, steps, variant))
+            print(f"wrote {path} ({len(path.read_text().splitlines())} "
+                  f"lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "src"))
+    sys.exit(main())

@@ -183,6 +183,76 @@ class TestBackendSelection:
             create_engine(design, backend="fortran")
 
 
+class TestGeneratedCircuitFuzz:
+    """Differential fuzz over the seeded ``repro.gen`` workload families.
+
+    220 deterministic seeds (no Hypothesis shrinking budget — every seed
+    runs every time) are synthesized baseline + managed and executed on
+    all three backends; outputs and the full merged activity must be
+    bit-identical, and outputs must also match the functional reference
+    model evaluated on the input CDFG.  A genuine cross-vector
+    recurrence may make the vectorized backend refuse
+    (``VectorizationError``); then ``auto`` must fall back to the
+    compiled engine bit-exactly.  Fallbacks are tallied and bounded so
+    the vectorized backend cannot silently rot.
+    """
+
+    #: (preset, seed range) — 220 seeds total, ≥200 per the acceptance
+    #: criteria, spread over op-mix/branchiness/shape families.
+    PLANS = [
+        ("small", range(0, 100)),
+        ("branchy", range(0, 60)),
+        ("medium", range(0, 40)),
+        ("deep", range(0, 20)),
+    ]
+    #: Max tolerated VectorizationError fallbacks across all seeds.
+    MAX_FALLBACKS = 11  # 5% of 220
+
+    _fallbacks: list[str] = []
+
+    @pytest.mark.parametrize("preset,seeds", [
+        (preset, chunk)
+        for preset, seed_range in PLANS
+        for chunk in (tuple(seed_range)[i:i + 20]
+                      for i in range(0, len(seed_range), 20))
+    ], ids=lambda value: value if isinstance(value, str)
+        else f"{value[0]}-{value[-1]}")
+    def test_three_backends_bit_identical(self, preset, seeds):
+        from repro.sim.reference import evaluate
+        from repro.sim.vectorized import VectorizationError
+
+        for seed in seeds:
+            spec = f"gen:{preset}:{seed}"
+            graph = build(spec)
+            cp = critical_path_length(graph)
+            pair = run_pair(graph, FlowConfig(n_steps=cp + seed % 3))
+            vectors = random_vectors(graph, 4, seed=seed)
+            expected = [evaluate(graph, v, width=pair.managed.design.width)
+                        for v in vectors]
+            for result in (pair.managed, pair.baseline):
+                for pm in (True, False):
+                    try:
+                        assert_identical(result.design, vectors, pm)
+                    except VectorizationError:
+                        self._record_fallback(spec, result.design,
+                                              vectors, pm)
+                # Functionally correct, not just mutually consistent.
+                outputs, _ = CompiledEngine(result.design).run_many(vectors)
+                assert outputs == expected, spec
+
+    def _record_fallback(self, spec, design, vectors, pm):
+        """auto must fall back to the (bit-exact) compiled engine."""
+        engine = create_engine(design, power_management=pm, backend="auto")
+        assert isinstance(engine, CompiledEngine), spec
+        legacy = RTLSimulator(design, power_management=pm)
+        assert engine.run_many(vectors) == legacy.run_many(vectors), spec
+        self._fallbacks.append(spec)
+
+    def test_zz_fallback_budget(self):
+        """Runs last in the class: the refusal rate stays bounded."""
+        assert len(self._fallbacks) <= self.MAX_FALLBACKS, self._fallbacks
+
+
 class TestRandomCircuits:
     @settings(max_examples=40, deadline=None)
     @given(circuits(max_ops=10), st.integers(min_value=0, max_value=2),

@@ -4,12 +4,19 @@
 random operations (with a bias toward muxes so power management has
 something to find), every sink exported as an output — so there are no
 dead operations and ``validate`` passes by construction.
+
+``generated_circuits()`` draws from the richer :mod:`repro.gen` workload
+generator instead — nested conditionals, mutually-exclusive branch
+cones, shape presets — by sampling a (preset, seed) pair, so failures
+shrink to a *named family member* (``gen:<preset>:<seed>``) that can be
+rebuilt anywhere via ``circuits.build``.
 """
 
 from __future__ import annotations
 
 from hypothesis import strategies as st
 
+from repro.gen import random_cdfg
 from repro.ir.builder import GraphBuilder
 from repro.ir.graph import CDFG
 
@@ -50,6 +57,22 @@ def circuits(draw, max_ops: int = 12, max_inputs: int = 4) -> CDFG:
     if exported == 0:
         builder.output(values[-1], "o0")
     return builder.build()
+
+
+def generated_circuits(presets: tuple[str, ...] = ("tiny", "small",
+                                                   "branchy", "deep"),
+                       max_seed: int = 9_999):
+    """Strategy over :mod:`repro.gen` family members.
+
+    Each drawn graph is fully determined by its (preset, seed) pair and
+    carries that spec as its name, so a failing example reproduces with
+    ``build(graph.name)``.
+    """
+    return st.builds(
+        lambda preset, seed: random_cdfg(seed, preset=preset),
+        st.sampled_from(tuple(presets)),
+        st.integers(min_value=0, max_value=max_seed),
+    )
 
 
 def input_vector(graph: CDFG):
