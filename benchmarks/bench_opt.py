@@ -1,0 +1,186 @@
+"""Optimizer quality gate: stochastic search vs the known optima.
+
+Two claims, checked against live synthesis:
+
+* **Exhaustive parity** — on every circuit small enough for
+  ``exhaustive_search`` (the paper suite at its Table III budgets plus
+  ``gen:tiny``/``gen:small``/``gen:branchy``/``gen:deep`` family
+  members), simulated annealing *and* beam search reach the exhaustive
+  optimum of the gated-weight objective.
+
+* **Beats greedy** — on at least one generated ``gen:branchy``/
+  ``gen:deep`` scenario, annealing strictly beats the best built-in
+  greedy ordering strategy, i.e. the search finds §IV-A reorderings the
+  heuristics miss.
+
+Run standalone for the CI smoke check::
+
+    python benchmarks/bench_opt.py --smoke
+
+Exits nonzero if either claim fails.  The pytest-benchmark entry point
+(``pytest benchmarks/bench_opt.py --benchmark-only -s``) times the
+annealing runs and prints the per-circuit comparison table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.circuits import build  # noqa: E402
+from repro.core.reordering import exhaustive_search, gated_weight  # noqa: E402
+from repro.opt import anneal, beam_search  # noqa: E402
+from repro.sched.timing import critical_path_length  # noqa: E402
+
+#: (spec, budget) — budget ``None`` means critical path + 1.  All have
+#: <= 6 MUXes, so exhaustive permutation search is feasible.
+EXHAUSTIVE_POINTS: tuple[tuple[str, int | None], ...] = (
+    ("dealer", 6),
+    ("gcd", 7),
+    ("vender", 6),
+    ("gen:tiny:1", None),
+    ("gen:tiny:7", None),
+    ("gen:small:3", None),
+    ("gen:branchy:2", None),
+    ("gen:deep:0", None),
+)
+
+#: Generated scenarios (at pinned budgets) where the greedy strategies
+#: are provably suboptimal; annealing must strictly beat them on at
+#: least one.
+BEAT_GREEDY_POINTS: tuple[tuple[str, int | None], ...] = (
+    ("gen:branchy:2", 13),
+    ("gen:branchy:8", 12),
+    ("gen:deep:0", 15),
+)
+
+ANNEAL_ITERS = 300
+ANNEAL_RESTARTS = 3
+SEED = 0
+TOL = 1e-9
+
+
+def _budget(graph, budget: int | None) -> int:
+    return budget if budget is not None else critical_path_length(graph) + 1
+
+
+def run_points() -> list[dict[str, object]]:
+    """Evaluate every exhaustive-parity point; one result row each."""
+    rows = []
+    for spec, budget in EXHAUSTIVE_POINTS:
+        graph = build(spec)
+        steps = _budget(graph, budget)
+        exhaustive = gated_weight(
+            exhaustive_search(graph, steps, limit=6).best)
+        started = time.perf_counter()
+        annealed = anneal(graph, n_steps=steps, iters=ANNEAL_ITERS,
+                          seed=SEED, restarts=ANNEAL_RESTARTS)
+        anneal_s = time.perf_counter() - started
+        beamed = beam_search(graph, n_steps=steps)
+        rows.append({
+            "spec": spec, "steps": steps,
+            "muxes": len(graph.muxes()),
+            "exhaustive": exhaustive,
+            "anneal": annealed.best_score,
+            "beam": beamed.best_score,
+            "greedy": annealed.best_greedy_score,
+            "anneal_s": anneal_s,
+            "evaluations": annealed.evaluations,
+        })
+    return rows
+
+
+def run_beat_greedy() -> list[dict[str, object]]:
+    rows = []
+    for spec, budget in BEAT_GREEDY_POINTS:
+        graph = build(spec)
+        steps = _budget(graph, budget)
+        annealed = anneal(graph, n_steps=steps, iters=ANNEAL_ITERS,
+                          seed=SEED, restarts=ANNEAL_RESTARTS)
+        rows.append({
+            "spec": spec, "steps": steps,
+            "greedy": annealed.best_greedy_score,
+            "anneal": annealed.best_score,
+            "improvement": annealed.improvement_over_greedy,
+        })
+    return rows
+
+
+def test_bench_opt(benchmark):
+    from conftest import print_table
+
+    rows = benchmark(run_points)
+    print_table(
+        "Stochastic optimizer vs exhaustive ordering search (gated weight)",
+        ["Circuit", "Steps", "MUXes", "Exhaustive", "Anneal", "Beam",
+         "Greedy", "Evals"],
+        [[r["spec"], r["steps"], r["muxes"], r["exhaustive"], r["anneal"],
+          r["beam"], r["greedy"], r["evaluations"]] for r in rows])
+    for r in rows:
+        assert abs(r["anneal"] - r["exhaustive"]) <= TOL
+        assert abs(r["beam"] - r["exhaustive"]) <= TOL
+
+    beat = run_beat_greedy()
+    print_table(
+        "Annealing vs best greedy strategy on generated scenarios",
+        ["Circuit", "Steps", "Greedy", "Anneal", "Improvement"],
+        [[r["spec"], r["steps"], r["greedy"], r["anneal"],
+          r["improvement"]] for r in beat])
+    assert any(r["improvement"] > TOL for r in beat)
+
+
+def run_smoke() -> int:
+    failures = []
+    for r in run_points():
+        status = "OK"
+        if abs(r["anneal"] - r["exhaustive"]) > TOL:
+            status = "FAIL"
+            failures.append(
+                f"anneal missed the exhaustive optimum on {r['spec']}@"
+                f"{r['steps']}: {r['anneal']} != {r['exhaustive']}")
+        if abs(r["beam"] - r["exhaustive"]) > TOL:
+            status = "FAIL"
+            failures.append(
+                f"beam missed the exhaustive optimum on {r['spec']}@"
+                f"{r['steps']}: {r['beam']} != {r['exhaustive']}")
+        print(f"{r['spec']:>14s}@{r['steps']:<3d} exhaustive "
+              f"{r['exhaustive']:8.4f}  anneal {r['anneal']:8.4f}  "
+              f"beam {r['beam']:8.4f}  ({r['evaluations']} evals, "
+              f"{r['anneal_s'] * 1000:.0f} ms)  {status}")
+
+    beat = run_beat_greedy()
+    beaten = [r for r in beat if r["improvement"] > TOL]
+    for r in beat:
+        print(f"{r['spec']:>14s}@{r['steps']:<3d} greedy "
+              f"{r['greedy']:8.4f}  anneal {r['anneal']:8.4f}  "
+              f"(+{r['improvement']:.4f})")
+    if not beaten:
+        failures.append(
+            "annealing beat the best greedy strategy on none of "
+            f"{[spec for spec, _ in BEAT_GREEDY_POINTS]}")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print(f"opt smoke OK (annealing beats greedy on "
+              f"{len(beaten)}/{len(beat)} generated scenarios)")
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: exhaustive-parity + beats-greedy "
+                             "assertions, nonzero exit on failure")
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("standalone runs need --smoke; the pytest-benchmark "
+                     "entry point is test_bench_opt")
+    return run_smoke()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,6 +58,7 @@ from repro.pipeline import (
     run_flow,
     run_pair,
 )
+from repro.opt import Objective, OptResult, SearchSpec, optimize
 from repro.power import (
     PowerWeights,
     SelectModel,
@@ -87,10 +88,13 @@ __all__ = [
     "FlowConfig",
     "FlowContext",
     "GraphBuilder",
+    "Objective",
     "Op",
+    "OptResult",
     "PMOptions",
     "PMResult",
     "Pipeline",
+    "SearchSpec",
     "PowerWeights",
     "RTLSimulator",
     "ResourceClass",
@@ -120,6 +124,7 @@ __all__ = [
     "list_schedule",
     "measure_power",
     "minimize_resources",
+    "optimize",
     "random_vectors",
     "register_scheduler",
     "run_flow",

@@ -11,6 +11,9 @@ Usage (after ``pip install -e .``)::
     python -m repro explore dealer gcd vender --budgets 5,6,7 --workers 4
     python -m repro explore gcd "gen:branchy:42" --budgets 6,7,8 \
         --store .cache/explore --resume sweep.jsonl --pareto
+    python -m repro optimize vender --budgets 5,6 --iters 200 --seed 0
+    python -m repro optimize dealer --steps 6 --objective sim_power \
+        --store .cache/opt --resume opt.jsonl
     python -m repro tables                          # Tables I-III summary
 
 Circuit arguments are either a registered benchmark name (dealer, gcd,
@@ -167,8 +170,11 @@ def cmd_explore(args: argparse.Namespace) -> int:
         result = explore(circuits, budgets, configs=configs,
                          workers=args.workers,
                          sim_vectors=args.sim_vectors,
-                         store=args.store, resume=args.resume)
-    except InfeasibleScheduleError as error:
+                         store=args.store, resume=args.resume,
+                         search=args.search)
+    except (InfeasibleScheduleError, ValueError) as error:
+        # search mode reports infeasible budgets as ValueError from
+        # SearchSpace.for_graph; grid mode as InfeasibleScheduleError.
         raise SystemExit(
             f"error: {error} — drop that budget or raise it past the "
             f"critical path") from None
@@ -182,6 +188,45 @@ def cmd_explore(args: argparse.Namespace) -> int:
     best = result.best()
     print(f"best point: {best.circuit} @ {best.n_steps} steps "
           f"({best.power_reduction_pct:.2f}% datapath power saved)")
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    graph = load_circuit(args.circuit)
+    from repro.opt.search import SearchSpec, optimize
+
+    if args.budgets:
+        try:
+            budgets = tuple(int(b) for b in args.budgets.split(",") if b)
+        except ValueError:
+            budgets = ()
+        if not budgets:
+            raise SystemExit("error: --budgets needs a comma-separated "
+                             "list of control-step counts, e.g. 5,6,7")
+    else:
+        budgets = (_steps_for(graph, args),)
+    spec = SearchSpec(driver=args.search, objective=args.objective,
+                      iters=args.iters, seed=args.seed,
+                      restarts=args.restarts, beam_width=args.beam_width)
+    pm_base = PMOptions(partial=args.partial)
+    try:
+        result = optimize(
+            graph, spec, budgets=budgets,
+            schedulers=tuple(s for s in args.schedulers.split(",") if s),
+            store=args.store, journal=args.resume,
+            sim_vectors=args.sim_vectors, pm_base=pm_base)
+    except ValueError as error:
+        raise SystemExit(f"error: {error}") from None
+    print(result.table())
+    # The base carries the same pm_base the search scored candidates
+    # under, so the synthesized design is the one the search selected.
+    synthesized = _PIPELINE.run(graph, result.flow_config(
+        FlowConfig(pm=pm_base, verify=args.verify,
+                   sim_backend=args.sim_backend)))
+    report = synthesized.static_report()
+    print(f"chosen design: {synthesized.pm.managed_count} managed muxes, "
+          f"{report.reduction_pct:.2f}% datapath power saved, "
+          f"area {synthesized.design.area().total}")
     return 0
 
 
@@ -291,8 +336,64 @@ def make_parser() -> argparse.ArgumentParser:
     p_explore.add_argument("--sim-vectors", type=int, default=0,
                            help="engine-simulate every point on N random "
                                 "vectors (default 0 = static estimate)")
+    p_explore.add_argument("--search", default=None,
+                           choices=("anneal", "beam", "random"),
+                           help="search the (ordering, budget) space with "
+                                "this repro.opt driver instead of sweeping "
+                                "the fixed grid (see `repro optimize` for "
+                                "the tunable version)")
     flow_options(p_explore)
     p_explore.set_defaults(func=cmd_explore)
+
+    p_opt = sub.add_parser(
+        "optimize",
+        help="search (MUX ordering, budget, scheduler) space for the "
+             "best design under a weighted objective")
+    p_opt.add_argument("circuit", help="benchmark name, gen:<preset>:"
+                                       "<seed> spec, or DSL file")
+    p_opt.add_argument("--steps", type=int, default=None,
+                       help="single control-step budget (default: "
+                            "critical path + --slack)")
+    p_opt.add_argument("--slack", type=int, default=1,
+                       help="extra steps over the critical path when "
+                            "--steps is omitted (default 1)")
+    p_opt.add_argument("--budgets", default=None,
+                       help="comma-separated budgets to search over "
+                            "(overrides --steps)")
+    p_opt.add_argument("--search", default="anneal",
+                       choices=("anneal", "beam", "random"),
+                       help="search driver (default: anneal)")
+    p_opt.add_argument("--objective", default="gated_weight",
+                       help="weighted metric terms 'name[=weight],...', "
+                            "e.g. 'gated_weight' or 'sim_power,area=0.1'")
+    p_opt.add_argument("--iters", type=int, default=150,
+                       help="search iterations (anneal/random)")
+    p_opt.add_argument("--seed", type=int, default=0,
+                       help="search RNG seed (default 0)")
+    p_opt.add_argument("--restarts", type=int, default=2,
+                       help="annealing restart chains (default 2)")
+    p_opt.add_argument("--beam-width", type=int, default=4,
+                       help="beam width for --search beam (default 4)")
+    p_opt.add_argument("--schedulers", default="list",
+                       help="comma-separated scheduler dimension "
+                            "(default: list)")
+    p_opt.add_argument("--sim-vectors", type=int, default=128,
+                       help="vectors per simulation when the objective "
+                            "needs sim_power (default 128)")
+    p_opt.add_argument("--store", default=None, metavar="DIR",
+                       help="disk store backing candidate evaluations "
+                            "and stage artifacts across runs")
+    p_opt.add_argument("--resume", default=None, metavar="FILE",
+                       help="JSONL evaluation journal: finished "
+                            "evaluations are replayed on re-runs")
+    p_opt.add_argument("--partial", action="store_true",
+                       help="enable per-operation fallback gating")
+    p_opt.add_argument("--verify", action="store_true",
+                       help="run the gating-soundness check on the "
+                            "chosen design")
+    p_opt.add_argument("--sim-backend", default="auto",
+                       choices=("compiled", "vectorized", "auto"))
+    p_opt.set_defaults(func=cmd_optimize)
 
     p_stages = sub.add_parser("stages",
                               help="show the pipeline wiring and schedulers")

@@ -20,20 +20,15 @@ from dataclasses import dataclass
 from repro.core.ordering import STRATEGIES, exhaustive_orderings
 from repro.core.pm_pass import PMOptions, PMResult, apply_power_management
 from repro.ir.graph import CDFG
-from repro.sched.resources import UNIT_COST
 
+# The scoring lives in the shared objective layer now; re-exported here
+# because this module has always been gated_weight's public home.
+from repro.opt.objective import gated_weight, pm_score
 
-def gated_weight(result: PMResult) -> float:
-    """Expected power weight saved: each gated op skipped w.p. 1/2 per guard."""
-    total = 0.0
-    for nid, guards in result.gating.items():
-        weight = UNIT_COST[result.graph.node(nid).resource]
-        total += weight * (1.0 - 0.5 ** len(guards))
-    return total
+__all__ = ["ReorderOutcome", "exhaustive_search", "gated_weight",
+           "strategy_search"]
 
-
-def _score(result: PMResult) -> tuple[float, int]:
-    return (gated_weight(result), result.managed_count)
+_score = pm_score
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,72 @@
+"""Stochastic PM-aware optimizer subsystem (paper §IV-A, generalized).
+
+Three layers:
+
+* :mod:`repro.opt.objective` — the shared metric registry, weighted
+  scalarization (:class:`Objective`) and Pareto helpers used by the
+  reordering search, ``explore().pareto()`` and the drivers alike;
+* :mod:`repro.opt.space` — the joint (MUX ordering, budget, scheduler)
+  search space with seeded sampling and annealing moves;
+* :mod:`repro.opt.search` — the drivers: :func:`anneal`,
+  :func:`beam_search`, :func:`random_search`, dispatched by
+  :func:`optimize`, resumable through the explore-style JSONL journal
+  and cache-aware through :class:`~repro.pipeline.DiskArtifactCache`.
+
+Quick start::
+
+    from repro.circuits import build
+    from repro.opt import optimize
+
+    result = optimize(build("gcd"), "anneal", n_steps=7, iters=200)
+    print(result.table())
+    design = ...  # Pipeline().run(build("gcd"), result.flow_config())
+
+The search/evaluate layers import the synthesis pipeline, which in turn
+(via ``core.reordering``) imports :mod:`repro.opt.objective` — so only
+the objective/space layers load eagerly here and everything above them
+resolves lazily on first attribute access.
+"""
+
+from __future__ import annotations
+
+from repro.opt.objective import (
+    METRICS,
+    Metric,
+    Objective,
+    dominates,
+    gated_weight,
+    pareto_front,
+    pm_score,
+)
+from repro.opt.space import Candidate, SearchSpace
+
+_SEARCH_NAMES = ("DRIVERS", "OptResult", "SearchSpec", "anneal",
+                 "beam_search", "optimize", "random_search")
+_EVALUATE_NAMES = ("EvaluationBudgetExceeded", "Evaluator", "EvalStats",
+                   "OPT_FORMAT")
+
+__all__ = [
+    "Candidate",
+    "METRICS",
+    "Metric",
+    "Objective",
+    "SearchSpace",
+    "dominates",
+    "gated_weight",
+    "pareto_front",
+    "pm_score",
+    *_EVALUATE_NAMES,
+    *_SEARCH_NAMES,
+]
+
+
+def __getattr__(name: str):
+    if name in _SEARCH_NAMES:
+        from repro.opt import search
+
+        return getattr(search, name)
+    if name in _EVALUATE_NAMES:
+        from repro.opt import evaluate
+
+        return getattr(evaluate, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,71 @@
+"""Shared JSONL resume-journal helpers (the PR-4 explore format).
+
+One journal is an append-only JSONL file: a meta line ``{"format": N,
+"kind": "<kind>"}`` followed by one record per completed unit of work,
+``{"key": "<content key>", ...payload}``.  Appends are flushed and
+fsynced so a killed process loses at most the record it was writing;
+loading tolerates that torn tail (and any other garbage line) by
+skipping it.  Both the exploration sweep journal and the optimizer
+evaluation journal are instances of this format.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Mapping
+
+JOURNAL_FORMAT = 1
+
+
+def load_journal(path: Path) -> dict[str, dict]:
+    """Records by content key; tolerates torn/garbage lines and re-keyed
+    duplicates (last record wins, matching append order)."""
+    records: dict[str, dict] = {}
+    if not path.exists():
+        return records
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn write from a killed run
+            if not isinstance(record, dict) or "key" not in record:
+                continue  # meta line
+            records[str(record["key"])] = record
+    return records
+
+
+def open_journal(path: Path, kind: str):
+    """Open ``path`` for appending; write the meta line when fresh and
+    repair a torn (newline-less) tail left by a killed writer."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fresh = not path.exists()
+    torn_tail = False
+    if not fresh:
+        with open(path, "rb") as handle:
+            handle.seek(0, os.SEEK_END)
+            if handle.tell() > 0:
+                handle.seek(-1, os.SEEK_END)
+                torn_tail = handle.read(1) != b"\n"
+    handle = open(path, "a", encoding="utf-8")
+    if fresh:
+        handle.write(json.dumps({"format": JOURNAL_FORMAT,
+                                 "kind": kind}) + "\n")
+        handle.flush()
+    elif torn_tail:
+        handle.write("\n")
+        handle.flush()
+    return handle
+
+
+def append_record(handle, key: str, payload: Mapping[str, object]) -> None:
+    """Durably append one ``{"key": ..., **payload}`` record."""
+    record = {"key": key, **payload}
+    handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+    handle.flush()
+    os.fsync(handle.fileno())

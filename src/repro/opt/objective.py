@@ -1,0 +1,175 @@
+"""The shared objective layer of the optimizer subsystem.
+
+Every search driver — and the reordering heuristics and ``explore``'s
+Pareto reduction — ultimately compare synthesis outcomes on the same
+small set of *metrics*.  This module is their single home:
+
+* :func:`gated_weight` — the static expected-power score the reordering
+  search has always used (moved here from ``core/reordering.py``, which
+  re-exports it unchanged);
+* :data:`METRICS` — the named metric registry.  Each metric knows its
+  optimization *sense* (maximize or minimize) and how much of the flow
+  must run to produce it (``NEEDS_PM`` — the PM pass alone — up to
+  ``NEEDS_PAIR`` — baseline + managed synthesis and simulation);
+* :class:`Objective` — a weighted scalarization over metrics.  Scores
+  are always *maximized*: each term contributes ``weight * sense *
+  value``, so ``Objective.parse("gated_weight,area=0.05")`` rewards
+  gated weight and penalizes area without the caller juggling signs;
+* :func:`dominates` / :func:`pareto_front` — Pareto helpers over
+  minimized score tuples, shared with
+  :meth:`repro.pipeline.ExplorationResult.pareto`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Sequence, TypeVar
+
+from repro.core.pm_pass import PMResult
+from repro.sched.resources import UNIT_COST
+
+#: Computation levels a metric may require, in increasing cost order:
+#: the PM pass alone, a full synthesis of the managed design, or the
+#: baseline/managed pair plus engine simulation.
+NEEDS_PM = 0
+NEEDS_DESIGN = 1
+NEEDS_PAIR = 2
+
+MAXIMIZE = 1.0
+MINIMIZE = -1.0
+
+
+def gated_weight(result: PMResult) -> float:
+    """Expected power weight saved: each gated op skipped w.p. 1/2 per guard."""
+    total = 0.0
+    for nid, guards in result.gating.items():
+        weight = UNIT_COST[result.graph.node(nid).resource]
+        total += weight * (1.0 - 0.5 ** len(guards))
+    return total
+
+
+def pm_score(result: PMResult) -> tuple[float, int]:
+    """The reordering-search comparison key: gated weight, then the
+    managed-MUX count as tie-break."""
+    return (gated_weight(result), result.managed_count)
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One named synthesis-outcome measurement.
+
+    ``sense`` is :data:`MAXIMIZE` (+1) or :data:`MINIMIZE` (-1);
+    ``needs`` is the cheapest computation level that produces it.
+    """
+
+    name: str
+    sense: float
+    needs: int
+    doc: str
+
+
+METRICS: dict[str, Metric] = {m.name: m for m in (
+    Metric("gated_weight", MAXIMIZE, NEEDS_PM,
+           "expected datapath power weight saved by gating"),
+    Metric("managed_muxes", MAXIMIZE, NEEDS_PM,
+           "number of power-managed multiplexors"),
+    Metric("static_power", MAXIMIZE, NEEDS_PM,
+           "static datapath power reduction %% (Table II model)"),
+    Metric("area", MINIMIZE, NEEDS_DESIGN,
+           "execution-unit + register + mux area of the managed design"),
+    Metric("controller_literals", MINIMIZE, NEEDS_DESIGN,
+           "two-level literal count of the managed controller"),
+    Metric("sim_power", MAXIMIZE, NEEDS_PAIR,
+           "engine-simulated total power reduction %% vs the baseline"),
+)}
+
+
+@dataclass(frozen=True)
+class Objective:
+    """A weighted scalarization over :data:`METRICS`, always maximized.
+
+    ``score`` folds each term's sense in, so weights are plain positive
+    importances: ``Objective.parse("gated_weight,area=0.05")`` trades
+    1 unit of gated weight against 20 units of area.
+    """
+
+    terms: tuple[tuple[str, float], ...] = (("gated_weight", 1.0),)
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise ValueError("an Objective needs at least one metric term")
+        for name, weight in self.terms:
+            if name not in METRICS:
+                raise ValueError(
+                    f"unknown metric {name!r}; choose from {sorted(METRICS)}")
+            if not weight > 0:
+                raise ValueError(
+                    f"metric weight for {name!r} must be > 0, got {weight} "
+                    "(the metric's own sense decides the direction)")
+
+    @classmethod
+    def parse(cls, spec: "str | Objective") -> "Objective":
+        """``"name[=weight],..."`` — e.g. ``"gated_weight"`` or
+        ``"sim_power,area=0.1"``.  An :class:`Objective` passes through."""
+        if isinstance(spec, Objective):
+            return spec
+        terms: list[tuple[str, float]] = []
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            name, eq, weight_text = part.partition("=")
+            name = name.strip()
+            try:
+                weight = float(weight_text) if eq else 1.0
+            except ValueError:
+                raise ValueError(
+                    f"bad weight {weight_text!r} in objective term "
+                    f"{part!r}") from None
+            terms.append((name, weight))
+        if not terms:
+            raise ValueError(f"empty objective spec {spec!r}")
+        return cls(terms=tuple(terms))
+
+    @property
+    def requires(self) -> int:
+        """The computation level evaluation must reach (max over terms)."""
+        return max(METRICS[name].needs for name, _ in self.terms)
+
+    @property
+    def metric_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.terms)
+
+    def score(self, metrics: Mapping[str, float]) -> float:
+        """Scalar value of one evaluated candidate (higher is better)."""
+        return sum(weight * METRICS[name].sense * metrics[name]
+                   for name, weight in self.terms)
+
+    def signature(self) -> str:
+        """Stable spec string (round-trips through :meth:`parse`)."""
+        return ",".join(name if weight == 1.0 else f"{name}={weight:g}"
+                        for name, weight in self.terms)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.signature()
+
+
+# -- Pareto dominance ----------------------------------------------------
+
+T = TypeVar("T")
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when minimized score tuple ``a`` Pareto-dominates ``b``:
+    at least as good everywhere and strictly better somewhere."""
+    return tuple(a) != tuple(b) and all(x <= y for x, y in zip(a, b))
+
+
+def pareto_front(items: Iterable[T],
+                 key: Callable[[T], Sequence[float]]) -> list[T]:
+    """The non-dominated subset of ``items`` under minimized ``key``
+    tuples.  Ties (identical tuples) all survive; input order is kept."""
+    items = list(items)
+    scored = [tuple(key(item)) for item in items]
+    return [item for item, mine in zip(items, scored)
+            if not any(dominates(other, mine) for other in scored)]

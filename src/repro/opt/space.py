@@ -1,0 +1,147 @@
+"""The optimizer's joint search space.
+
+A :class:`Candidate` is one point of the space the stochastic drivers
+move through: a complete MUX processing order, a control-step budget,
+and a base-scheduler choice.  :class:`SearchSpace` knows the legal
+values of each dimension, draws seeded random candidates, proposes
+neighborhood moves for annealing, and enumerates the built-in greedy
+strategies as labeled seed candidates — which is what lets every driver
+guarantee "never worse than the best greedy ordering" by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from math import factorial
+
+from repro.core.ordering import STRATEGIES, order_muxes
+from repro.core.pm_pass import PMOptions
+from repro.ir.graph import CDFG
+from repro.sched.timing import critical_path_length
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point of the joint (ordering, budget, scheduler) space."""
+
+    order: tuple[int, ...]
+    n_steps: int
+    scheduler: str = "list"
+
+    def key(self) -> str:
+        """Stable content key (journal / store identity of this point)."""
+        return (f"{'>'.join(str(m) for m in self.order)}"
+                f"@{self.n_steps}/{self.scheduler}")
+
+    def pm_options(self, base: PMOptions | None = None) -> PMOptions:
+        """The PM options that make the pass process MUXes in this order."""
+        return replace(base if base is not None else PMOptions(),
+                       ordering="given", given_order=self.order)
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Legal values of each candidate dimension for one circuit."""
+
+    mux_ids: tuple[int, ...]
+    budgets: tuple[int, ...]
+    schedulers: tuple[str, ...] = ("list",)
+
+    def __post_init__(self) -> None:
+        if not self.budgets:
+            raise ValueError("SearchSpace needs at least one budget")
+        if not self.schedulers:
+            raise ValueError("SearchSpace needs at least one scheduler")
+
+    @classmethod
+    def for_graph(cls, graph: CDFG,
+                  budgets: "tuple[int, ...] | list[int] | None" = None,
+                  n_steps: int | None = None,
+                  schedulers: tuple[str, ...] = ("list",)) -> "SearchSpace":
+        """Build the space for ``graph``.
+
+        ``budgets`` (or the single ``n_steps``) must all be at least the
+        graph's critical path — an infeasible budget is not a searchable
+        point, it is an error in the question.
+        """
+        if budgets is None:
+            if n_steps is None:
+                raise ValueError("pass budgets=[...] or n_steps=N")
+            budgets = (n_steps,)
+        budgets = tuple(sorted(dict.fromkeys(int(b) for b in budgets)))
+        cp = critical_path_length(graph)
+        bad = [b for b in budgets if b < cp]
+        if bad:
+            raise ValueError(
+                f"budgets {bad} below the critical path {cp} of "
+                f"{graph.name!r}")
+        mux_ids = tuple(m.nid for m in graph.muxes())
+        return cls(mux_ids=mux_ids, budgets=budgets,
+                   schedulers=tuple(schedulers))
+
+    def size(self) -> int:
+        """Number of distinct candidates (orderings x budgets x scheds)."""
+        return (factorial(len(self.mux_ids))
+                * len(self.budgets) * len(self.schedulers))
+
+    # -- sampling and moves ----------------------------------------------
+
+    def random_candidate(self, rng) -> Candidate:
+        order = list(self.mux_ids)
+        rng.shuffle(order)
+        return Candidate(order=tuple(order),
+                         n_steps=rng.choice(self.budgets),
+                         scheduler=rng.choice(self.schedulers))
+
+    def neighbor(self, candidate: Candidate, rng) -> Candidate:
+        """One random local move; the identity when the space is trivial."""
+        moves = []
+        if len(candidate.order) >= 2:
+            moves += ["swap", "relocate"]
+        if len(self.budgets) >= 2:
+            moves.append("budget")
+        if len(self.schedulers) >= 2:
+            moves.append("scheduler")
+        if not moves:
+            return candidate
+        move = rng.choice(moves)
+        if move == "swap":
+            order = list(candidate.order)
+            i, j = rng.sample(range(len(order)), 2)
+            order[i], order[j] = order[j], order[i]
+            return replace(candidate, order=tuple(order))
+        if move == "relocate":
+            order = list(candidate.order)
+            i = rng.randrange(len(order))
+            mux = order.pop(i)
+            order.insert(rng.randrange(len(order) + 1), mux)
+            return replace(candidate, order=tuple(order))
+        if move == "budget":
+            # Step to an adjacent budget so annealing walks the budget
+            # axis instead of teleporting across it.
+            k = self.budgets.index(candidate.n_steps)
+            k += rng.choice((-1, 1)) if 0 < k < len(self.budgets) - 1 \
+                else (1 if k == 0 else -1)
+            return replace(candidate, n_steps=self.budgets[k])
+        others = [s for s in self.schedulers if s != candidate.scheduler]
+        return replace(candidate, scheduler=rng.choice(others))
+
+    # -- deterministic seeds ---------------------------------------------
+
+    def greedy_candidates(self, graph: CDFG,
+                          ) -> list[tuple[str, Candidate]]:
+        """Every built-in ordering strategy at every (budget, scheduler),
+        labeled ``<strategy>@<budget>/<scheduler>`` — the deterministic
+        seeds every driver evaluates first."""
+        seeds: list[tuple[str, Candidate]] = []
+        for strategy in STRATEGIES:
+            if strategy == "given":
+                continue
+            order = tuple(order_muxes(graph, strategy))
+            for n_steps in self.budgets:
+                for scheduler in self.schedulers:
+                    seeds.append((
+                        f"{strategy}@{n_steps}/{scheduler}",
+                        Candidate(order=order, n_steps=n_steps,
+                                  scheduler=scheduler)))
+        return seeds

@@ -28,6 +28,14 @@ shareable jobs:
 * **Pareto reduction** — ``result.pareto()`` keeps only the points not
   dominated on (area, power, latency).
 
+* **Search-driven exploration** — pass ``search=`` (a driver name or a
+  :class:`~repro.opt.search.SearchSpec`) and instead of sweeping the
+  fixed grid, each circuit's joint (MUX ordering, budget, scheduler)
+  space is *searched* by the :mod:`repro.opt` optimizer; the result has
+  one point per circuit: the optimizer-chosen design.  ``budgets`` and
+  the configs' schedulers define the space, ``store=`` backs candidate
+  evaluation, and ``resume=`` journals evaluations instead of points.
+
 Circuits may be registry names — including parameterized family specs
 like ``gen:branchy:42`` — or CDFG objects (serialized to the workers
 through the IR's JSON form).
@@ -51,6 +59,13 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.ir.graph import CDFG
 from repro.ir.serialize import graph_from_dict, graph_to_dict
+from repro.opt.journal import (
+    JOURNAL_FORMAT,
+    append_record,
+    load_journal,
+    open_journal,
+)
+from repro.opt.objective import pareto_front
 from repro.pipeline.cache import ArtifactCache
 from repro.pipeline.config import FlowConfig
 from repro.pipeline.engine import Pipeline
@@ -60,8 +75,6 @@ from repro.pipeline.store import DiskArtifactCache
 # workers, and repeated explore() calls in one process build on it.
 # (With an explicit ``store=`` the disk store is used instead.)
 _PROCESS_CACHE = ArtifactCache()
-
-JOURNAL_FORMAT = 1
 
 
 def clear_explore_cache() -> None:
@@ -181,16 +194,8 @@ class ExplorationResult:
                 f"{sorted(PARETO_OBJECTIVES)}") from None
         if not metrics:
             raise ValueError("pareto() needs at least one objective")
-        scored = [tuple(metric(p) for metric in metrics)
-                  for p in self.points]
-
-        def dominated(mine) -> bool:
-            return any(other != mine and
-                       all(o <= m for o, m in zip(other, mine))
-                       for other in scored)
-
-        front = tuple(p for p, mine in zip(self.points, scored)
-                      if not dominated(mine))
+        front = tuple(pareto_front(
+            self.points, key=lambda p: [metric(p) for metric in metrics]))
         return ExplorationResult(points=front, resumed=0)
 
     def table(self) -> str:
@@ -302,59 +307,58 @@ def _run_chunk(job: tuple[DiskArtifactCache | None,
 def _load_journal(path: Path) -> dict[str, ExplorationPoint]:
     """Completed points by job key; tolerates a torn trailing record."""
     completed: dict[str, ExplorationPoint] = {}
-    if not path.exists():
-        return completed
-    with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except json.JSONDecodeError:
-                continue  # torn write from a killed run
-            if not isinstance(record, dict) or "key" not in record:
-                continue  # meta line
-            try:
-                completed[record["key"]] = \
-                    ExplorationPoint.from_dict(record["point"])
-            except (KeyError, TypeError, ValueError):
-                continue
+    for key, record in load_journal(path).items():
+        try:
+            completed[key] = ExplorationPoint.from_dict(record["point"])
+        except (KeyError, TypeError, ValueError):
+            continue
     return completed
 
 
 def _open_journal(path: Path):
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fresh = not path.exists()
-    if not fresh:
-        # A kill can leave a torn record with no trailing newline; start
-        # appending on a fresh line so only that record is lost.
-        with open(path, "rb") as handle:
-            handle.seek(0, os.SEEK_END)
-            if handle.tell() > 0:
-                handle.seek(-1, os.SEEK_END)
-                torn_tail = handle.read(1) != b"\n"
-            else:
-                torn_tail = False
-    handle = open(path, "a", encoding="utf-8")
-    if fresh:
-        handle.write(json.dumps({"format": JOURNAL_FORMAT,
-                                 "kind": "explore-journal"}) + "\n")
-        handle.flush()
-    elif torn_tail:
-        handle.write("\n")
-        handle.flush()
-    return handle
+    return open_journal(path, kind="explore-journal")
 
 
 def _journal_record(handle, key: str, point: ExplorationPoint) -> None:
-    handle.write(json.dumps({"key": key, "point": point.to_dict()},
-                            separators=(",", ":")) + "\n")
-    handle.flush()
-    os.fsync(handle.fileno())
+    append_record(handle, key, {"point": point.to_dict()})
 
 
 # -- the sweep -----------------------------------------------------------
+
+
+def _search_explore(
+    specs: list[tuple[str, object]],
+    budgets: Iterable[int] | Mapping[str, Iterable[int]],
+    configs: tuple[FlowConfig, ...],
+    search,
+    sim_vectors: int,
+    store: DiskArtifactCache | None,
+    resume: str | os.PathLike | None,
+) -> ExplorationResult:
+    """``explore(search=...)``: one optimizer run + one point per circuit."""
+    from repro.opt.search import SearchSpec, optimize
+
+    spec_obj = SearchSpec(driver=search) if isinstance(search, str) \
+        else search
+    schedulers = tuple(dict.fromkeys(c.scheduler for c in configs))
+    base = configs[0]
+    points = []
+    resumed = 0
+    for spec in specs:
+        graph = _load_spec(spec)
+        if isinstance(budgets, Mapping):
+            circuit_budgets = budgets[graph.name]
+        else:
+            circuit_budgets = budgets
+        outcome = optimize(
+            graph, spec_obj, budgets=tuple(circuit_budgets),
+            schedulers=schedulers, store=store, journal=resume,
+            pm_base=base.pm,
+            sim_vectors=sim_vectors if sim_vectors > 0 else 128)
+        resumed += outcome.resumed
+        config = outcome.flow_config(base)
+        points.append(_run_point(spec, config, sim_vectors, store))
+    return ExplorationResult(points=tuple(points), resumed=resumed)
 
 
 def explore(
@@ -366,6 +370,7 @@ def explore(
     store: DiskArtifactCache | str | os.PathLike | None = None,
     resume: str | os.PathLike | None = None,
     chunk_size: int | None = None,
+    search=None,
 ) -> ExplorationResult:
     """Synthesize every (circuit, budget, config) point of a sweep.
 
@@ -383,6 +388,18 @@ def explore(
     stage artifacts persistent and shared across workers and runs;
     ``resume`` (a JSONL path) journals finished points and skips them on
     re-runs.  See the module docstring for the semantics of both.
+
+    ``search`` (an :mod:`repro.opt` driver name or
+    :class:`~repro.opt.search.SearchSpec`) switches from sweeping the
+    grid to *searching* it: per circuit, the optimizer explores the
+    joint (MUX ordering, budget, scheduler) space — budgets from
+    ``budgets``, schedulers from ``configs``, other config fields from
+    ``configs[0]`` — and the result holds the single optimizer-chosen
+    point per circuit.  In search mode the run is sequential
+    (``workers``/``chunk_size`` are ignored), ``store=`` additionally
+    backs candidate evaluation, ``resume=`` journals evaluations rather
+    than finished points, and ``result.resumed`` counts evaluations
+    replayed from that journal.
     """
     configs = tuple(configs) if configs else (FlowConfig(),)
     specs = [_as_spec(c) for c in circuits]
@@ -390,6 +407,9 @@ def explore(
         raise ValueError("explore() needs at least one circuit")
     if isinstance(store, (str, os.PathLike)):
         store = DiskArtifactCache(store)
+    if search is not None:
+        return _search_explore(specs, budgets, configs, search,
+                               sim_vectors, store, resume)
 
     jobs: list[tuple[int, str, tuple[str, object], FlowConfig, int]] = []
     for spec in specs:

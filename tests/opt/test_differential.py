@@ -1,0 +1,133 @@
+"""Differential hardening of the optimizer.
+
+Two claims:
+
+* wherever ``exhaustive_search`` is feasible (the paper suite and small
+  generated family members), annealing *and* beam search reach the true
+  optimum of the gated-weight objective;
+* the designs the optimizer chooses are ordinary synthesis results — 50
+  fuzz seeds synthesize the optimizer-chosen candidate and run it on
+  all three simulation backends, which must agree bit-for-bit (outputs
+  and full activity), with the PR-4 bounded fallback budget for
+  circuits the vectorized backend legitimately refuses.
+"""
+
+import pytest
+
+from repro.circuits import build
+from repro.core.reordering import exhaustive_search, gated_weight
+from repro.opt import anneal, beam_search
+from repro.pipeline import Pipeline, run_pair
+from repro.sched.timing import critical_path_length
+from repro.sim.backend import create_engine
+from repro.sim.engine import CompiledEngine
+from repro.sim.simulator import RTLSimulator
+from repro.sim.vectorized import VectorizationError, VectorizedEngine
+from repro.sim.vectors import random_vectors
+
+#: (spec, budget) — None means critical path + 1; all <= 6 muxes.
+EXHAUSTIVE_POINTS = [
+    ("dealer", 6),
+    ("gcd", 7),
+    ("vender", 6),
+    ("gen:tiny:0", None),
+    ("gen:tiny:1", None),
+    ("gen:tiny:7", None),
+    ("gen:small:3", None),
+    ("gen:small:11", None),
+    ("gen:branchy:2", 13),
+    ("gen:deep:0", 15),
+]
+
+
+class TestExhaustiveParity:
+    @pytest.mark.parametrize("spec,budget", EXHAUSTIVE_POINTS,
+                             ids=[spec for spec, _ in EXHAUSTIVE_POINTS])
+    def test_anneal_and_beam_reach_the_optimum(self, spec, budget):
+        graph = build(spec)
+        steps = budget if budget is not None \
+            else critical_path_length(graph) + 1
+        if len(graph.muxes()) > 6:
+            pytest.skip(f"{spec} exceeds the exhaustive limit")
+        optimum = gated_weight(exhaustive_search(graph, steps,
+                                                 limit=6).best)
+        annealed = anneal(graph, n_steps=steps, iters=300, seed=0,
+                          restarts=3)
+        beamed = beam_search(graph, n_steps=steps)
+        assert annealed.best_score == pytest.approx(optimum, abs=1e-9), \
+            f"anneal missed the optimum on {spec}@{steps}"
+        assert beamed.best_score == pytest.approx(optimum, abs=1e-9), \
+            f"beam missed the optimum on {spec}@{steps}"
+
+
+def assert_backends_identical(design, vectors, power_management):
+    """Vectorized == compiled == interpreter: outputs + full activity."""
+    legacy = RTLSimulator(design, power_management=power_management)
+    louts, lact = legacy.run_many(vectors)
+    compiled = CompiledEngine(design, power_management=power_management)
+    couts, cact = compiled.run_many(vectors)
+    vector = VectorizedEngine(design, power_management=power_management)
+    vouts, vact = vector.run_many(vectors)
+    assert vouts == couts == louts
+    assert vact == cact == lact
+
+
+class TestOptimizedDesignFuzz:
+    """50 seeds: synthesize the optimizer's pick, cross-check backends."""
+
+    PLANS = [
+        ("small", range(0, 25)),
+        ("branchy", range(0, 15)),
+        ("deep", range(0, 10)),
+    ]
+    #: Max tolerated VectorizationError refusals (PR-4 style bound).
+    MAX_FALLBACKS = 3  # ~5% of 50
+
+    _fallbacks: list[str] = []
+
+    @pytest.mark.parametrize("preset,seeds", [
+        (preset, tuple(seed_range)) for preset, seed_range in PLANS
+    ], ids=[preset for preset, _ in PLANS])
+    def test_chosen_designs_bit_identical_across_backends(self, preset,
+                                                          seeds):
+        pipeline = Pipeline()
+        for seed in seeds:
+            spec = f"gen:{preset}:{seed}"
+            graph = build(spec)
+            steps = critical_path_length(graph) + 1 + seed % 2
+            chosen = beam_search(graph, n_steps=steps, beam_width=2)
+            assert chosen.best_score >= chosen.best_greedy_score
+            result = pipeline.run(graph, chosen.flow_config())
+            assert result.pm.managed_count == \
+                chosen.metrics["managed_muxes"]
+            vectors = random_vectors(graph, 6, seed=seed)
+            for pm in (True, False):
+                try:
+                    assert_backends_identical(result.design, vectors, pm)
+                except VectorizationError:
+                    self._record_fallback(spec, result.design, vectors, pm)
+
+    def _record_fallback(self, spec, design, vectors, pm):
+        engine = create_engine(design, power_management=pm, backend="auto")
+        assert isinstance(engine, CompiledEngine), spec
+        legacy = RTLSimulator(design, power_management=pm)
+        assert engine.run_many(vectors) == legacy.run_many(vectors), spec
+        self._fallbacks.append(spec)
+
+    def test_zz_fallback_budget(self):
+        """Runs last in the class: the refusal rate stays bounded."""
+        assert len(self._fallbacks) <= self.MAX_FALLBACKS, self._fallbacks
+
+
+class TestChosenDesignIsReal:
+    def test_flow_config_synthesizes_the_reported_design(self, vender_graph):
+        """The OptResult metrics and a fresh synthesis of its config
+        agree — the optimizer reports what the flow actually builds."""
+        result = anneal(vender_graph, n_steps=6, iters=120, seed=0)
+        pair = run_pair(vender_graph, result.flow_config())
+        assert pair.managed.pm.managed_count == \
+            result.metrics["managed_muxes"]
+        assert gated_weight(pair.managed.pm) == \
+            pytest.approx(result.metrics["gated_weight"])
+        assert pair.managed.static_report().reduction_pct == \
+            pytest.approx(result.metrics["static_power"])

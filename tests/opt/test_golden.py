@@ -1,0 +1,49 @@
+"""Golden regression: the optimizer's paper-benchmark picks are pinned.
+
+Regenerating after an intended change: see ``tests/opt/update_golden.py``.
+"""
+
+import json
+
+import pytest
+
+from tests.opt.update_golden import GOLDEN_PATH, generate_snapshot
+
+
+@pytest.fixture(scope="module")
+def fresh():
+    return generate_snapshot()
+
+
+@pytest.fixture(scope="module")
+def golden():
+    assert GOLDEN_PATH.exists(), \
+        "missing golden snapshot; run tests/opt/update_golden.py"
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+class TestGoldenOptimizer:
+    def test_same_points_are_pinned(self, fresh, golden):
+        assert sorted(fresh["points"]) == sorted(golden["points"])
+        assert fresh["driver_kwargs"] == golden["driver_kwargs"]
+
+    def test_chosen_orderings_unchanged(self, fresh, golden):
+        for name, point in golden["points"].items():
+            assert fresh["points"][name]["outcome"]["order"] == \
+                point["outcome"]["order"], name
+            assert fresh["points"][name]["outcome"]["score"] == \
+                pytest.approx(point["outcome"]["score"]), name
+
+    def test_table_style_numbers_unchanged(self, fresh, golden):
+        for name, point in golden["points"].items():
+            measured = fresh["points"][name]["design"]
+            for field, value in point["design"].items():
+                assert measured[field] == pytest.approx(value), \
+                    f"{name}: {field}"
+
+    def test_search_outcome_fully_pinned(self, fresh, golden):
+        """The entire resume-invariant outcome dict matches, greedy
+        scores and improvement history included."""
+        for name, point in golden["points"].items():
+            assert fresh["points"][name]["outcome"] == point["outcome"], \
+                name

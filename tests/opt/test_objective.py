@@ -1,0 +1,128 @@
+"""The shared objective layer: metrics, scalarization, Pareto helpers."""
+
+import pytest
+
+from repro.core.pm_pass import apply_power_management
+from repro.opt.objective import (
+    METRICS,
+    NEEDS_DESIGN,
+    NEEDS_PAIR,
+    NEEDS_PM,
+    Objective,
+    dominates,
+    gated_weight,
+    pareto_front,
+    pm_score,
+)
+
+
+class TestGatedWeightHome:
+    def test_reordering_reexports_the_same_function(self):
+        """The refactor moved gated_weight; the old import must be it."""
+        from repro.core import reordering
+
+        assert reordering.gated_weight is gated_weight
+
+    def test_core_package_reexport(self):
+        import repro.core
+
+        assert repro.core.gated_weight is gated_weight
+
+    def test_value_unchanged_on_abs_diff(self, abs_diff_graph):
+        result = apply_power_management(abs_diff_graph, 3)
+        assert gated_weight(result) == pytest.approx(3.0)
+
+    def test_pm_score_ties_break_on_managed_count(self, abs_diff_graph):
+        result = apply_power_management(abs_diff_graph, 3)
+        assert pm_score(result) == (gated_weight(result),
+                                    result.managed_count)
+
+
+class TestMetricRegistry:
+    def test_every_metric_declares_sense_and_needs(self):
+        for name, metric in METRICS.items():
+            assert metric.name == name
+            assert metric.sense in (1.0, -1.0)
+            assert metric.needs in (NEEDS_PM, NEEDS_DESIGN, NEEDS_PAIR)
+
+    def test_cheap_and_expensive_levels(self):
+        assert METRICS["gated_weight"].needs == NEEDS_PM
+        assert METRICS["area"].needs == NEEDS_DESIGN
+        assert METRICS["sim_power"].needs == NEEDS_PAIR
+
+
+class TestObjective:
+    def test_default_is_gated_weight(self):
+        objective = Objective()
+        assert objective.metric_names == ("gated_weight",)
+        assert objective.requires == NEEDS_PM
+
+    def test_score_folds_sense_in(self):
+        objective = Objective.parse("gated_weight,area=0.5")
+        # area is minimized, so it enters negatively.
+        assert objective.score({"gated_weight": 10.0, "area": 4.0}) == \
+            pytest.approx(10.0 - 2.0)
+        assert objective.requires == NEEDS_DESIGN
+
+    def test_parse_roundtrip_through_signature(self):
+        for spec in ("gated_weight", "sim_power,area=0.1",
+                     "static_power,controller_literals=2"):
+            objective = Objective.parse(spec)
+            assert Objective.parse(objective.signature()) == objective
+
+    def test_parse_passes_objective_through(self):
+        objective = Objective.parse("managed_muxes")
+        assert Objective.parse(objective) is objective
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            Objective.parse("gated_weight,nope")
+
+    def test_bad_weight(self):
+        with pytest.raises(ValueError, match="bad weight"):
+            Objective.parse("area=heavy")
+
+    def test_nonpositive_weight(self):
+        with pytest.raises(ValueError, match="must be > 0"):
+            Objective.parse("area=-1")
+
+    def test_empty_spec(self):
+        with pytest.raises(ValueError, match="empty objective"):
+            Objective.parse(" , ")
+
+    def test_empty_terms(self):
+        with pytest.raises(ValueError, match="at least one metric"):
+            Objective(terms=())
+
+
+class TestPareto:
+    def test_dominates_needs_strict_improvement(self):
+        assert dominates((1.0, 2.0), (1.0, 3.0))
+        assert not dominates((1.0, 2.0), (1.0, 2.0))
+        assert not dominates((1.0, 4.0), (2.0, 3.0))
+
+    def test_front_keeps_ties_and_order(self):
+        points = [("a", (1, 5)), ("b", (1, 5)), ("c", (2, 6)), ("d", (0, 9))]
+        front = pareto_front(points, key=lambda p: p[1])
+        assert [name for name, _ in front] == ["a", "b", "d"]
+
+    def test_front_of_chain_is_single_point(self):
+        points = [(3, 3), (2, 2), (1, 1)]
+        assert pareto_front(points, key=lambda p: p) == [(1, 1)]
+
+    def test_explore_pareto_uses_this_front(self):
+        """ExplorationResult.pareto is wired onto the shared helper."""
+        from repro.pipeline import explore
+
+        result = explore(["dealer"], budgets=[4, 5, 6])
+        front = result.pareto()
+        assert 1 <= len(front.points) <= len(result.points)
+        # A point dominated on every objective cannot survive.
+        for point in front.points:
+            assert not any(
+                other.area <= point.area
+                and other.n_steps <= point.n_steps
+                and other.power_reduction_pct >= point.power_reduction_pct
+                and (other.area, other.n_steps, other.power_reduction_pct)
+                != (point.area, point.n_steps, point.power_reduction_pct)
+                for other in result.points)

@@ -1,0 +1,72 @@
+"""Property-based guarantees of the search drivers (Hypothesis).
+
+Three satellite properties over the ``repro.gen`` scenario families:
+
+* every driver's result is at least the best built-in greedy ordering
+  strategy on gated weight (the greedy-seeding invariant);
+* annealing is deterministic per (configuration, seed);
+* an interrupted run resumed from its journal lands on the outcome an
+  uninterrupted run finds.
+"""
+
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.reordering import gated_weight, strategy_search
+from repro.opt import anneal, beam_search, random_search
+from repro.opt.evaluate import EvaluationBudgetExceeded
+
+from tests.strategies import opt_scenarios
+
+_SETTINGS = dict(deadline=None,
+                 suppress_health_check=[HealthCheck.data_too_large])
+
+
+@settings(max_examples=20, **_SETTINGS)
+@given(scenario=opt_scenarios())
+def test_anneal_at_least_best_greedy(scenario):
+    graph, steps = scenario
+    best_greedy = gated_weight(strategy_search(graph, steps).best)
+    result = anneal(graph, n_steps=steps, iters=40, seed=0)
+    assert result.best_score >= best_greedy - 1e-9
+    # ...and the result's own greedy bookkeeping agrees.
+    assert result.best_greedy_score == pytest.approx(best_greedy)
+
+
+@settings(max_examples=12, **_SETTINGS)
+@given(scenario=opt_scenarios(presets=("tiny", "small")))
+def test_beam_and_random_at_least_best_greedy(scenario):
+    graph, steps = scenario
+    best_greedy = gated_weight(strategy_search(graph, steps).best)
+    assert beam_search(graph, n_steps=steps,
+                       beam_width=2).best_score >= best_greedy - 1e-9
+    assert random_search(graph, n_steps=steps, iters=10,
+                         seed=1).best_score >= best_greedy - 1e-9
+
+
+@settings(max_examples=15, **_SETTINGS)
+@given(scenario=opt_scenarios())
+def test_anneal_deterministic_per_config_and_seed(scenario):
+    graph, steps = scenario
+    kwargs = dict(n_steps=steps, iters=30, seed=5, restarts=2)
+    assert anneal(graph, **kwargs).outcome() == \
+        anneal(graph, **kwargs).outcome()
+
+
+@settings(max_examples=8, **_SETTINGS)
+@given(scenario=opt_scenarios(presets=("tiny", "small"), max_seed=199))
+def test_resumed_run_identical_to_uninterrupted(scenario):
+    graph, steps = scenario
+    kwargs = dict(n_steps=steps, iters=25, seed=2)
+    uninterrupted = anneal(graph, **kwargs)
+    with tempfile.TemporaryDirectory(prefix="opt-resume-") as tmp:
+        journal = Path(tmp) / "opt.jsonl"
+        try:
+            anneal(graph, journal=journal, max_evaluations=3, **kwargs)
+        except EvaluationBudgetExceeded:
+            pass  # interrupted mid-search, journal keeps the work done
+        resumed = anneal(graph, journal=journal, **kwargs)
+    assert resumed.outcome() == uninterrupted.outcome()

@@ -1,0 +1,130 @@
+"""The joint (ordering, budget, scheduler) search space."""
+
+import random
+
+import pytest
+
+from repro.core.ordering import order_muxes
+from repro.core.pm_pass import PMOptions
+from repro.opt.space import Candidate, SearchSpace
+from repro.sched.timing import critical_path_length
+
+
+@pytest.fixture
+def gcd_space(gcd_graph):
+    return SearchSpace.for_graph(gcd_graph, budgets=(5, 6, 7),
+                                 schedulers=("list", "force_directed"))
+
+
+class TestConstruction:
+    def test_budgets_below_critical_path_rejected(self, gcd_graph):
+        cp = critical_path_length(gcd_graph)
+        with pytest.raises(ValueError, match="critical path"):
+            SearchSpace.for_graph(gcd_graph, budgets=(cp - 1, cp))
+
+    def test_needs_budgets_or_steps(self, gcd_graph):
+        with pytest.raises(ValueError, match="budgets"):
+            SearchSpace.for_graph(gcd_graph)
+
+    def test_single_n_steps(self, gcd_graph):
+        space = SearchSpace.for_graph(gcd_graph, n_steps=7)
+        assert space.budgets == (7,)
+
+    def test_budgets_deduped_and_sorted(self, gcd_graph):
+        space = SearchSpace.for_graph(gcd_graph, budgets=(7, 5, 7, 6))
+        assert space.budgets == (5, 6, 7)
+
+    def test_size_counts_the_cross_product(self, gcd_space):
+        # 6 muxes -> 720 orderings, x3 budgets x2 schedulers.
+        assert gcd_space.size() == 720 * 3 * 2
+
+    def test_empty_dimensions_rejected(self):
+        with pytest.raises(ValueError, match="budget"):
+            SearchSpace(mux_ids=(), budgets=(), schedulers=("list",))
+        with pytest.raises(ValueError, match="scheduler"):
+            SearchSpace(mux_ids=(), budgets=(3,), schedulers=())
+
+
+class TestCandidate:
+    def test_key_is_stable_and_distinct(self):
+        a = Candidate(order=(1, 2), n_steps=5, scheduler="list")
+        b = Candidate(order=(2, 1), n_steps=5, scheduler="list")
+        assert a.key() == Candidate(order=(1, 2), n_steps=5,
+                                    scheduler="list").key()
+        assert a.key() != b.key()
+        assert a.key() != Candidate(order=(1, 2), n_steps=6,
+                                    scheduler="list").key()
+
+    def test_pm_options_pins_the_order(self):
+        candidate = Candidate(order=(3, 1, 2), n_steps=5)
+        options = candidate.pm_options()
+        assert options.ordering == "given"
+        assert options.given_order == (3, 1, 2)
+
+    def test_pm_options_keeps_base_knobs(self):
+        candidate = Candidate(order=(1,), n_steps=5)
+        options = candidate.pm_options(PMOptions(partial=True))
+        assert options.partial is True
+        assert options.ordering == "given"
+
+
+class TestSamplingAndMoves:
+    def test_random_candidate_is_valid_and_seed_deterministic(
+            self, gcd_space):
+        first = gcd_space.random_candidate(random.Random(7))
+        again = gcd_space.random_candidate(random.Random(7))
+        assert first == again
+        assert sorted(first.order) == sorted(gcd_space.mux_ids)
+        assert first.n_steps in gcd_space.budgets
+        assert first.scheduler in gcd_space.schedulers
+
+    def test_neighbors_stay_inside_the_space(self, gcd_space):
+        rng = random.Random(0)
+        candidate = gcd_space.random_candidate(rng)
+        for _ in range(200):
+            candidate = gcd_space.neighbor(candidate, rng)
+            assert sorted(candidate.order) == sorted(gcd_space.mux_ids)
+            assert candidate.n_steps in gcd_space.budgets
+            assert candidate.scheduler in gcd_space.schedulers
+
+    def test_neighbor_moves_every_dimension_eventually(self, gcd_space):
+        rng = random.Random(1)
+        start = gcd_space.random_candidate(rng)
+        seen_orders, seen_budgets, seen_scheds = set(), set(), set()
+        candidate = start
+        for _ in range(300):
+            candidate = gcd_space.neighbor(candidate, rng)
+            seen_orders.add(candidate.order)
+            seen_budgets.add(candidate.n_steps)
+            seen_scheds.add(candidate.scheduler)
+        assert len(seen_orders) > 1
+        assert seen_budgets == set(gcd_space.budgets)
+        assert seen_scheds == set(gcd_space.schedulers)
+
+    def test_trivial_space_neighbor_is_identity(self, abs_diff_graph):
+        space = SearchSpace.for_graph(abs_diff_graph, n_steps=3)
+        rng = random.Random(0)
+        candidate = space.random_candidate(rng)
+        # One mux, one budget, one scheduler: nothing to move.
+        assert space.neighbor(candidate, rng) == candidate
+
+
+class TestGreedySeeds:
+    def test_covers_strategies_budgets_and_schedulers(self, gcd_graph,
+                                                      gcd_space):
+        seeds = gcd_space.greedy_candidates(gcd_graph)
+        labels = [label for label, _ in seeds]
+        assert len(seeds) == 3 * 3 * 2  # strategies x budgets x schedulers
+        assert len(set(labels)) == len(labels)
+        assert "savings@7/force_directed" in labels
+
+    def test_seed_orders_match_the_strategies(self, gcd_graph, gcd_space):
+        seeds = dict(gcd_space.greedy_candidates(gcd_graph))
+        expected = tuple(order_muxes(gcd_graph, "output_first"))
+        assert seeds["output_first@5/list"].order == expected
+
+    def test_no_mux_graph_still_seeds(self, chain_graph):
+        space = SearchSpace.for_graph(chain_graph, n_steps=3)
+        seeds = space.greedy_candidates(chain_graph)
+        assert len(seeds) == 3
+        assert all(candidate.order == () for _, candidate in seeds)

@@ -75,6 +75,22 @@ def generated_circuits(presets: tuple[str, ...] = ("tiny", "small",
     )
 
 
+def opt_scenarios(presets: tuple[str, ...] = ("tiny", "small", "branchy"),
+                  max_seed: int = 999, max_slack: int = 3):
+    """Strategy over optimizer questions: a generated family member plus
+    a feasible control-step budget (critical path + drawn slack).
+
+    Shrinks toward the ``tiny`` preset, seed 0, zero slack — the
+    smallest reproducible (graph, budget) pair."""
+    from repro.sched.timing import critical_path_length
+
+    return st.builds(
+        lambda graph, slack: (graph, critical_path_length(graph) + slack),
+        generated_circuits(presets, max_seed),
+        st.integers(min_value=0, max_value=max_slack),
+    )
+
+
 def input_vector(graph: CDFG):
     """Strategy for one named input assignment of ``graph``."""
     names = [n.name for n in graph.inputs()]
