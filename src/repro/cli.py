@@ -14,6 +14,11 @@ Usage (after ``pip install -e .``)::
     python -m repro optimize vender --budgets 5,6 --iters 200 --seed 0
     python -m repro optimize dealer --steps 6 --objective sim_power \
         --store .cache/opt --resume opt.jsonl
+    python -m repro serve --state .serve --port 8642 --workers 4
+    python -m repro submit explore gcd dealer --budgets 5,6,7 --watch
+    python -m repro submit optimize vender --budgets 6,7 --iters 100
+    python -m repro jobs --port 8642                # list server jobs
+    python -m repro journal compact sweep.jsonl
     python -m repro tables                          # Tables I-III summary
 
 Circuit arguments are either a registered benchmark name (dealer, gcd,
@@ -230,6 +235,174 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve.server import JobServer
+
+    async def _main() -> None:
+        server = JobServer(
+            args.state, host=args.host, port=args.port,
+            workers=args.workers,
+            max_store_entries=args.max_store_entries,
+            chunk_size=args.chunk_size,
+            maintenance_interval=args.maintain_every)
+        await server.start()
+        print(f"repro serve listening on http://{server.host}:{server.port}"
+              f" ({args.workers} workers, state in {args.state})")
+        try:
+            await server.serve_forever()
+        finally:
+            await server.shutdown()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _serve_client(args: argparse.Namespace):
+    from repro.serve.client import ServeClient
+
+    return ServeClient(host=args.host, port=args.port,
+                       timeout=args.timeout)
+
+
+def _parse_budgets(text: str) -> list[int]:
+    try:
+        budgets = [int(b) for b in text.split(",") if b]
+    except ValueError:
+        budgets = []
+    if not budgets:
+        raise SystemExit("error: --budgets needs a comma-separated list "
+                         "of control-step counts, e.g. 5,6,7")
+    return budgets
+
+
+def _print_event(event: dict) -> None:
+    kind = event.get("type")
+    if kind == "point":
+        p = event["point"]
+        origin = "journal" if event.get("resumed") else "computed"
+        print(f"  point  {p['circuit']:<10s} @{p['n_steps']:>2d} steps "
+              f"{p['power_reduction_pct']:6.2f}% saved, area {p['area']} "
+              f"({origin})")
+    elif kind == "pareto":
+        print(f"  pareto {event['size']} of {event['of']} points survive")
+    elif kind == "best":
+        print(f"  best   step {event['step']:>4d} score {event['score']:.4f}"
+              f" @{event['n_steps']} steps / {event['scheduler']}")
+    elif kind == "state":
+        detail = f": {event['error']}" if event.get("error") else ""
+        print(f"  state  -> {event['state']}{detail}")
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve.client import JobFailed, ServeError
+
+    budgets = _parse_budgets(args.budgets)
+    if args.kind == "explore":
+        params = {
+            "circuits": args.circuits,
+            "budgets": budgets,
+            "ordering": args.ordering,
+            "partial": args.partial,
+            "no_pm": args.no_pm,
+            "scheduler": args.scheduler,
+            "sim_backend": args.sim_backend,
+            "sim_vectors": args.sim_vectors,
+        }
+    else:
+        if len(args.circuits) != 1:
+            raise SystemExit(
+                "error: submit optimize takes exactly one circuit")
+        params = {
+            "circuit": args.circuits[0],
+            "budgets": budgets,
+            "driver": args.search,
+            "objective": args.objective,
+            "iters": args.iters,
+            "seed": args.seed,
+            "restarts": args.restarts,
+            "beam_width": args.beam_width,
+            "schedulers": [s for s in args.schedulers.split(",") if s],
+            "sim_vectors": args.sim_vectors or 128,
+            "partial": args.partial,
+        }
+    client = _serve_client(args)
+    try:
+        job = client.submit(args.kind, **params)
+        print(f"job {job['id']} {job['state']}"
+              + ("" if job["state"] == "queued" else " (shared in-flight)"))
+        if args.watch:
+            for event in client.stream(job["id"], timeout=args.timeout):
+                _print_event(event)
+            job = client.job(job["id"])
+            _print_summary(job)
+            if job["state"] == "failed":
+                return 1
+    except JobFailed as error:
+        raise SystemExit(f"error: {error}") from None
+    except (ServeError, ConnectionError, OSError, TimeoutError) as error:
+        raise SystemExit(f"error: {error}") from None
+    return 0
+
+
+def _print_summary(job: dict) -> None:
+    result = job.get("result") or {}
+    line = (f"job {job['id']} {job['state']}: "
+            f"{job['completed']} units done, {job['resumed']} resumed")
+    if "pareto_size" in result:
+        line += (f"; pareto {result['pareto_size']}/{result['points']}"
+                 f", store {result['store_hits']} hits")
+    if "outcome" in result:
+        outcome = result["outcome"]
+        line += (f"; best score {outcome['score']:.4f} "
+                 f"({result['evaluations']} evaluated, "
+                 f"{result['resumed']} journal-resumed)")
+    print(line)
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    from repro.serve.client import ServeError
+
+    client = _serve_client(args)
+    try:
+        if args.job_id:
+            job = client.job(args.job_id,
+                             since=0 if args.events else None)
+            _print_summary(job)
+            for event in job.get("events", ()):
+                _print_event(event)
+        else:
+            jobs = client.jobs()
+            if not jobs:
+                print("no jobs")
+            for job in jobs:
+                total = job["total"] if job["total"] is not None else "?"
+                print(f"  {job['id']:<16s} {job['kind']:<9s} "
+                      f"{job['state']:<10s} {job['completed']}/{total}")
+    except (ServeError, ConnectionError, OSError) as error:
+        raise SystemExit(f"error: {error}") from None
+    return 0
+
+
+def cmd_journal(args: argparse.Namespace) -> int:
+    from repro.opt.journal import compact_journal
+
+    status = 0
+    for path in args.journals:
+        if not pathlib.Path(path).exists():
+            print(f"{path}: missing", file=sys.stderr)
+            status = 1
+            continue
+        outcome = compact_journal(path)
+        print(f"{path}: kept {outcome.kept}, dropped {outcome.dropped}, "
+              f"{outcome.bytes_before} -> {outcome.bytes_after} bytes")
+    return status
+
+
 def cmd_stages(args: argparse.Namespace) -> int:
     print(Pipeline().describe())
     print(f"\nregistered schedulers: {', '.join(available_schedulers())}")
@@ -394,6 +567,86 @@ def make_parser() -> argparse.ArgumentParser:
     p_opt.add_argument("--sim-backend", default="auto",
                        choices=("compiled", "vectorized", "auto"))
     p_opt.set_defaults(func=cmd_optimize)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the multi-tenant exploration/optimization "
+                      "job server (see docs/serving.md)")
+    p_serve.add_argument("--state", default=".repro-serve", metavar="DIR",
+                         help="server state directory: artifact store, "
+                              "job registry, resume journals "
+                              "(default .repro-serve)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642,
+                         help="listen port (default 8642; 0 = ephemeral)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="process-pool workers shared by all jobs "
+                              "(default 2)")
+    p_serve.add_argument("--max-store-entries", type=int, default=65536,
+                         help="artifact-store LRU bound (default 65536)")
+    p_serve.add_argument("--chunk-size", type=int, default=1,
+                         help="explore work units per pool task (default 1)")
+    p_serve.add_argument("--maintain-every", type=float, default=0.0,
+                         metavar="SECONDS",
+                         help="run journal compaction + store GC on this "
+                              "period (default 0 = only on demand)")
+    p_serve.set_defaults(func=cmd_serve)
+
+    def client_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=8642)
+        p.add_argument("--timeout", type=float, default=300.0,
+                       help="per-request / watch timeout in seconds "
+                            "(default 300)")
+
+    p_submit = sub.add_parser(
+        "submit", help="submit an explore/optimize job to a running "
+                       "`repro serve` instance")
+    p_submit.add_argument("kind", choices=("explore", "optimize"))
+    p_submit.add_argument("circuits", nargs="+",
+                          help="benchmark names, gen:<preset>:<seed> specs "
+                               "or DSL files (optimize takes exactly one)")
+    p_submit.add_argument("--budgets", required=True,
+                          help="comma-separated step budgets, e.g. 5,6,7")
+    p_submit.add_argument("--watch", action="store_true",
+                          help="stream events until the job terminates")
+    p_submit.add_argument("--ordering", default="output_first",
+                          choices=("output_first", "input_first", "savings"))
+    p_submit.add_argument("--partial", action="store_true")
+    p_submit.add_argument("--no-pm", action="store_true")
+    p_submit.add_argument("--scheduler", default="list")
+    p_submit.add_argument("--sim-backend", default="auto",
+                          choices=("compiled", "vectorized", "auto"))
+    p_submit.add_argument("--sim-vectors", type=int, default=0)
+    p_submit.add_argument("--search", default="anneal",
+                          choices=("anneal", "beam", "random"),
+                          help="optimize search driver (default: anneal)")
+    p_submit.add_argument("--objective", default="gated_weight")
+    p_submit.add_argument("--iters", type=int, default=150)
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument("--restarts", type=int, default=2)
+    p_submit.add_argument("--beam-width", type=int, default=4)
+    p_submit.add_argument("--schedulers", default="list")
+    client_options(p_submit)
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_jobs = sub.add_parser(
+        "jobs", help="list a running server's jobs, or inspect one")
+    p_jobs.add_argument("job_id", nargs="?", default=None,
+                        help="job id to inspect (default: list all)")
+    p_jobs.add_argument("--events", action="store_true",
+                        help="with a job id, also print its event feed")
+    client_options(p_jobs)
+    p_jobs.set_defaults(func=cmd_jobs)
+
+    p_journal = sub.add_parser(
+        "journal", help="journal maintenance (compaction)")
+    journal_sub = p_journal.add_subparsers(dest="journal_command",
+                                           required=True)
+    p_compact = journal_sub.add_parser(
+        "compact", help="rewrite JSONL journals keeping only the last "
+                        "record per key")
+    p_compact.add_argument("journals", nargs="+", metavar="FILE")
+    p_compact.set_defaults(func=cmd_journal)
 
     p_stages = sub.add_parser("stages",
                               help="show the pipeline wiring and schedulers")

@@ -7,12 +7,20 @@ fsynced so a killed process loses at most the record it was writing;
 loading tolerates that torn tail (and any other garbage line) by
 skipping it.  Both the exploration sweep journal and the optimizer
 evaluation journal are instances of this format.
+
+Journals only ever grow, so long-running services compact them:
+:func:`compact_journal` rewrites one in place (atomic replace), keeping
+the last record per key and dropping superseded duplicates, torn tails,
+and garbage.  ``repro journal compact`` is the CLI face; the
+:mod:`repro.serve` maintenance pass calls it on every job journal.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Mapping
 
@@ -69,3 +77,88 @@ def append_record(handle, key: str, payload: Mapping[str, object]) -> None:
     handle.write(json.dumps(record, separators=(",", ":")) + "\n")
     handle.flush()
     os.fsync(handle.fileno())
+
+
+# -- compaction ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CompactionResult:
+    """What one :func:`compact_journal` pass did."""
+
+    kept: int      #: records surviving (one per distinct key)
+    dropped: int   #: superseded duplicates + garbage/torn lines removed
+    bytes_before: int
+    bytes_after: int
+
+    @property
+    def changed(self) -> bool:
+        return self.dropped > 0 or self.bytes_after != self.bytes_before
+
+
+def compact_journal(path: str | os.PathLike,
+                    kind: str | None = None) -> CompactionResult:
+    """Rewrite ``path`` keeping only the last record per key.
+
+    The replacement is built in a temp file next to the journal, fsynced
+    and atomically renamed over it, so a crash mid-compaction leaves
+    either the old journal or the new one — never a torn hybrid.  The
+    meta line is preserved (``kind`` overrides the recorded kind when
+    given; a journal that never had one gets a fresh meta line).  A
+    missing journal is a no-op.
+    """
+    path = Path(path)
+    if not path.exists():
+        return CompactionResult(0, 0, 0, 0)
+    bytes_before = path.stat().st_size
+    records: dict[str, str] = {}
+    record_lines = 0
+    garbage = 0
+    meta_kind = kind
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                record = json.loads(stripped)
+            except json.JSONDecodeError:
+                garbage += 1  # torn/garbage line: compacted away
+                continue
+            if not isinstance(record, dict):
+                garbage += 1
+                continue
+            if "key" not in record:
+                if "format" in record or "kind" in record:
+                    if meta_kind is None \
+                            and isinstance(record.get("kind"), str):
+                        meta_kind = record["kind"]
+                    continue  # meta line (re-emitted once below)
+                garbage += 1  # keyless non-meta object: compacted away
+                continue
+            record_lines += 1
+            records[str(record["key"])] = json.dumps(
+                record, separators=(",", ":"))
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".compact-")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as out:
+            meta = {"format": JOURNAL_FORMAT}
+            if meta_kind is not None:
+                meta["kind"] = meta_kind
+            out.write(json.dumps(meta) + "\n")
+            for line in records.values():
+                out.write(line + "\n")
+            out.flush()
+            os.fsync(out.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return CompactionResult(
+        kept=len(records),
+        dropped=(record_lines - len(records)) + garbage,
+        bytes_before=bytes_before,
+        bytes_after=path.stat().st_size)

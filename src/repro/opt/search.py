@@ -144,8 +144,10 @@ class _Run:
     """Shared driver plumbing: space, evaluator, greedy seeds, best."""
 
     def __init__(self, graph: CDFG, objective, n_steps, budgets, schedulers,
-                 store, journal, max_evaluations, sim_vectors, pm_base):
+                 store, journal, max_evaluations, sim_vectors, pm_base,
+                 progress=None):
         self.graph = graph
+        self.progress = progress
         self.objective = Objective.parse(objective)
         self.space = SearchSpace.for_graph(
             graph, budgets=budgets, n_steps=n_steps, schedulers=schedulers)
@@ -181,6 +183,8 @@ class _Run:
             self.best, self.best_score = candidate, score
             self.best_metrics, self.best_label = metrics, label
             self.history.append((step, score))
+            if self.progress is not None:
+                self.progress(step, score, candidate)
 
     def result(self, driver: str, seed: int) -> OptResult:
         self.evaluator.close()
@@ -202,10 +206,12 @@ def random_search(graph: CDFG, objective="gated_weight", *,
                   n_steps: int | None = None, budgets=None,
                   schedulers=("list",), iters: int = 100, seed: int = 0,
                   store=None, journal=None, max_evaluations=None,
-                  sim_vectors: int = 128, pm_base=None) -> OptResult:
+                  sim_vectors: int = 128, pm_base=None,
+                  progress=None) -> OptResult:
     """Uniform random sampling of the space — the honesty baseline."""
     with _Run(graph, objective, n_steps, budgets, schedulers,
-              store, journal, max_evaluations, sim_vectors, pm_base) as run:
+              store, journal, max_evaluations, sim_vectors, pm_base,
+              progress=progress) as run:
         rng = random.Random(seed)
         run.seed_greedy()
         for step in range(1, iters + 1):
@@ -219,7 +225,8 @@ def anneal(graph: CDFG, objective="gated_weight", *,
            n_steps: int | None = None, budgets=None, schedulers=("list",),
            iters: int = 150, seed: int = 0, restarts: int = 2,
            store=None, journal=None, max_evaluations=None,
-           sim_vectors: int = 128, pm_base=None) -> OptResult:
+           sim_vectors: int = 128, pm_base=None,
+           progress=None) -> OptResult:
     """Seeded simulated annealing with a restart schedule.
 
     ``iters`` total neighborhood moves are split evenly across
@@ -231,7 +238,8 @@ def anneal(graph: CDFG, objective="gated_weight", *,
     if restarts < 1:
         raise ValueError(f"restarts must be >= 1, got {restarts}")
     with _Run(graph, objective, n_steps, budgets, schedulers,
-              store, journal, max_evaluations, sim_vectors, pm_base) as run:
+              store, journal, max_evaluations, sim_vectors, pm_base,
+              progress=progress) as run:
         rng = random.Random(seed)
         run.seed_greedy()
         step = 0
@@ -266,7 +274,8 @@ def beam_search(graph: CDFG, objective="gated_weight", *,
                 n_steps: int | None = None, budgets=None,
                 schedulers=("list",), beam_width: int = 4, seed: int = 0,
                 store=None, journal=None, max_evaluations=None,
-                sim_vectors: int = 128, pm_base=None) -> OptResult:
+                sim_vectors: int = 128, pm_base=None,
+                progress=None) -> OptResult:
     """Deterministic beam search over MUX-ordering prefixes.
 
     A prefix is scored by evaluating the full candidate it induces —
@@ -280,7 +289,8 @@ def beam_search(graph: CDFG, objective="gated_weight", *,
     from repro.core.ordering import order_muxes
 
     with _Run(graph, objective, n_steps, budgets, schedulers,
-              store, journal, max_evaluations, sim_vectors, pm_base) as run:
+              store, journal, max_evaluations, sim_vectors, pm_base,
+              progress=progress) as run:
         run.seed_greedy()
         completion = tuple(order_muxes(graph, "savings"))
         step = 0

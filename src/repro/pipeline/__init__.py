@@ -30,7 +30,13 @@ from repro.pipeline.explore import (
     clear_explore_cache,
     explore,
     job_key,
+    journal_point,
+    load_point_journal,
+    open_point_journal,
+    plan_jobs,
+    run_chunk,
 )
+from repro.pipeline.index import IndexedArtifactStore
 from repro.pipeline.registry import (
     UnknownSchedulerError,
     available_schedulers,
@@ -39,7 +45,7 @@ from repro.pipeline.registry import (
     unregister_scheduler,
 )
 from repro.pipeline.result import SynthesisPair, SynthesisResult
-from repro.pipeline.store import DiskArtifactCache
+from repro.pipeline.store import DiskArtifactCache, StageStore
 from repro.pipeline.stages import (
     AllocateStage,
     AnalyzeStage,
@@ -65,6 +71,7 @@ __all__ = [
     "ExplorationResult",
     "FlowConfig",
     "FlowContext",
+    "IndexedArtifactStore",
     "MissingArtifactError",
     "PARETO_OBJECTIVES",
     "Pipeline",
@@ -74,6 +81,7 @@ __all__ = [
     "ScheduleStage",
     "Stage",
     "StageError",
+    "StageStore",
     "SynthesisPair",
     "SynthesisResult",
     "UnknownSchedulerError",
@@ -86,7 +94,12 @@ __all__ = [
     "get_scheduler",
     "graph_fingerprint",
     "job_key",
+    "journal_point",
+    "load_point_journal",
+    "open_point_journal",
+    "plan_jobs",
     "register_scheduler",
+    "run_chunk",
     "run_flow",
     "run_pair",
     "unregister_scheduler",

@@ -291,20 +291,58 @@ def _run_point(spec: tuple[str, object], config: FlowConfig,
     )
 
 
-def _run_chunk(job: tuple[DiskArtifactCache | None,
-                          list[tuple[int, str, tuple[str, object],
-                                     FlowConfig, int]]],
-               ) -> list[tuple[int, str, ExplorationPoint]]:
-    """Worker task: one chunk of jobs against one (shared) store."""
+#: One plannable unit of a sweep: ``(index, job key, circuit spec,
+#: config, sim_vectors)``.  ``index`` restores grid order in results.
+ExploreJob = tuple[int, str, tuple[str, object], FlowConfig, int]
+
+
+def run_chunk(job: tuple[DiskArtifactCache | None, list[ExploreJob]],
+              ) -> list[tuple[int, str, ExplorationPoint]]:
+    """Worker task: one chunk of jobs against one (shared) store.
+
+    Public because chunk-level submission is the unit the job server
+    (:mod:`repro.serve`) multiplexes over its persistent worker pool.
+    """
     store, chunk = job
     return [(index, key, _run_point(spec, config, sim_vectors, store))
             for index, key, spec, config, sim_vectors in chunk]
 
 
+def plan_jobs(circuits: Iterable[str | CDFG],
+              budgets: Iterable[int] | Mapping[str, Iterable[int]],
+              configs: Sequence[FlowConfig] | None = None,
+              sim_vectors: int = 0) -> list[ExploreJob]:
+    """The full (circuit x budget x config) grid as submittable jobs.
+
+    This is the planning half of :func:`explore`, exposed so callers
+    that own their scheduling — the :mod:`repro.serve` job server — can
+    plan once, diff against a resume journal, and submit chunks at
+    their own pace with :func:`run_chunk`.
+    """
+    configs = tuple(configs) if configs else (FlowConfig(),)
+    specs = [_as_spec(c) for c in circuits]
+    if not specs:
+        raise ValueError("explore() needs at least one circuit")
+    jobs: list[ExploreJob] = []
+    for spec in specs:
+        if isinstance(budgets, Mapping):
+            name = spec[1] if spec[0] == "name" else spec[1]["name"]
+            circuit_budgets = budgets[name]
+        else:
+            circuit_budgets = budgets
+        for steps in circuit_budgets:
+            for config in configs:
+                job_config = replace(config, n_steps=steps)
+                jobs.append((len(jobs), job_key(spec, job_config,
+                                                sim_vectors),
+                             spec, job_config, sim_vectors))
+    return jobs
+
+
 # -- resume journal ------------------------------------------------------
 
 
-def _load_journal(path: Path) -> dict[str, ExplorationPoint]:
+def load_point_journal(path: Path) -> dict[str, ExplorationPoint]:
     """Completed points by job key; tolerates a torn trailing record."""
     completed: dict[str, ExplorationPoint] = {}
     for key, record in load_journal(path).items():
@@ -315,11 +353,13 @@ def _load_journal(path: Path) -> dict[str, ExplorationPoint]:
     return completed
 
 
-def _open_journal(path: Path):
+def open_point_journal(path: Path):
+    """Append handle for a sweep journal (meta line written when fresh)."""
     return open_journal(path, kind="explore-journal")
 
 
-def _journal_record(handle, key: str, point: ExplorationPoint) -> None:
+def journal_point(handle, key: str, point: ExplorationPoint) -> None:
+    """Durably append one finished point under its job key."""
     append_record(handle, key, {"point": point.to_dict()})
 
 
@@ -371,6 +411,7 @@ def explore(
     resume: str | os.PathLike | None = None,
     chunk_size: int | None = None,
     search=None,
+    progress: Callable[[ExplorationPoint], None] | None = None,
 ) -> ExplorationResult:
     """Synthesize every (circuit, budget, config) point of a sweep.
 
@@ -400,42 +441,41 @@ def explore(
     backs candidate evaluation, ``resume=`` journals evaluations rather
     than finished points, and ``result.resumed`` counts evaluations
     replayed from that journal.
+
+    ``progress`` (grid mode only) is called in the submitting process
+    with every :class:`ExplorationPoint` as it becomes available —
+    journal-resumed points first, then computed points in completion
+    order — which is what lets a caller stream incremental results
+    instead of waiting for the sweep to finish.
     """
-    configs = tuple(configs) if configs else (FlowConfig(),)
-    specs = [_as_spec(c) for c in circuits]
-    if not specs:
-        raise ValueError("explore() needs at least one circuit")
     if isinstance(store, (str, os.PathLike)):
         store = DiskArtifactCache(store)
     if search is not None:
+        configs = tuple(configs) if configs else (FlowConfig(),)
+        specs = [_as_spec(c) for c in circuits]
+        if not specs:
+            raise ValueError("explore() needs at least one circuit")
         return _search_explore(specs, budgets, configs, search,
                                sim_vectors, store, resume)
 
-    jobs: list[tuple[int, str, tuple[str, object], FlowConfig, int]] = []
-    for spec in specs:
-        if isinstance(budgets, Mapping):
-            name = spec[1] if spec[0] == "name" else spec[1]["name"]
-            circuit_budgets = budgets[name]
-        else:
-            circuit_budgets = budgets
-        for steps in circuit_budgets:
-            for config in configs:
-                job_config = replace(config, n_steps=steps)
-                jobs.append((len(jobs), job_key(spec, job_config,
-                                                sim_vectors),
-                             spec, job_config, sim_vectors))
+    jobs = plan_jobs(circuits, budgets, configs, sim_vectors)
+
+    def announce(point: ExplorationPoint) -> None:
+        if progress is not None:
+            progress(point)
 
     points: dict[int, ExplorationPoint] = {}
-    completed = _load_journal(Path(resume)) if resume is not None else {}
+    completed = load_point_journal(Path(resume)) if resume is not None else {}
     pending = []
     for index, key, spec, config, n_sim in jobs:
         if key in completed:
             points[index] = completed[key]
+            announce(completed[key])
         else:
             pending.append((index, key, spec, config, n_sim))
     resumed = len(jobs) - len(pending)
 
-    journal = _open_journal(Path(resume)) if resume is not None else None
+    journal = open_point_journal(Path(resume)) if resume is not None else None
     try:
         if workers > 1 and len(pending) > 1:
             if chunk_size is None:
@@ -443,19 +483,21 @@ def explore(
             chunks = [pending[i:i + chunk_size]
                       for i in range(0, len(pending), chunk_size)]
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = [pool.submit(_run_chunk, (store, chunk))
+                futures = [pool.submit(run_chunk, (store, chunk))
                            for chunk in chunks]
                 for future in as_completed(futures):
                     for index, key, point in future.result():
                         points[index] = point
                         if journal is not None:
-                            _journal_record(journal, key, point)
+                            journal_point(journal, key, point)
+                        announce(point)
         else:
             for index, key, spec, config, n_sim in pending:
                 point = _run_point(spec, config, n_sim, store)
                 points[index] = point
                 if journal is not None:
-                    _journal_record(journal, key, point)
+                    journal_point(journal, key, point)
+                announce(point)
     finally:
         if journal is not None:
             journal.close()

@@ -1,0 +1,294 @@
+"""SQLite-indexed artifact store for concurrent serving workloads.
+
+:class:`IndexedArtifactStore` keeps the exact on-disk entry layout of
+:class:`~repro.pipeline.store.DiskArtifactCache` — sharded pickle files
+under a root directory, so a plain cache pointed at the same tree keeps
+working — but replaces every operation that scanned the tree with an
+O(1) query against a WAL-mode SQLite index (``<root>/index.db``):
+
+* ``len()`` is ``SELECT COUNT(*)`` instead of a 256-directory glob;
+* LRU recency is a monotonic sequence number bumped inside the index
+  transaction instead of a best-effort ``utime``;
+* eviction runs as one ``BEGIN IMMEDIATE`` transaction that claims the
+  oldest rows before touching the filesystem, so two writers hitting
+  ``max_entries`` together evict *disjoint* victims — the raciness that
+  makes the mtime scan unsuitable for a long-running multi-tenant
+  server (see the `store` module docstring) simply cannot occur;
+* :meth:`gc` reconciles index and tree in one pass (adopting entries a
+  plain ``DiskArtifactCache`` wrote, dropping rows whose files
+  vanished), which is what lets a server run indefinitely against the
+  same root.
+
+WAL mode means readers never block the single writer and vice versa;
+every process holds its own connection (connections are re-opened after
+``fork``, never shared across it).
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+from pathlib import Path
+
+from repro.pipeline.cache import CacheKey, CacheStats
+from repro.pipeline.store import DiskArtifactCache
+
+#: Bump when the index schema changes incompatibly; a mismatched index
+#: is dropped and rebuilt from the entry tree (the tree is the truth).
+INDEX_FORMAT = 1
+
+INDEX_NAME = "index.db"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS entries (
+    digest TEXT PRIMARY KEY,
+    size INTEGER NOT NULL,
+    seq INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS entries_by_seq ON entries(seq);
+CREATE TABLE IF NOT EXISTS meta (
+    k TEXT PRIMARY KEY,
+    v INTEGER NOT NULL
+);
+INSERT OR IGNORE INTO meta (k, v) VALUES ('format', {format});
+INSERT OR IGNORE INTO meta (k, v) VALUES ('seq', 0);
+""".format(format=INDEX_FORMAT)
+
+
+class IndexedArtifactStore(DiskArtifactCache):
+    """A :class:`DiskArtifactCache` whose bookkeeping lives in SQLite.
+
+    Same constructor, same ``lookup``/``store`` contract, same sharded
+    pickle tree; only the index is new.  Use it whenever several
+    processes serve from one store — ``repro serve`` always does.
+    """
+
+    def __init__(self, root: str | os.PathLike, max_entries: int = 4096,
+                 ) -> None:
+        super().__init__(root, max_entries=max_entries)
+        self._conn: sqlite3.Connection | None = None
+        self._conn_pid: int | None = None
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / INDEX_NAME
+
+    # -- connection management -------------------------------------------
+
+    def _db(self) -> sqlite3.Connection:
+        """This process's connection, (re)opened lazily after a fork."""
+        pid = os.getpid()
+        if self._conn is None or self._conn_pid != pid:
+            self._conn = self._open_index()
+            self._conn_pid = pid
+        return self._conn
+
+    def _open_index(self) -> sqlite3.Connection:
+        conn = sqlite3.connect(self.index_path, timeout=30.0,
+                               isolation_level=None)  # manual transactions
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=NORMAL")
+        conn.execute("PRAGMA busy_timeout=30000")
+        conn.executescript(_SCHEMA)
+        row = conn.execute(
+            "SELECT v FROM meta WHERE k='format'").fetchone()
+        if row is None or row[0] != INDEX_FORMAT:
+            # Stale schema: rebuild from the tree, which stays the truth.
+            conn.executescript(
+                "DROP TABLE IF EXISTS entries; DROP TABLE IF EXISTS meta;")
+            conn.executescript(_SCHEMA)
+        return conn
+
+    def close(self) -> None:
+        """Release this process's index connection (entries stay put)."""
+        if self._conn is not None and self._conn_pid == os.getpid():
+            self._conn.close()
+        self._conn = None
+        self._conn_pid = None
+
+    # -- index bookkeeping -----------------------------------------------
+
+    @staticmethod
+    def _next_seq(conn: sqlite3.Connection) -> int:
+        conn.execute("UPDATE meta SET v = v + 1 WHERE k='seq'")
+        return conn.execute(
+            "SELECT v FROM meta WHERE k='seq'").fetchone()[0]
+
+    def _touch_row(self, digest: str, size: int | None = None) -> None:
+        """Mark ``digest`` most-recently-used (inserting if unindexed —
+        e.g. an entry a plain ``DiskArtifactCache`` wrote to this tree).
+        """
+        conn = self._db()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            seq = self._next_seq(conn)
+            if size is None:
+                updated = conn.execute(
+                    "UPDATE entries SET seq=? WHERE digest=?",
+                    (seq, digest)).rowcount
+                if not updated:
+                    conn.execute(
+                        "INSERT INTO entries (digest, size, seq) "
+                        "VALUES (?, 0, ?)", (digest, seq))
+            else:
+                conn.execute(
+                    "INSERT INTO entries (digest, size, seq) VALUES (?, ?, ?)"
+                    " ON CONFLICT(digest) DO UPDATE SET size=excluded.size,"
+                    " seq=excluded.seq", (digest, size, seq))
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+
+    def _drop_row(self, digest: str) -> None:
+        self._db().execute("DELETE FROM entries WHERE digest=?", (digest,))
+
+    def _path_for_digest(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest[2:]}.pkl"
+
+    # -- ArtifactCache contract ------------------------------------------
+
+    def lookup(self, key: CacheKey) -> dict[str, object] | None:
+        digest = self.digest(key)
+        artifacts = super().lookup(key)
+        if artifacts is None:
+            # Missing or corrupt (already unlinked by the parent): make
+            # the index agree so len()/eviction stay exact.
+            self._drop_row(digest)
+            return None
+        self._touch_row(digest)
+        return artifacts
+
+    def store(self, key: CacheKey, artifacts: dict[str, object]) -> None:
+        digest = self.digest(key)
+        path = self._path_for_digest(digest)
+        size = self._write_entry(path, artifacts)
+        self._touch_row(digest, size=size)
+        self._evict_lru(protect=digest)
+
+    def clear(self) -> None:
+        conn = self._db()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            conn.execute("DELETE FROM entries")
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        for path in self._entries():
+            self._discard(path)
+        self.stats = CacheStats()
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._db().execute(
+            "SELECT COUNT(*) FROM entries").fetchone()[0]
+
+    # __contains__ stays file-based (the tree is the truth): a key an
+    # unindexed writer stored is still "in" the store, and gc() adopts it.
+
+    # -- transactional LRU eviction --------------------------------------
+
+    def _prune(self, protect: Path | None = None) -> None:
+        # The parent's store() never runs for this class, but keep the
+        # override total in case a caller prunes explicitly.
+        self._evict_lru()
+
+    def _evict_lru(self, protect: str | None = None) -> None:
+        """Claim and delete the oldest rows past ``max_entries``.
+
+        The claim (row delete) commits before any file is unlinked, so
+        concurrent evictors never pick the same victim; a file already
+        gone when we unlink it is a no-op, not an error.
+        """
+        conn = self._db()
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            count = conn.execute(
+                "SELECT COUNT(*) FROM entries").fetchone()[0]
+            excess = count - self.max_entries
+            if excess <= 0:
+                conn.execute("COMMIT")
+                return
+            rows = conn.execute(
+                "SELECT digest FROM entries WHERE digest != ?"
+                " ORDER BY seq ASC LIMIT ?",
+                (protect or "", excess)).fetchall()
+            victims = [digest for (digest,) in rows]
+            conn.executemany("DELETE FROM entries WHERE digest=?",
+                             [(d,) for d in victims])
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        for digest in victims:
+            try:
+                os.unlink(self._path_for_digest(digest))
+            except FileNotFoundError:
+                pass  # racing evictor or a vanished file: row is gone
+            except OSError:
+                pass
+            self.stats.evictions += 1
+
+    # -- garbage collection ----------------------------------------------
+
+    def gc(self) -> dict[str, int]:
+        """Reconcile the index with the entry tree.
+
+        Adopts files the index does not know (written by a plain
+        ``DiskArtifactCache`` or an older index), drops rows whose files
+        vanished, then re-applies the LRU bound.  Returns counters:
+        ``{"entries": ..., "adopted": ..., "dropped": ..., "evicted": ...}``.
+        """
+        conn = self._db()
+        on_disk: dict[str, Path] = {}
+        for path in self._entries():
+            on_disk[path.parent.name + path.stem] = path
+        indexed = {digest for (digest,) in
+                   conn.execute("SELECT digest FROM entries")}
+        dropped = sorted(indexed - set(on_disk))
+        adopted = sorted(set(on_disk) - indexed)
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            conn.executemany("DELETE FROM entries WHERE digest=?",
+                             [(d,) for d in dropped])
+            for digest in adopted:
+                seq = self._next_seq(conn)
+                try:
+                    size = on_disk[digest].stat().st_size
+                except OSError:
+                    continue
+                conn.execute(
+                    "INSERT OR REPLACE INTO entries (digest, size, seq) "
+                    "VALUES (?, ?, ?)", (digest, size, seq))
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        evictions_before = self.stats.evictions
+        self._evict_lru()
+        conn.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        return {"entries": len(self), "adopted": len(adopted),
+                "dropped": len(dropped),
+                "evicted": self.stats.evictions - evictions_before}
+
+    def total_bytes(self) -> int:
+        """Sum of indexed entry sizes (0-sized rows pending :meth:`gc`
+        may undercount)."""
+        return self._db().execute(
+            "SELECT COALESCE(SUM(size), 0) FROM entries").fetchone()[0]
+
+    # -- multiprocessing -------------------------------------------------
+
+    def __getstate__(self) -> dict[str, object]:
+        # Connections never cross process boundaries.
+        return super().__getstate__()
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        super().__setstate__(state)
+        self._conn = None
+        self._conn_pid = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"IndexedArtifactStore({str(self.root)!r}, "
+                f"max_entries={self.max_entries})")

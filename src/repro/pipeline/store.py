@@ -18,9 +18,15 @@ that keep listings cheap at hundreds of thousands of entries.
 Bounding is best-effort LRU on file mtimes: ``lookup`` touches the file,
 ``store`` prunes the oldest entries once the count passes
 ``max_entries``.  Concurrent processes may transiently overshoot the
-bound; they converge on the next prune.  A corrupt or torn entry (e.g. a
-reader racing a writer on a non-POSIX filesystem, or a killed process)
-is treated as a miss and deleted.
+bound; they converge on the next prune.  Pruning never evicts the entry
+the pruning writer itself just stored, and racing evictors tolerate
+entries vanishing under them, so two writers hitting the bound together
+cannot delete each other's work twice (each may still age out the
+*other's* fresh entry — :class:`~repro.pipeline.index.IndexedArtifactStore`
+replaces this whole mtime scan with a transactional SQLite LRU and
+should be preferred for concurrent serving workloads).  A corrupt or
+torn entry (e.g. a reader racing a writer on a non-POSIX filesystem, or
+a killed process) is treated as a miss and deleted.
 """
 
 from __future__ import annotations
@@ -30,8 +36,29 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
+from typing import Protocol, runtime_checkable
 
 from repro.pipeline.cache import CacheKey, CacheStats
+
+
+@runtime_checkable
+class StageStore(Protocol):
+    """What a :class:`~repro.pipeline.Pipeline` needs from any artifact
+    store — the in-memory :class:`~repro.pipeline.cache.ArtifactCache`,
+    the on-disk :class:`DiskArtifactCache`, and the SQLite-indexed
+    :class:`~repro.pipeline.index.IndexedArtifactStore` all satisfy it.
+    """
+
+    stats: CacheStats
+
+    def lookup(self, key: CacheKey) -> "dict[str, object] | None":
+        """The artifacts stored under ``key``, or ``None`` on a miss."""
+
+    def store(self, key: CacheKey, artifacts: "dict[str, object]") -> None:
+        """Persist ``artifacts`` under ``key``."""
+
+    def clear(self) -> None:
+        """Drop every entry and reset the statistics."""
 
 #: Bump when the on-disk entry format changes incompatibly; part of the
 #: digest, so old trees are simply never hit instead of misread.
@@ -87,15 +114,15 @@ class DiskArtifactCache:
         self.stats.hits += 1
         return artifacts
 
-    def store(self, key: CacheKey, artifacts: dict[str, object]) -> None:
-        path = self.path_for(key)
+    def _write_entry(self, path: Path, artifacts: dict[str, object]) -> int:
+        """Atomically persist one entry; returns its size in bytes."""
         path.parent.mkdir(parents=True, exist_ok=True)
-        existed = path.exists()
         fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
         try:
             with os.fdopen(fd, "wb") as handle:
                 pickle.dump(dict(artifacts), handle,
                             protocol=pickle.HIGHEST_PROTOCOL)
+                size = handle.tell()
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -103,10 +130,16 @@ class DiskArtifactCache:
             except OSError:
                 pass
             raise
+        return size
+
+    def store(self, key: CacheKey, artifacts: dict[str, object]) -> None:
+        path = self.path_for(key)
+        existed = path.exists()
+        self._write_entry(path, artifacts)
         if not existed and self._count is not None:
             self._count += 1
         if len(self) > self.max_entries:
-            self._prune()
+            self._prune(protect=path)
 
     def clear(self) -> None:
         for path in self._entries():
@@ -127,15 +160,21 @@ class DiskArtifactCache:
     def _entries(self):
         return self.root.glob("??/*.pkl")
 
-    def _discard(self, path: Path) -> None:
+    def _discard(self, path: Path) -> bool:
+        """Unlink ``path``; ``False`` when it was already gone (a racing
+        evictor or writer got there first — not an error, not an
+        eviction)."""
         try:
             os.unlink(path)
+        except FileNotFoundError:
+            return False
         except OSError:
-            return
+            return False
         if self._count is not None and self._count > 0:
             self._count -= 1
+        return True
 
-    def _prune(self) -> None:
+    def _prune(self, protect: Path | None = None) -> None:
         """Delete oldest-mtime entries to get back under ``max_entries``.
 
         Scanning the tree is O(entries), so eviction works in batches:
@@ -143,22 +182,31 @@ class DiskArtifactCache:
         scan cost amortized O(1) per store instead of per-store once the
         bound is reached.  (Small bounds keep exact single-entry
         eviction.)
+
+        ``protect`` is the entry this writer just stored: concurrent
+        writers may each observe the bound exceeded and prune at once,
+        and without the guard the freshest entries — exactly the ones
+        the racing stores are about to return to their callers — can
+        evict each other.  Entries that vanish mid-scan or mid-evict
+        were removed by the racing pruner and are simply skipped.
         """
         aged = []
         for path in self._entries():
+            if protect is not None and path == protect:
+                continue
             try:
                 aged.append((path.stat().st_mtime_ns, path))
             except OSError:
                 continue  # concurrently removed
-        self._count = len(aged)
+        self._count = len(aged) + (1 if protect is not None else 0)
         target = self.max_entries - max(0, self.max_entries // 16 - 1)
-        excess = len(aged) - target
-        if len(aged) <= self.max_entries or excess <= 0:
+        excess = self._count - target
+        if self._count <= self.max_entries or excess <= 0:
             return
         aged.sort()
         for _, path in aged[:excess]:
-            self._discard(path)
-            self.stats.evictions += 1
+            if self._discard(path):
+                self.stats.evictions += 1
 
     # -- multiprocessing -------------------------------------------------
 

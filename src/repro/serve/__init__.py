@@ -1,0 +1,45 @@
+"""Long-running multi-tenant exploration/optimization serving.
+
+The :mod:`repro.serve` package promotes the batch-shaped explorer and
+optimizer into an always-on service:
+
+* :class:`JobServer` — asyncio HTTP/JSON server multiplexing explore
+  and optimize jobs from many clients over one persistent process pool
+  and one SQLite-indexed artifact store;
+* :class:`ServeClient` — the stdlib client the CLI and tests drive it
+  with;
+* :class:`JobRegistry` / :class:`Job` / :class:`JobState` — the
+  journaled job table and its lifecycle state machine;
+* :func:`start_in_thread` — run a server on a background thread (tests,
+  benches, notebooks).
+
+See ``docs/serving.md`` for the API and operational knobs.
+"""
+
+from repro.serve.client import JobFailed, ServeClient, ServeError
+from repro.serve.jobs import (
+    Job,
+    JobError,
+    JobRegistry,
+    JobState,
+    JobStateError,
+    UnknownJobError,
+    job_content_key,
+)
+from repro.serve.server import JobServer, ServerHandle, start_in_thread
+
+__all__ = [
+    "Job",
+    "JobError",
+    "JobFailed",
+    "JobRegistry",
+    "JobServer",
+    "JobState",
+    "JobStateError",
+    "ServeClient",
+    "ServeError",
+    "ServerHandle",
+    "UnknownJobError",
+    "job_content_key",
+    "start_in_thread",
+]

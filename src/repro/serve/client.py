@@ -1,0 +1,147 @@
+"""Stdlib HTTP client for a :class:`~repro.serve.server.JobServer`.
+
+``ServeClient`` is the programmatic face the CLI (``repro submit``,
+``repro jobs``) and the tests use; each call is one short-lived
+``http.client`` request, so any number of clients can hammer one server
+concurrently with no shared connection state.
+
+    >>> client = ServeClient(port=8642)
+    >>> job = client.submit("explore", circuits=["gcd"], budgets=[6, 7])
+    >>> for event in client.stream(job["id"]):
+    ...     print(event["type"])
+    >>> client.job(job["id"])["state"]
+    'done'
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+
+class ServeError(RuntimeError):
+    """An HTTP-level error response from the server."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        message = payload.get("error") if isinstance(payload, dict) else None
+        super().__init__(f"server returned {status}: "
+                         f"{message or payload!r}")
+        self.status = status
+        self.payload = payload
+
+
+class JobFailed(ServeError):
+    """A waited-on job finished in ``failed`` state."""
+
+    def __init__(self, snapshot: dict) -> None:
+        RuntimeError.__init__(
+            self, f"job {snapshot.get('id')} failed: "
+                  f"{snapshot.get('error') or 'unknown error'}")
+        self.status = 0
+        self.payload = snapshot
+
+
+class ServeClient:
+    """Thin JSON-over-HTTP client; one request per call."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 body: dict | None = None) -> dict:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            payload = json.dumps(body) if body is not None else None
+            conn.request(method, path, body=payload, headers={
+                "Content-Type": "application/json",
+                "Connection": "close"})
+            response = conn.getresponse()
+            raw = response.read()
+            try:
+                data = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                data = {"error": raw.decode("utf-8", "replace")}
+            if response.status >= 400:
+                raise ServeError(response.status, data)
+            return data
+        finally:
+            conn.close()
+
+    # -- endpoints -------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def submit(self, kind: str, **params) -> dict:
+        """Submit one job; returns its snapshot (which may be an
+        already-running job when an identical request is in flight)."""
+        return self._request("POST", "/jobs",
+                             {"kind": kind, "params": params})
+
+    def job(self, job_id: str, since: int | None = None) -> dict:
+        path = f"/jobs/{job_id}"
+        if since is not None:
+            path += f"?since={since}"
+        return self._request("GET", path)
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def maintenance(self) -> dict:
+        return self._request("POST", "/maintenance")
+
+    def shutdown(self) -> dict:
+        return self._request("POST", "/shutdown")
+
+    # -- polling conveniences --------------------------------------------
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.05, raise_on_failure: bool = True) -> dict:
+        """Block until the job reaches a terminal state; returns the
+        final snapshot."""
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.job(job_id)
+            if snapshot["state"] in ("done", "failed", "cancelled"):
+                if snapshot["state"] == "failed" and raise_on_failure:
+                    raise JobFailed(snapshot)
+                return snapshot
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {snapshot['state']} after "
+                    f"{timeout:.0f}s")
+            time.sleep(poll)
+
+    def stream(self, job_id: str, timeout: float = 300.0,
+               poll: float = 0.05):
+        """Yield the job's events incrementally until it terminates.
+
+        Each event dict carries a monotonic ``seq``; polling picks up
+        exactly the events past the last seen one, so no event is
+        yielded twice.
+        """
+        deadline = time.monotonic() + timeout
+        since = 0
+        while True:
+            snapshot = self.job(job_id, since=since)
+            for event in snapshot.get("events", ()):
+                since = max(since, event["seq"])
+                yield event
+            if snapshot["state"] in ("done", "failed", "cancelled") \
+                    and snapshot["last_seq"] <= since:
+                return
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still streaming after {timeout:.0f}s")
+            time.sleep(poll)

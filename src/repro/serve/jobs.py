@@ -1,0 +1,315 @@
+"""Job identity, state machine, and the crash-safe registry.
+
+One :class:`Job` is a client's request — an ``explore`` sweep or an
+``optimize`` search — moving through a fixed lifecycle::
+
+    queued ──> running ──> done
+       │          ├──────> failed
+       └──────────┴──────> cancelled
+
+Transitions outside those edges raise :class:`JobStateError`; terminal
+states are final.  Every job also carries a monotonically-sequenced
+event feed (finished points, Pareto fronts, optimizer best-so-far) that
+clients poll incrementally with ``?since=<seq>``.
+
+Identity is content-addressed: :func:`job_content_key` digests
+``(kind, params)``, and the job's resume journal lives under that key —
+so resubmitting the same request after a crash (or on a warm store)
+replays journaled work instead of recomputing it, and two clients
+submitting the identical request while it is in flight share one job.
+
+The registry itself journals every submission and state change to
+``jobs.jsonl`` (the shared :mod:`repro.opt.journal` format, last record
+per job wins), which is what lets a restarted server re-queue the jobs
+a crash interrupted and still answer status queries for finished ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import threading
+from dataclasses import dataclass, field
+from enum import Enum
+from pathlib import Path
+
+from repro.opt.journal import append_record, load_journal, open_journal
+
+JOB_KINDS = ("explore", "optimize")
+
+REGISTRY_JOURNAL_KIND = "serve-jobs"
+
+#: Per-job event-feed memory bound; older events age out of the feed
+#: (the count survives on ``events_dropped`` so pollers can tell).
+MAX_EVENTS = 4096
+
+
+class JobError(Exception):
+    """Base class for job bookkeeping errors."""
+
+
+class UnknownJobError(JobError, KeyError):
+    """No job with that id."""
+
+
+class JobStateError(JobError):
+    """An illegal lifecycle transition was attempted."""
+
+
+class JobState(str, Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in _TERMINAL
+
+
+_TERMINAL = {JobState.DONE, JobState.FAILED, JobState.CANCELLED}
+
+_TRANSITIONS: dict[JobState, set[JobState]] = {
+    JobState.QUEUED: {JobState.RUNNING, JobState.CANCELLED},
+    JobState.RUNNING: {JobState.DONE, JobState.FAILED, JobState.CANCELLED},
+    JobState.DONE: set(),
+    JobState.FAILED: set(),
+    JobState.CANCELLED: set(),
+}
+
+
+def job_content_key(kind: str, params: dict) -> str:
+    """Stable identity of one request: same (kind, params) — across
+    submissions, clients, and server restarts — same key, same journal.
+    """
+    payload = json.dumps({"kind": kind, "params": params}, sort_keys=True,
+                         separators=(",", ":"), default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+
+@dataclass
+class Job:
+    """One submitted request and everything observable about it."""
+
+    id: str
+    kind: str
+    params: dict
+    key: str
+    state: JobState = JobState.QUEUED
+    error: str | None = None
+    #: Work units when known (the explore grid size; optimize leaves it
+    #: unset until the evaluation count arrives with the result).
+    total: int | None = None
+    completed: int = 0
+    resumed: int = 0
+    cancel_requested: bool = False
+    result: dict | None = None
+    events: list[dict] = field(default_factory=list)
+    events_dropped: int = 0
+    last_seq: int = 0
+
+    def snapshot(self, since: int | None = None) -> dict:
+        """JSON view; with ``since`` the event feed past that seq rides
+        along (``since=0`` streams from the beginning)."""
+        view = {
+            "id": self.id,
+            "kind": self.kind,
+            "key": self.key,
+            "state": self.state.value,
+            "error": self.error,
+            "total": self.total,
+            "completed": self.completed,
+            "resumed": self.resumed,
+            "cancel_requested": self.cancel_requested,
+            "result": self.result,
+            "last_seq": self.last_seq,
+            "events_dropped": self.events_dropped,
+        }
+        if since is not None:
+            view["events"] = [e for e in self.events if e["seq"] > since]
+        return view
+
+
+class JobRegistry:
+    """Thread-safe job table + lifecycle enforcement + crash journal."""
+
+    def __init__(self, journal_path: "str | Path | None" = None) -> None:
+        self._lock = threading.Lock()
+        self._jobs: dict[str, Job] = {}
+        self._ids = itertools.count(1)
+        self._journal_path = (Path(journal_path)
+                              if journal_path is not None else None)
+        self._journal = None
+        if self._journal_path is not None:
+            self._restore()
+            self._journal = open_journal(self._journal_path,
+                                         REGISTRY_JOURNAL_KIND)
+
+    # -- persistence -----------------------------------------------------
+
+    def _restore(self) -> None:
+        """Load the last-known state of every journaled job."""
+        top = 0
+        for job_id, record in load_journal(self._journal_path).items():
+            try:
+                job = Job(
+                    id=job_id,
+                    kind=str(record["kind"]),
+                    params=dict(record["params"]),
+                    key=str(record["jkey"]),
+                    state=JobState(record["state"]),
+                    error=record.get("error"),
+                    total=record.get("total"),
+                    completed=int(record.get("completed", 0)),
+                    resumed=int(record.get("resumed", 0)),
+                    result=record.get("result"),
+                )
+            except (KeyError, TypeError, ValueError):
+                continue  # stale/foreign record: not a job we can revive
+            self._jobs[job.id] = job
+            if job.id.startswith("j-"):
+                try:
+                    top = max(top, int(job.id.split("-")[1]))
+                except (IndexError, ValueError):
+                    pass
+        self._ids = itertools.count(top + 1)
+
+    def _persist(self, job: Job) -> None:
+        if self._journal is None:
+            return
+        append_record(self._journal, job.id, {
+            "kind": job.kind,
+            "params": job.params,
+            "jkey": job.key,
+            "state": job.state.value,
+            "error": job.error,
+            "total": job.total,
+            "completed": job.completed,
+            "resumed": job.resumed,
+            "result": job.result,
+        })
+
+    def close(self) -> None:
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+
+    def compact(self):
+        """Compact ``jobs.jsonl`` safely: the registry's own append
+        handle is cycled around the atomic replace, so no state change
+        is ever stranded on the replaced inode."""
+        from repro.opt.journal import compact_journal
+
+        with self._lock:
+            if self._journal_path is None:
+                return None
+            if self._journal is not None:
+                self._journal.close()
+            outcome = compact_journal(self._journal_path,
+                                      kind=REGISTRY_JOURNAL_KIND)
+            self._journal = open_journal(self._journal_path,
+                                         REGISTRY_JOURNAL_KIND)
+            return outcome
+
+    # -- submission and lookup -------------------------------------------
+
+    def submit(self, kind: str, params: dict) -> tuple[Job, bool]:
+        """Register one request; returns ``(job, created)``.
+
+        ``created`` is ``False`` when an identical request (same content
+        key) is already queued or running — the callers share that job
+        instead of racing two copies of the same work.
+        """
+        if kind not in JOB_KINDS:
+            raise JobError(f"unknown job kind {kind!r}; choose from "
+                           f"{JOB_KINDS}")
+        if not isinstance(params, dict):
+            raise JobError(f"params must be an object, got {type(params)!r}")
+        key = job_content_key(kind, params)
+        with self._lock:
+            for job in self._jobs.values():
+                if job.key == key and not job.state.terminal:
+                    return job, False
+            job = Job(id=f"j-{next(self._ids)}-{key[:8]}", kind=kind,
+                      params=dict(params), key=key)
+            self._jobs[job.id] = job
+            self._persist(job)
+            return job, True
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise UnknownJobError(job_id) from None
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def recoverable(self) -> list[Job]:
+        """Jobs a previous process left unfinished, re-queued for a
+        fresh run (their content-keyed journals make the rerun warm)."""
+        with self._lock:
+            revived = []
+            for job in self._jobs.values():
+                if not job.state.terminal:
+                    job.state = JobState.QUEUED
+                    job.cancel_requested = False
+                    job.completed = 0
+                    job.resumed = 0
+                    revived.append(job)
+            return revived
+
+    # -- lifecycle -------------------------------------------------------
+
+    def transition(self, job: Job, to: JobState,
+                   error: str | None = None,
+                   result: dict | None = None) -> None:
+        with self._lock:
+            if to not in _TRANSITIONS[job.state]:
+                raise JobStateError(
+                    f"job {job.id}: illegal transition "
+                    f"{job.state.value} -> {to.value}")
+            job.state = to
+            if error is not None:
+                job.error = error
+            if result is not None:
+                job.result = result
+            self._persist(job)
+            self._push(job, {"type": "state", "state": to.value,
+                             **({"error": error} if error else {})})
+
+    def request_cancel(self, job: Job) -> bool:
+        """Ask for cancellation; ``True`` if it took effect immediately
+        (the job was still queued).  A running job is cancelled
+        cooperatively at its next chunk boundary."""
+        with self._lock:
+            if job.state.terminal:
+                return False
+            job.cancel_requested = True
+            if job.state is JobState.QUEUED:
+                job.state = JobState.CANCELLED
+                self._persist(job)
+                self._push(job, {"type": "state",
+                                 "state": JobState.CANCELLED.value})
+                return True
+            return False
+
+    # -- event feed ------------------------------------------------------
+
+    def push(self, job: Job, event: dict) -> int:
+        """Append one event to the job's feed; returns its seq."""
+        with self._lock:
+            return self._push(job, event)
+
+    def _push(self, job: Job, event: dict) -> int:
+        job.last_seq += 1
+        job.events.append({"seq": job.last_seq, **event})
+        if len(job.events) > MAX_EVENTS:
+            drop = len(job.events) - MAX_EVENTS
+            del job.events[:drop]
+            job.events_dropped += drop
+        return job.last_seq

@@ -1,0 +1,636 @@
+"""The asyncio job server: HTTP/JSON in front, a process pool behind.
+
+One :class:`JobServer` owns four things:
+
+* a stdlib-only HTTP/JSON API (``asyncio.start_server`` + hand-rolled
+  HTTP/1.1 parsing — one request per connection, ``Connection:
+  close``), so any client from ``curl`` to :class:`repro.serve.client.
+  ServeClient` can talk to it;
+* a persistent :class:`~concurrent.futures.ProcessPoolExecutor` every
+  job shards its work onto — many concurrent jobs multiplex one pool;
+* an :class:`~repro.pipeline.index.IndexedArtifactStore` under
+  ``<state_dir>/store`` shared by all workers, so every stage artifact
+  and candidate evaluation any job ever computed warms every later job;
+* a :class:`~repro.serve.jobs.JobRegistry` journaled to
+  ``<state_dir>/jobs.jsonl``: kill the server mid-job and the next
+  start re-queues the interrupted jobs, whose content-keyed resume
+  journals under ``<state_dir>/journals/`` skip the finished points.
+
+Endpoints (all JSON)::
+
+    GET  /health                     liveness + job counts
+    GET  /stats                      store/pool/job statistics
+    GET  /jobs                       every job, newest last
+    POST /jobs                       {"kind": "explore"|"optimize",
+                                      "params": {...}} -> job snapshot
+    GET  /jobs/<id>?since=<seq>      snapshot + events past <seq>
+    POST /jobs/<id>/cancel           cooperative cancellation
+    POST /maintenance                journal compaction + store GC
+    POST /shutdown                   graceful stop
+
+Incremental results stream through the per-job event feed: ``point``
+events as sweep points finish (journal-resumed ones first), ``pareto``
+events with the current non-dominated front, ``best`` events as the
+optimizer improves, one terminal ``state``/``done`` pair at the end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from urllib.parse import parse_qs, urlsplit
+
+from repro.opt.journal import compact_journal
+from repro.pipeline.config import FlowConfig
+from repro.pipeline.explore import (
+    ExplorationPoint,
+    ExplorationResult,
+    journal_point,
+    load_point_journal,
+    open_point_journal,
+    plan_jobs,
+    run_chunk,
+)
+from repro.pipeline.index import IndexedArtifactStore
+from repro.serve.jobs import (
+    Job,
+    JobError,
+    JobRegistry,
+    JobState,
+    JobStateError,
+    UnknownJobError,
+)
+from repro.serve.work import read_progress, run_optimize_job
+
+SERVER_NAME = "repro-serve/1"
+
+#: How often (seconds) a running optimize job's progress file is polled.
+PROGRESS_POLL_S = 0.05
+
+
+def _reap(future) -> None:
+    """Swallow the outcome of an abandoned future (cancelled job)."""
+    if not future.cancelled():
+        future.exception()
+
+
+class JobServer:
+    """Async multi-tenant exploration/optimization server."""
+
+    def __init__(self, state_dir: "str | Path", host: str = "127.0.0.1",
+                 port: int = 0, workers: int = 2,
+                 max_store_entries: int = 65536,
+                 chunk_size: int = 1,
+                 maintenance_interval: float = 0.0) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.maintenance_interval = maintenance_interval
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.journal_dir = self.state_dir / "journals"
+        self.journal_dir.mkdir(exist_ok=True)
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.chunk_size = max(1, chunk_size)
+        self.store = IndexedArtifactStore(self.state_dir / "store",
+                                          max_entries=max_store_entries)
+        self.registry = JobRegistry(self.state_dir / "jobs.jsonl")
+        self.pool: ProcessPoolExecutor | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._tasks: set[asyncio.Task] = set()
+        self._stopping = asyncio.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> "JobServer":
+        """Bind, start the worker pool, re-queue interrupted jobs."""
+        self._loop = asyncio.get_running_loop()
+        self.pool = ProcessPoolExecutor(max_workers=self.workers)
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        for job in self.registry.recoverable():
+            self._schedule(job)
+        if self.maintenance_interval > 0:
+            task = self._loop.create_task(self._maintenance_loop())
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+        return self
+
+    async def _maintenance_loop(self) -> None:
+        """Periodic journal compaction + store GC (``repro serve``
+        housekeeping; also available on demand via POST /maintenance)."""
+        while True:
+            await asyncio.sleep(self.maintenance_interval)
+            self.maintenance()
+
+    async def serve_forever(self) -> None:
+        """Run until :meth:`shutdown` (or POST /shutdown)."""
+        await self._stopping.wait()
+
+    async def shutdown(self) -> None:
+        """Stop accepting, cancel in-flight jobs (their journals make
+        the rerun warm), release the pool."""
+        if self._server is not None:
+            self._server.close()
+        for task in list(self._tasks):
+            task.cancel()
+        if self._tasks:
+            await asyncio.gather(*self._tasks, return_exceptions=True)
+        if self.pool is not None:
+            self.pool.shutdown(wait=False, cancel_futures=True)
+            self.pool = None
+        if self._server is not None:
+            await self._server.wait_closed()
+            self._server = None
+        self.registry.close()
+        self.store.close()
+        self._stopping.set()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+    # -- job scheduling --------------------------------------------------
+
+    def _schedule(self, job: Job) -> None:
+        task = self._loop.create_task(self._run_job(job))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run_job(self, job: Job) -> None:
+        try:
+            self.registry.transition(job, JobState.RUNNING)
+            if job.kind == "explore":
+                await self._run_explore(job)
+            else:
+                await self._run_optimize(job)
+        except asyncio.CancelledError:
+            # Server shutdown, not a job failure: leave the job queued in
+            # the registry journal so the next start re-runs (= resumes) it.
+            raise
+        except JobStateError:
+            raise
+        except Exception as error:  # noqa: BLE001 - job isolation boundary
+            detail = "".join(traceback.format_exception_only(error)).strip()
+            if not job.state.terminal:
+                self.registry.transition(job, JobState.FAILED, error=detail)
+
+    def _cancelled(self, job: Job) -> bool:
+        if job.cancel_requested and not job.state.terminal:
+            self.registry.transition(job, JobState.CANCELLED)
+            return True
+        return job.state.terminal
+
+    # -- explore jobs ----------------------------------------------------
+
+    @staticmethod
+    def _explore_config(params: dict) -> FlowConfig:
+        from repro.core.pm_pass import PMOptions
+
+        return FlowConfig(
+            pm=PMOptions(
+                ordering=params.get("ordering", "output_first"),
+                partial=bool(params.get("partial", False)),
+                enabled=not params.get("no_pm", False)),
+            scheduler=params.get("scheduler", "list"),
+            sim_backend=params.get("sim_backend", "auto"),
+            label=params.get("label", "serve"))
+
+    async def _run_explore(self, job: Job) -> None:
+        params = job.params
+        circuits = params["circuits"]
+        budgets = params["budgets"]
+        sim_vectors = int(params.get("sim_vectors", 0))
+        config = self._explore_config(params)
+        planned = plan_jobs(circuits, budgets, [config], sim_vectors)
+        job.total = len(planned)
+
+        journal_path = self.journal_dir / f"{job.key}.jsonl"
+        completed = load_point_journal(journal_path)
+        points: dict[int, ExplorationPoint] = {}
+        pending = []
+        for index, key, spec, cfg, n_sim in planned:
+            if key in completed:
+                points[index] = completed[key]
+            else:
+                pending.append((index, key, spec, cfg, n_sim))
+        job.resumed = len(planned) - len(pending)
+        job.completed = job.resumed
+        for index in sorted(points):
+            self.registry.push(job, {
+                "type": "point", "resumed": True,
+                "point": points[index].to_dict()})
+        if points:
+            self._push_pareto(job, points)
+
+        chunk_size = int(params.get("chunk_size", self.chunk_size))
+        chunks = [pending[i:i + chunk_size]
+                  for i in range(0, len(pending), max(1, chunk_size))]
+        journal = open_point_journal(journal_path)
+        futures: set = set()
+        try:
+            futures = {
+                self._loop.run_in_executor(self.pool, run_chunk,
+                                           (self.store, chunk))
+                for chunk in chunks}
+            while futures:
+                if self._cancelled(job):
+                    for future in futures:
+                        future.cancel()
+                    await asyncio.gather(*futures, return_exceptions=True)
+                    return
+                done, futures = await asyncio.wait(
+                    futures, return_when=asyncio.FIRST_COMPLETED)
+                for future in done:
+                    for index, key, point in future.result():
+                        points[index] = point
+                        journal_point(journal, key, point)
+                        job.completed += 1
+                        self.registry.push(job, {
+                            "type": "point", "resumed": False,
+                            "point": point.to_dict()})
+                    self._push_pareto(job, points)
+        finally:
+            for future in futures:  # a failed/cancelled job's leftovers
+                future.cancel()
+                future.add_done_callback(_reap)
+            journal.close()
+        if self._cancelled(job):
+            return
+
+        result = ExplorationResult(
+            points=tuple(points[i] for i in sorted(points)),
+            resumed=job.resumed)
+        front = result.pareto()
+        best = result.best()
+        self.registry.transition(job, JobState.DONE, result={
+            "points": len(result.points),
+            "resumed": result.resumed,
+            "store_hits": result.store_hits,
+            "store_misses": result.store_misses,
+            "pareto_size": len(front.points),
+            "pareto": [p.to_dict() for p in front.points],
+            "best": best.to_dict(),
+        })
+
+    def _push_pareto(self, job: Job,
+                     points: dict[int, ExplorationPoint]) -> None:
+        result = ExplorationResult(
+            points=tuple(points[i] for i in sorted(points)))
+        front = result.pareto()
+        self.registry.push(job, {
+            "type": "pareto",
+            "size": len(front.points),
+            "of": len(result.points),
+            "points": [
+                {"circuit": p.circuit, "n_steps": p.n_steps,
+                 "config_label": p.config_label, "area": p.area,
+                 "power_reduction_pct": p.power_reduction_pct}
+                for p in front.points],
+        })
+
+    # -- optimize jobs ---------------------------------------------------
+
+    async def _run_optimize(self, job: Job) -> None:
+        params = job.params
+        search = {name: params[name]
+                  for name in ("driver", "objective", "iters", "seed",
+                               "restarts", "beam_width")
+                  if name in params}
+        progress_path = self.journal_dir / f"{job.key}.progress.jsonl"
+        try:
+            progress_path.unlink()  # each run streams afresh
+        except FileNotFoundError:
+            pass
+        payload = {
+            "circuit": params.get("circuit"),
+            "search": search,
+            "budgets": list(params["budgets"]),
+            "schedulers": list(params.get("schedulers", ["list"])),
+            "sim_vectors": int(params.get("sim_vectors", 128)),
+            "partial": bool(params.get("partial", False)),
+            "store": self.store,
+            "journal": str(self.journal_dir / f"{job.key}.jsonl"),
+            "progress_path": str(progress_path),
+        }
+        if "graph" in params:
+            payload["graph"] = params["graph"]
+
+        future = self._loop.run_in_executor(self.pool, run_optimize_job,
+                                            payload)
+        offset = 0
+        while True:
+            records, offset = read_progress(progress_path, offset)
+            for record in records:
+                job.completed += 1
+                self.registry.push(job, {"type": "best", **record})
+            if future.done():
+                break
+            if self._cancelled(job):
+                # The pool worker cannot be interrupted mid-search; the
+                # job is cancelled from the client's point of view and
+                # the worker's journal writes still warm the next run.
+                future.cancel()
+                future.add_done_callback(_reap)
+                return
+            await asyncio.sleep(PROGRESS_POLL_S)
+        summary = future.result()
+        records, offset = read_progress(progress_path, offset)
+        for record in records:
+            job.completed += 1
+            self.registry.push(job, {"type": "best", **record})
+        if self._cancelled(job):
+            return
+        job.total = summary["evaluations"] + summary["reused"]
+        self.registry.transition(job, JobState.DONE, result=summary)
+
+    # -- maintenance -----------------------------------------------------
+
+    def maintenance(self) -> dict:
+        """Compact every journal and garbage-collect the store — the
+        upkeep that lets one server instance run indefinitely.
+
+        Journals of queued/running jobs are skipped: their writers hold
+        open append handles, and compaction's atomic replace would strand
+        those appends on the unlinked inode.
+        """
+        active = {job.key for job in self.registry.jobs()
+                  if not job.state.terminal}
+        journals = {}
+        for path in sorted(self.journal_dir.glob("*.jsonl")):
+            if not path.exists():
+                continue
+            if path.name.endswith(".progress.jsonl"):
+                continue  # transient sidecar, not journal-format
+            if any(path.name.startswith(key) for key in active):
+                journals[path.name] = {"skipped": "job in flight"}
+                continue
+            outcome = compact_journal(path)
+            journals[path.name] = {
+                "kept": outcome.kept, "dropped": outcome.dropped,
+                "bytes_before": outcome.bytes_before,
+                "bytes_after": outcome.bytes_after}
+        registry = self.registry.compact()
+        if registry is not None:
+            journals["jobs.jsonl"] = {
+                "kept": registry.kept, "dropped": registry.dropped,
+                "bytes_before": registry.bytes_before,
+                "bytes_after": registry.bytes_after}
+        return {"journals": journals, "store": self.store.gc()}
+
+    def stats(self) -> dict:
+        jobs = self.registry.jobs()
+        by_state: dict[str, int] = {}
+        for job in jobs:
+            by_state[job.state.value] = by_state.get(job.state.value, 0) + 1
+        return {
+            "jobs": by_state,
+            "workers": self.workers,
+            "store": {
+                "entries": len(self.store),
+                "bytes": self.store.total_bytes(),
+                "hits": self.store.stats.hits,
+                "misses": self.store.stats.misses,
+                "evictions": self.store.stats.evictions,
+            },
+        }
+
+    # -- HTTP plumbing ---------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            status, body = await self._handle_request(reader)
+        except Exception:  # noqa: BLE001 - never kill the acceptor
+            status, body = 500, {"error": "internal server error"}
+        payload = json.dumps(body).encode("utf-8")
+        writer.write(
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+            f"Server: {SERVER_NAME}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: close\r\n\r\n".encode("ascii"))
+        writer.write(payload)
+        try:
+            await writer.drain()
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, BrokenPipeError):
+            pass
+
+    async def _handle_request(self, reader: asyncio.StreamReader,
+                              ) -> tuple[int, dict]:
+        try:
+            request_line = await asyncio.wait_for(reader.readline(),
+                                                  timeout=10.0)
+        except asyncio.TimeoutError:
+            return 408, {"error": "request timeout"}
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return 400, {"error": "malformed request line"}
+        method, target = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return 400, {"error": "bad content-length"}
+        body = {}
+        if content_length:
+            raw = await reader.readexactly(content_length)
+            try:
+                body = json.loads(raw)
+            except json.JSONDecodeError:
+                return 400, {"error": "request body is not valid JSON"}
+            if not isinstance(body, dict):
+                return 400, {"error": "request body must be a JSON object"}
+        url = urlsplit(target)
+        query = {name: values[-1]
+                 for name, values in parse_qs(url.query).items()}
+        return self._route(method, url.path.rstrip("/") or "/", query, body)
+
+    def _route(self, method: str, path: str, query: dict,
+               body: dict) -> tuple[int, dict]:
+        try:
+            if path == "/health" and method == "GET":
+                return 200, {"ok": True, "jobs": self.stats()["jobs"]}
+            if path == "/stats" and method == "GET":
+                return 200, self.stats()
+            if path == "/jobs" and method == "GET":
+                return 200, {"jobs": [job.snapshot()
+                                      for job in self.registry.jobs()]}
+            if path == "/jobs" and method == "POST":
+                return self._submit(body)
+            if path.startswith("/jobs/"):
+                return self._job_route(method, path, query)
+            if path == "/maintenance" and method == "POST":
+                return 200, self.maintenance()
+            if path == "/shutdown" and method == "POST":
+                self._loop.call_soon(
+                    lambda: self._loop.create_task(self.shutdown()))
+                return 200, {"ok": True, "stopping": True}
+        except UnknownJobError as error:
+            return 404, {"error": f"unknown job {error.args[0]!r}"}
+        except JobStateError as error:
+            return 409, {"error": str(error)}
+        except JobError as error:
+            return 400, {"error": str(error)}
+        return 404, {"error": f"no route {method} {path}"}
+
+    def _submit(self, body: dict) -> tuple[int, dict]:
+        kind = body.get("kind")
+        params = body.get("params", {})
+        problem = _validate_params(kind, params)
+        if problem:
+            return 400, {"error": problem}
+        job, created = self.registry.submit(kind, params)
+        if created:
+            self._schedule(job)
+        return (201 if created else 200), job.snapshot()
+
+    def _job_route(self, method: str, path: str,
+                   query: dict) -> tuple[int, dict]:
+        parts = path.split("/")  # ['', 'jobs', '<id>', ...rest]
+        job = self.registry.get(parts[2])
+        rest = parts[3:]
+        if not rest and method == "GET":
+            since = None
+            if "since" in query:
+                try:
+                    since = int(query["since"])
+                except ValueError:
+                    return 400, {"error": "since must be an integer"}
+            return 200, job.snapshot(since=since)
+        if rest == ["cancel"] and method == "POST":
+            immediate = self.registry.request_cancel(job)
+            return 200, {"ok": True, "immediate": immediate,
+                         **job.snapshot()}
+        return 404, {"error": f"no route {method} {path}"}
+
+
+_REASONS = {200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+            408: "Request Timeout", 409: "Conflict",
+            500: "Internal Server Error"}
+
+
+def _validate_params(kind, params) -> str | None:
+    """Cheap request-shape validation; deep problems fail the job with
+    a recorded error instead of a 400."""
+    if kind not in ("explore", "optimize"):
+        return f"kind must be 'explore' or 'optimize', got {kind!r}"
+    if not isinstance(params, dict):
+        return "params must be a JSON object"
+    budgets = params.get("budgets")
+    if kind == "explore":
+        circuits = params.get("circuits")
+        if (not isinstance(circuits, list) or not circuits
+                or not all(isinstance(c, str) for c in circuits)):
+            return "params.circuits must be a non-empty list of circuit names"
+        if isinstance(budgets, dict):
+            if not all(isinstance(v, list) and v for v in budgets.values()):
+                return "params.budgets map needs a non-empty list per circuit"
+        elif not (isinstance(budgets, list) and budgets):
+            return "params.budgets must be a non-empty list (or per-circuit map)"
+    else:
+        if not isinstance(params.get("circuit"), str) \
+                and "graph" not in params:
+            return "params.circuit must name a circuit (or pass params.graph)"
+        if not (isinstance(budgets, list) and budgets):
+            return "params.budgets must be a non-empty list"
+    return None
+
+
+# -- embedding helpers ---------------------------------------------------
+
+
+class ServerHandle:
+    """A server running on a background thread (tests, benches, CLI
+    helpers).  ``stop()`` is graceful and idempotent."""
+
+    def __init__(self, server: JobServer, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread) -> None:
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(
+                lambda: self._loop.create_task(self.server.shutdown()))
+        self._thread.join(timeout)
+
+    def kill(self, timeout: float = 30.0) -> None:
+        """Hard stop: abandon in-flight jobs without marking them
+        terminal, as a crash would.  What survives is exactly what a
+        killed process leaves: the journals."""
+        def _abort() -> None:
+            for task in list(self.server._tasks):
+                task.cancel()
+            if self.server.pool is not None:
+                self.server.pool.shutdown(wait=False, cancel_futures=True)
+                self.server.pool = None
+            if self.server._server is not None:
+                self.server._server.close()
+            self.server._stopping.set()
+
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(_abort)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def start_in_thread(state_dir: "str | Path", **kwargs) -> ServerHandle:
+    """Start a :class:`JobServer` on a daemon thread; returns once the
+    port is bound."""
+    started = threading.Event()
+    holder: dict[str, object] = {}
+
+    async def _main() -> None:
+        server = JobServer(state_dir, **kwargs)
+        await server.start()
+        holder["server"] = server
+        holder["loop"] = asyncio.get_running_loop()
+        started.set()
+        try:
+            await server.serve_forever()
+        finally:
+            if server._server is not None or server.pool is not None:
+                await server.shutdown()
+
+    def _runner() -> None:
+        try:
+            asyncio.run(_main())
+        except Exception as error:  # pragma: no cover - startup failure
+            holder["error"] = error
+            started.set()
+
+    thread = threading.Thread(target=_runner, name="repro-serve",
+                              daemon=True)
+    thread.start()
+    if not started.wait(timeout=30.0):
+        raise RuntimeError("job server failed to start within 30s")
+    if "error" in holder:
+        raise RuntimeError("job server failed to start") \
+            from holder["error"]  # type: ignore[call-arg]
+    return ServerHandle(holder["server"], holder["loop"], thread)

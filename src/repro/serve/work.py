@@ -1,0 +1,106 @@
+"""Worker-side job bodies (top-level functions, so the pool can pickle
+them).
+
+Explore jobs reuse :func:`repro.pipeline.explore.run_chunk` directly —
+the server plans the grid, diffs it against the job's resume journal,
+and ships pending chunks here.  Optimize jobs run a whole
+:func:`repro.opt.search.optimize` in one worker; incremental
+best-so-far improvements stream back through a sidecar JSONL progress
+file the server tails (the pool cannot carry callbacks across the
+process boundary, a flushed append-only file can).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.core.pm_pass import PMOptions
+from repro.ir.serialize import graph_from_dict
+
+
+def _load_graph(params: dict):
+    """The job's circuit: a registry/family name or a serialized CDFG."""
+    if "graph" in params:
+        return graph_from_dict(params["graph"])
+    from repro.circuits import build
+
+    return build(params["circuit"])
+
+
+def run_optimize_job(payload: dict) -> dict:
+    """One full optimizer search; returns the JSON outcome summary.
+
+    ``payload`` carries the circuit spec, a ``search`` dict of
+    :class:`~repro.opt.search.SearchSpec` fields, the budget/scheduler
+    dimensions, the shared artifact store (pickled by path), the
+    evaluation resume journal, and the progress-file path to stream
+    best-so-far improvements to.
+    """
+    from repro.opt.search import SearchSpec, optimize
+
+    graph = _load_graph(payload)
+    spec = SearchSpec(**payload.get("search", {}))
+    progress_path = payload.get("progress_path")
+    progress = None
+    if progress_path:
+        handle = open(progress_path, "a", encoding="utf-8")
+
+        def progress(step, score, candidate):
+            handle.write(json.dumps({
+                "step": step,
+                "score": score,
+                "n_steps": candidate.n_steps,
+                "scheduler": candidate.scheduler,
+                "order": list(candidate.order),
+            }, separators=(",", ":")) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    pm_base = PMOptions(partial=bool(payload.get("partial", False)))
+    try:
+        result = optimize(
+            graph, spec,
+            budgets=tuple(payload["budgets"]),
+            schedulers=tuple(payload.get("schedulers", ("list",))),
+            store=payload.get("store"),
+            journal=payload.get("journal"),
+            sim_vectors=int(payload.get("sim_vectors", 128)),
+            pm_base=pm_base,
+            progress=progress,
+        )
+    finally:
+        if progress_path:
+            handle.close()
+    return {
+        "outcome": result.outcome(),
+        "evaluations": result.evaluations,
+        "reused": result.reused,
+        "resumed": result.resumed,
+        "improvement_over_greedy": result.improvement_over_greedy,
+    }
+
+
+def read_progress(path: "str | Path", offset: int) -> tuple[list[dict], int]:
+    """New progress records past byte ``offset``; returns them plus the
+    new offset.  Only complete (newline-terminated) lines are consumed,
+    so a record mid-write is picked up whole on the next poll."""
+    path = Path(path)
+    try:
+        with open(path, "rb") as handle:
+            handle.seek(offset)
+            data = handle.read()
+    except FileNotFoundError:
+        return [], offset
+    records = []
+    consumed = 0
+    for line in data.split(b"\n")[:-1]:
+        consumed += len(line) + 1
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records, offset + consumed

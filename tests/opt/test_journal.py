@@ -1,0 +1,117 @@
+"""compact_journal: dedup, garbage removal, atomicity, meta handling."""
+
+import json
+
+import pytest
+
+from repro.opt.journal import (
+    JOURNAL_FORMAT,
+    CompactionResult,
+    append_record,
+    compact_journal,
+    load_journal,
+    open_journal,
+)
+
+
+@pytest.fixture
+def journal(tmp_path):
+    return tmp_path / "j.jsonl"
+
+
+def lines(path):
+    return path.read_text().splitlines()
+
+
+class TestCompaction:
+    def test_keeps_last_record_per_key(self, journal):
+        handle = open_journal(journal, "test")
+        append_record(handle, "a", {"v": 1})
+        append_record(handle, "b", {"v": 2})
+        append_record(handle, "a", {"v": 3})  # supersedes the first "a"
+        handle.close()
+        outcome = compact_journal(journal)
+        assert outcome.kept == 2
+        assert outcome.dropped == 1
+        assert outcome.bytes_after < outcome.bytes_before
+        assert outcome.changed
+        records = load_journal(journal)
+        assert records["a"]["v"] == 3
+        assert records["b"]["v"] == 2
+
+    def test_drops_torn_tail_and_garbage(self, journal):
+        handle = open_journal(journal, "test")
+        append_record(handle, "a", {"v": 1})
+        handle.close()
+        with open(journal, "a") as raw:
+            raw.write("not json at all\n")
+            raw.write('{"key": "b", "v"')  # torn write, no newline
+        outcome = compact_journal(journal)
+        assert outcome.kept == 1
+        assert outcome.dropped == 2
+        assert load_journal(journal) == {"a": {"key": "a", "v": 1}}
+
+    def test_counts_keyless_non_meta_objects_as_dropped(self, journal):
+        # e.g. a progress-sidecar line that leaked into a journal.
+        journal.write_text('{"format": 1, "kind": "test"}\n'
+                           '{"step": 0, "score": 1.5}\n'
+                           '{"key": "a", "v": 1}\n')
+        outcome = compact_journal(journal)
+        assert outcome.kept == 1
+        assert outcome.dropped == 1
+
+    def test_preserves_meta_kind(self, journal):
+        handle = open_journal(journal, "sweep-points")
+        append_record(handle, "a", {"v": 1})
+        handle.close()
+        compact_journal(journal)
+        meta = json.loads(lines(journal)[0])
+        assert meta == {"format": JOURNAL_FORMAT, "kind": "sweep-points"}
+
+    def test_kind_override_and_missing_meta(self, journal):
+        # A headerless journal gains a meta line; kind= wins over none.
+        journal.write_text('{"key": "a", "v": 1}\n')
+        compact_journal(journal, kind="adopted")
+        meta = json.loads(lines(journal)[0])
+        assert meta["kind"] == "adopted"
+        assert load_journal(journal)["a"]["v"] == 1
+
+    def test_missing_journal_is_a_noop(self, tmp_path):
+        outcome = compact_journal(tmp_path / "absent.jsonl")
+        assert outcome == CompactionResult(0, 0, 0, 0)
+        assert not outcome.changed
+        assert not (tmp_path / "absent.jsonl").exists()
+
+    def test_append_after_compaction_continues_the_journal(self, journal):
+        handle = open_journal(journal, "test")
+        append_record(handle, "a", {"v": 1})
+        append_record(handle, "a", {"v": 2})
+        handle.close()
+        compact_journal(journal)
+        handle = open_journal(journal, "test")
+        append_record(handle, "b", {"v": 3})
+        handle.close()
+        records = load_journal(journal)
+        assert records["a"]["v"] == 2 and records["b"]["v"] == 3
+        # Still exactly one meta line.
+        metas = [line for line in lines(journal) if "format" in line]
+        assert len(metas) == 1
+
+    def test_no_temp_files_left_behind(self, journal):
+        handle = open_journal(journal, "test")
+        append_record(handle, "a", {"v": 1})
+        handle.close()
+        compact_journal(journal)
+        leftovers = list(journal.parent.glob(".compact-*"))
+        assert leftovers == []
+
+    def test_open_handle_writes_would_be_stranded(self, journal):
+        """Document the inode hazard the serve maintenance pass guards
+        against: appends through a handle opened before compaction land
+        on the replaced inode and are lost."""
+        handle = open_journal(journal, "test")
+        append_record(handle, "a", {"v": 1})
+        compact_journal(journal)          # replaces the inode
+        append_record(handle, "b", {"v": 2})  # lands on the old inode
+        handle.close()
+        assert "b" not in load_journal(journal)

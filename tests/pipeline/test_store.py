@@ -1,4 +1,13 @@
-"""DiskArtifactCache: persistence, sharing, bounding, resilience."""
+"""Disk store contract: persistence, sharing, bounding, resilience.
+
+The whole suite runs against both implementations of the
+:class:`repro.pipeline.StageStore` protocol — the mtime-LRU
+:class:`DiskArtifactCache` and the SQLite-indexed
+:class:`IndexedArtifactStore` (which shares the file layout but keeps
+recency/size in an index).  Implementation-specific behaviors live in
+their own tests (``test_large_stores_evict_in_batches`` here,
+``test_index.py`` for the index).
+"""
 
 import pickle
 import time
@@ -9,16 +18,32 @@ from repro.circuits import build
 from repro.pipeline import (
     DiskArtifactCache,
     FlowConfig,
+    IndexedArtifactStore,
     Pipeline,
+    StageStore,
     graph_fingerprint,
 )
 
 CACHEABLE = ("analyze", "power_manage", "schedule", "allocate", "elaborate")
 
+STORE_CLASSES = {
+    "disk": DiskArtifactCache,
+    "indexed": IndexedArtifactStore,
+}
+
+
+@pytest.fixture(params=sorted(STORE_CLASSES))
+def store_cls(request):
+    return STORE_CLASSES[request.param]
+
 
 @pytest.fixture
-def store(tmp_path):
-    return DiskArtifactCache(tmp_path / "store")
+def store(store_cls, tmp_path):
+    return store_cls(tmp_path / "store")
+
+
+def test_both_implement_the_protocol(store):
+    assert isinstance(store, StageStore)
 
 
 class TestContract:
@@ -52,26 +77,26 @@ class TestContract:
         assert store.stats.lookups == 0
         assert store.lookup(("a",)) is None
 
-    def test_bad_max_entries_rejected(self, tmp_path):
+    def test_bad_max_entries_rejected(self, store_cls, tmp_path):
         with pytest.raises(ValueError, match="max_entries"):
-            DiskArtifactCache(tmp_path, max_entries=0)
+            store_cls(tmp_path, max_entries=0)
 
 
 class TestPersistence:
-    def test_survives_reopening(self, tmp_path):
-        first = DiskArtifactCache(tmp_path / "s")
+    def test_survives_reopening(self, store_cls, tmp_path):
+        first = store_cls(tmp_path / "s")
         first.store(("k",), {"v": 41})
-        second = DiskArtifactCache(tmp_path / "s")
+        second = store_cls(tmp_path / "s")
         assert second.lookup(("k",)) == {"v": 41}
         assert second.stats.hits == 1
 
-    def test_pipeline_runs_warm_across_store_instances(self, tmp_path,
-                                                       gcd_graph):
-        cold = Pipeline(cache=DiskArtifactCache(tmp_path / "s"))
+    def test_pipeline_runs_warm_across_store_instances(self, store_cls,
+                                                       tmp_path, gcd_graph):
+        cold = Pipeline(cache=store_cls(tmp_path / "s"))
         first = cold.run_context(gcd_graph, FlowConfig(n_steps=7))
         assert first.cache_misses == list(CACHEABLE)
 
-        warm = Pipeline(cache=DiskArtifactCache(tmp_path / "s"))
+        warm = Pipeline(cache=store_cls(tmp_path / "s"))
         second = warm.run_context(gcd_graph, FlowConfig(n_steps=7))
         assert second.cache_hits == list(CACHEABLE)
         assert second.cache_misses == []
@@ -95,9 +120,10 @@ class TestPersistence:
             warm_s = min(warm_s, time.perf_counter() - start)
         assert warm_s < cold_s
 
-    def test_content_addressing_spans_equal_graphs(self, tmp_path):
+    def test_content_addressing_spans_equal_graphs(self, store_cls,
+                                                   tmp_path):
         """Two independently built but identical graphs share entries."""
-        store = DiskArtifactCache(tmp_path / "s")
+        store = store_cls(tmp_path / "s")
         Pipeline(cache=store).run(build("gcd"), FlowConfig(n_steps=7))
         ctx = Pipeline(cache=store).run_context(build("gcd"),
                                                 FlowConfig(n_steps=7))
@@ -137,8 +163,8 @@ class TestResilience:
 
 
 class TestBounding:
-    def test_lru_prunes_oldest_entries(self, tmp_path):
-        store = DiskArtifactCache(tmp_path / "s", max_entries=3)
+    def test_lru_prunes_oldest_entries(self, store_cls, tmp_path):
+        store = store_cls(tmp_path / "s", max_entries=3)
         now = time.time()
         for k in range(3):
             store.store((f"k{k}",), {"v": k})
@@ -153,10 +179,10 @@ class TestBounding:
         assert ("k0",) not in store  # oldest went
         assert all((f"k{k}",) in store for k in (1, 2, 3))
 
-    def test_lookup_refreshes_recency(self, tmp_path):
+    def test_lookup_refreshes_recency(self, store_cls, tmp_path):
         import os
 
-        store = DiskArtifactCache(tmp_path / "s", max_entries=2)
+        store = store_cls(tmp_path / "s", max_entries=2)
         now = time.time()
         store.store(("a",), {"v": 1})
         store.store(("b",), {"v": 2})
@@ -169,7 +195,10 @@ class TestBounding:
 
     def test_large_stores_evict_in_batches(self, tmp_path):
         """Past the bound, big caches prune a batch at once so the
-        O(entries) tree scan amortizes instead of running per store."""
+        O(entries) tree scan amortizes instead of running per store.
+
+        DiskArtifactCache-specific: the indexed store evicts exactly
+        (O(1) per store), covered in ``test_index.py``."""
         import os
 
         store = DiskArtifactCache(tmp_path / "s", max_entries=32)
@@ -189,8 +218,9 @@ class TestBounding:
         store.store(("k33",), {"v": 33})
         assert len(store) == 32 and store.stats.evictions == 2
 
-    def test_restore_of_existing_key_does_not_grow(self, tmp_path):
-        store = DiskArtifactCache(tmp_path / "s", max_entries=2)
+    def test_restore_of_existing_key_does_not_grow(self, store_cls,
+                                                   tmp_path):
+        store = store_cls(tmp_path / "s", max_entries=2)
         for _ in range(5):
             store.store(("same",), {"v": 1})
         assert len(store) == 1
