@@ -9,6 +9,20 @@
   when the sample magnitude is below a threshold (a common DSP power
   optimization).  Parameterized PM workload: n comparisons gate n
   multiplier/adder pairs, so managed muxes and savings scale with n.
+
+* :func:`gated_recurrence` — the 14-node circuit Hypothesis found
+  (``test_batch_boundaries_do_not_matter``, seed 0) whose power-managed
+  schedule produces an irreducible cross-vector recurrence: a guarded
+  register's end-of-step value feeds a *stale* read in the same step, so
+  no closed-form column expression exists and the vectorized backend must
+  fall back to its hybrid scalar-slot micro-loop.  Kept as a named
+  circuit so the regression is deterministic instead of
+  generator-dependent.
+
+* :func:`logic_mixer` — a wide pure-logic benchmark (AND/OR/XOR/NOT/MUX
+  only, no arithmetic).  Every operation is a single word-parallel
+  instruction for the bit-packed backend, which is where packing shows
+  its largest win over the one-column-per-vector array backend.
 """
 
 from __future__ import annotations
@@ -102,4 +116,73 @@ def sparse_fir(n_taps: int = 8, threshold: int = 4) -> CDFG:
             accumulator = b.add(accumulator, term, name=f"acc{i}")
 
     b.output(accumulator, "y")
+    return b.build()
+
+
+def gated_recurrence() -> CDFG:
+    """Falsifying 14-node circuit pinned from the Hypothesis failure.
+
+    Reconstructs, node for node (including the explicit control edge
+    ``one -> v1``), the seed-0 random circuit on which the pre-hybrid
+    ``VectorizedEngine`` raised ``VectorizationError``: after power
+    management the register holding ``v1`` is written under a guard *and*
+    read stale in the same step, which closes a dependency cycle through
+    the cross-vector state.
+    """
+    b = GraphBuilder("gated_recurrence")
+    i0 = b.input("i0")
+    i1 = b.input("i1")
+    one = b.const(1)
+    v1 = b.add(i0, i0, name="v1")
+    v2 = b.add(i0, i0, name="v2")
+    v3 = b.add(i0, i0, name="v3")
+    v4 = b.add(i0, i0, name="v4")
+    v5 = b.sub(i0, i0, name="v5")
+    m6 = b.mux(one, v1, i1, name="m6")
+    b.output(v2, "o0")
+    b.output(v3, "o1")
+    b.output(v4, "o2")
+    b.output(v5, "o3")
+    b.output(m6, "o4")
+    # The generator emitted this guard explicitly; without it the PM pass
+    # has no shut-down cone and the recurrence never forms.
+    b.graph.add_control_edge(one.nid, v1.nid)
+    return b.build()
+
+
+def logic_mixer(n_stages: int = 12, width: int = 4) -> CDFG:
+    """Pure-logic benchmark: ``width`` lanes stirred by logic-only stages.
+
+    Each stage rotates the lanes through AND/OR/XOR/NOT and a MUX whose
+    select is the previous stage's parity, so activity stays high and no
+    stage folds away.  Contains no arithmetic or comparison nodes: every
+    operation maps to one machine-word instruction per 64 Monte-Carlo
+    vectors under the bit-packed backend.
+    """
+    if n_stages < 1 or width < 2:
+        raise ValueError("logic_mixer needs n_stages >= 1 and width >= 2")
+    b = GraphBuilder(f"logic_mixer{n_stages}x{width}")
+    lanes = [b.input(f"x{i}") for i in range(width)]
+    parity = b.xor(lanes[0], lanes[1], name="seed")
+    for s in range(n_stages):
+        nxt = []
+        for i in range(width):
+            a, c = lanes[i], lanes[(i + 1) % width]
+            if i % 4 == 0:
+                v = b.and_(a, c, name=f"s{s}a{i}")
+            elif i % 4 == 1:
+                v = b.or_(a, c, name=f"s{s}o{i}")
+            elif i % 4 == 2:
+                v = b.xor(a, c, name=f"s{s}x{i}")
+            else:
+                v = b.not_(b.xor(a, c, name=f"s{s}t{i}"), name=f"s{s}n{i}")
+            nxt.append(v)
+        # Cross-lane mux keyed on the running parity keeps the stages from
+        # collapsing into independent per-lane chains.
+        nxt[0] = b.mux(parity, nxt[0], nxt[-1], name=f"s{s}m")
+        parity = b.xor(parity, nxt[0], name=f"s{s}p")
+        lanes = nxt
+    for i, lane in enumerate(lanes):
+        b.output(lane, f"y{i}")
+    b.output(parity, "parity")
     return b.build()

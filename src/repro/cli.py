@@ -455,7 +455,7 @@ def make_parser() -> argparse.ArgumentParser:
         p.add_argument("--verify", action="store_true",
                        help="run the gating-soundness check")
         p.add_argument("--sim-backend", default="auto",
-                       choices=("compiled", "vectorized", "auto"),
+                       choices=("compiled", "vectorized", "packed", "auto"),
                        help="batch simulation engine (default: auto = "
                             "vectorized NumPy where available)")
 
@@ -565,7 +565,7 @@ def make_parser() -> argparse.ArgumentParser:
                        help="run the gating-soundness check on the "
                             "chosen design")
     p_opt.add_argument("--sim-backend", default="auto",
-                       choices=("compiled", "vectorized", "auto"))
+                       choices=("compiled", "vectorized", "packed", "auto"))
     p_opt.set_defaults(func=cmd_optimize)
 
     p_serve = sub.add_parser(
@@ -615,7 +615,7 @@ def make_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("--no-pm", action="store_true")
     p_submit.add_argument("--scheduler", default="list")
     p_submit.add_argument("--sim-backend", default="auto",
-                          choices=("compiled", "vectorized", "auto"))
+                          choices=("compiled", "vectorized", "packed", "auto"))
     p_submit.add_argument("--sim-vectors", type=int, default=0)
     p_submit.add_argument("--search", default="anneal",
                           choices=("anneal", "beam", "random"),

@@ -31,8 +31,10 @@ class FlowConfig:
     verify:               run the structural gating-soundness check.
     sim_backend:          batch-simulation engine for verification and
                           simulated power (``compiled`` | ``vectorized``
-                          | ``auto``); the backends are bit-identical,
-                          this only selects the execution strategy.
+                          | ``packed`` | ``auto``); the backends are
+                          bit-identical, this only selects the execution
+                          strategy (``packed`` degrades to the hybrid
+                          vectorized engine on recurrent plans).
     label:                free-form tag used by ``explore()`` reports.
     """
 

@@ -104,6 +104,11 @@ class ExplorationPoint:
     #: point (0 when no ``store=`` was passed).
     store_hits: int = 0
     store_misses: int = 0
+    #: Simulation backend that actually produced
+    #: ``simulated_reduction_pct`` (``create_engine`` resolution —
+    #: ``auto``/``packed`` requests record what they resolved to);
+    #: ``None`` when no simulation ran or for pre-existing journals.
+    chosen_backend: str | None = None
 
     @property
     def allocation_dict(self) -> dict[str, int]:
@@ -264,6 +269,7 @@ def _run_point(spec: tuple[str, object], config: FlowConfig,
     result = ctx.result
     report = result.static_report()
     simulated = None
+    chosen = None
     if sim_vectors > 0:
         from repro.power.simulated import compare_designs
 
@@ -272,6 +278,7 @@ def _run_point(spec: tuple[str, object], config: FlowConfig,
                                      n_vectors=sim_vectors,
                                      backend=config.sim_backend)
         simulated = comparison.reduction_pct
+        chosen = comparison.managed.chosen_backend
     return ExplorationPoint(
         circuit=graph.name,
         n_steps=config.n_steps,
@@ -288,6 +295,7 @@ def _run_point(spec: tuple[str, object], config: FlowConfig,
         store_hits=(cache.stats.hits - hits0) if store is not None else 0,
         store_misses=(cache.stats.misses - misses0)
         if store is not None else 0,
+        chosen_backend=chosen,
     )
 
 

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import math
 import statistics
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from itertools import islice
 from typing import Iterable
 
@@ -56,12 +56,20 @@ CONTROLLER_LITERAL_ENERGY = 0.012
 
 @dataclass(frozen=True)
 class SimulatedPower:
-    """Average energy per processed sample, by component."""
+    """Average energy per processed sample, by component.
+
+    ``chosen_backend`` records which simulation engine actually produced
+    the numbers (``"compiled"``, ``"vectorized"`` or ``"packed"`` —
+    ``auto`` and ``packed`` requests may resolve differently).  It is
+    observability metadata, excluded from equality: reports from
+    different backends at the same seed stay equal, which is exactly the
+    bit-identity guarantee the parity tests pin down."""
 
     fu_energy: dict[ResourceClass, float]
     register_energy: float
     controller_energy: float
     samples: int
+    chosen_backend: str | None = field(default=None, compare=False)
 
     @property
     def datapath(self) -> float:
@@ -161,6 +169,14 @@ def _run_block(engine, block) -> object:
                              for row in block.tolist()])
 
 
+def _engine_name(engine) -> str | None:
+    """Backend name a power report should carry: the resolution recorded
+    by ``create_engine``, or the engine's own class tag for prebuilt
+    engines passed in directly."""
+    return getattr(engine, "chosen_backend", None) \
+        or getattr(engine, "backend", None)
+
+
 def measure_power(
     design: SynthesizedDesign,
     vectors: Iterable[dict[str, int]] | None = None,
@@ -214,7 +230,8 @@ def measure_power(
         fu, reg, ctrl = _power_from_activity(
             batch.activity, batch.samples, design.width, weights)
         return SimulatedPower(fu_energy=fu, register_energy=reg,
-                              controller_energy=ctrl, samples=batch.samples)
+                              controller_energy=ctrl, samples=batch.samples,
+                              chosen_backend=_engine_name(engine))
 
     if rel_tol <= 0.0:
         raise ValueError(f"rel_tol must be positive, got {rel_tol}")
@@ -267,7 +284,8 @@ def measure_power(
                                          weights)
     return MonteCarloPower(
         fu_energy=fu, register_energy=reg, controller_energy=ctrl,
-        samples=samples, rel_tol=rel_tol, confidence=confidence,
+        samples=samples, chosen_backend=_engine_name(engine),
+        rel_tol=rel_tol, confidence=confidence,
         ci_halfwidth=halfwidth, blocks=len(block_means),
         converged=converged)
 

@@ -470,6 +470,12 @@ class _EngineBase:
 
     plan: ExecutionPlan
 
+    # Which backend name :func:`repro.sim.backend.create_engine` resolved
+    # to when it built this engine; ``None`` for engines constructed
+    # directly.  Surfaced on power results and explore points so ``auto``
+    # and ``packed`` resolutions are observable instead of silent.
+    chosen_backend: str | None = None
+
     def _init_state(self) -> None:
         self._names = _state_names(self.plan)
         self._index = {name: i for i, name in enumerate(self._names)}

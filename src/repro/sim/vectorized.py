@@ -32,16 +32,23 @@ code generator resolves it in closed form:
 
 Reads that observe a stale slot (a consumer latching the dest register
 of a shut-down producer) read the shifted end column of that slot.  The
-generator emits all columns as SSA statements, topologically sorts them,
-and raises :class:`VectorizationError` if the guarded writes form a
-genuine cross-vector cycle with no closed form (``backend="auto"`` then
-falls back to the compiled backend; no registered benchmark needs it).
+generator emits all columns as SSA statements and topologically sorts
+them.  When the guarded writes form a genuine cross-vector cycle with no
+closed form, the generator does not refuse: it splits the program into
+the acyclic array prefix, a scalar micro-loop over just the recurrent
+statements (one running carry per recurrent slot, exact Python-int
+expressions), and an array suffix over the materialized core columns —
+so every valid design runs through this backend, bit-identically to the
+compiled engine.  :class:`VectorizationError` remains only for widths
+beyond the int64 headroom (``backend="auto"`` then selects the compiled
+backend).
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+import re
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -62,8 +69,9 @@ from repro.sim.engine import (
 
 
 class VectorizationError(Exception):
-    """The design's guarded state forms a cross-vector recurrence with no
-    closed-form masked-scan solution; use the compiled backend instead."""
+    """The plan exceeds the array backend's numeric envelope (width past
+    the int64 headroom); use the compiled backend instead.  Recurrent
+    guarded state no longer raises — it lowers to a hybrid plan."""
 
 
 def _masked_ffill(values: np.ndarray, mask: np.ndarray, carry: int,
@@ -91,9 +99,22 @@ def _contradictory(implied: frozenset) -> bool:
 
 @dataclass(frozen=True)
 class _Stmt:
+    """One SSA statement: an array expression plus (when the statement
+    can participate in a recurrent core) a scalar twin evaluating the
+    same value for one batch row with plain Python ints.
+
+    ``kind`` marks the two cross-vector closures: ``"shift"`` statements
+    read a slot's previous-row end value (``S_<slot>``) and ``"ffill"``
+    statements are masked-scan end columns (``E_<slot>``); both read the
+    slot's running carry when lowered into the scalar micro-loop."""
+
     target: str
     expr: str
     deps: tuple[str, ...]
+    sexpr: str | None = field(default=None, compare=False)
+    kind: str = field(default="plain", compare=False)
+    slot: str | None = field(default=None, compare=False)
+    bool_: bool = field(default=False, compare=False)
 
 
 class _VectorCodegen:
@@ -106,10 +127,7 @@ class _VectorCodegen:
         self.pm = power_management
         self.mask = (1 << plan.width) - 1
         self.sign = 1 << (plan.width - 1)
-        if plan.width > 62:
-            raise VectorizationError(
-                f"width {plan.width} exceeds the array backend's int64 "
-                "headroom; use backend='compiled'")
+        self._check_width()
         # Smallest element type with full product headroom (2w bits).
         # Wrap-around ops are congruent mod 2**dtype_bits ⊇ mod 2**width
         # and every column is rewrapped into signed range immediately, so
@@ -131,8 +149,78 @@ class _VectorCodegen:
         self.cur: dict[str, str] = {}       # slot -> current true column
         self.start_used: set[str] = set()   # slots read before first write
         self.contribs: dict[str, list[str]] = {}  # counter -> contrib names
+        self.end_of: dict[str, str] = {}    # slot -> end-of-pass column name
+        self.hybrid = False                 # set by _assemble
+        self.scalar_slots: tuple[str, ...] = ()
         self._serial = 0
         self._cse: dict[str, str] = {}      # expr -> existing SSA name
+
+    def _check_width(self) -> None:
+        if self.plan.width > 62:
+            raise VectorizationError(
+                f"width {self.plan.width} exceeds the array backend's "
+                "int64 headroom; use backend='compiled'")
+
+    # -- representation hooks -------------------------------------------
+    #
+    # Everything the symbolic pass knows about the column representation
+    # funnels through these small renderers, so the packed backend
+    # (:mod:`repro.sim.packed`) can reuse the whole structural pass —
+    # write folds, guard implication, closed-form state resolution, DCE,
+    # topo sort — by overriding only how a column is spelled.
+
+    def cond_expr(self, expr: str, value: int) -> str:
+        """Boolean mask column: ``expr`` nonzero (value=1) / zero (0)."""
+        return f"(({expr}) != 0)" if value else f"(({expr}) == 0)"
+
+    def where_expr(self, guard: str, then: str, other: str) -> str:
+        return f"_np.where({guard}, {then}, {other})"
+
+    def count_true(self, guard: str) -> str:
+        return f"int({guard}.sum())"
+
+    def count_false(self, guard: str) -> str:
+        return f"int((~{guard}).sum())"
+
+    def const_column(self, expr: str) -> str:
+        return f"_np.full(_n, {expr}, dtype={self.dtype})"
+
+    def zero_column(self) -> str:
+        return f"_np.zeros(_n, dtype={self.dtype})"
+
+    def input_expr(self, k: int) -> str:
+        """Load + wrap input column ``k`` of the batch matrix."""
+        if self.narrow is not None:
+            return f"_m[:, {k}].astype({self.narrow}).astype({self.dtype})"
+        return (f"(((_m[:, {k}] & {self.mask}) ^ {self.sign}) - {self.sign})"
+                f".astype({self.dtype})")
+
+    def ffill_expr(self, value: str, mask: str,
+                   slot: str) -> tuple[str, tuple[str, ...]]:
+        """Masked-scan end column of an all-guarded slot."""
+        return (f"_ffill({value}, {mask}, {slot}__in, _ar1)",
+                (value, mask, "_ar1"))
+
+    def state_last(self, end: str) -> str:
+        """Scalar end-of-batch value of a column (last vector's lane)."""
+        return f"int(({end})[-1])"
+
+    def state_const_expr(self, slot: str) -> str:
+        """Column of a slot never written this pass (constant)."""
+        return f"_np.full(_n, {slot}__in, dtype={self.dtype})"
+
+    def state_shift_expr(self, slot: str, end: str) -> str:
+        """Shift-by-one start column: ``concat([carry], end[:-1])``."""
+        return (f"_np.concatenate((_np.asarray([{slot}__in], "
+                f"dtype={self.dtype}), ({end})[:-1]))")
+
+    def prelude_lines(self) -> list[str]:
+        """Extra setup lines after the state unpack."""
+        return []
+
+    def result_expr(self, name: str) -> str:
+        """Rendering of an output column in the return tuple."""
+        return name
 
     # -- statement plumbing ---------------------------------------------
 
@@ -140,15 +228,18 @@ class _VectorCodegen:
         self._serial += 1
         return f"_{stem}{self._serial}"
 
-    def stmt(self, target: str, expr: str, deps: tuple[str, ...]) -> str:
-        self.stmts.append(_Stmt(target, expr, deps))
+    def stmt(self, target: str, expr: str, deps: tuple[str, ...],
+             sexpr: str | None = None, kind: str = "plain",
+             slot: str | None = None, bool_: bool = False) -> str:
+        self.stmts.append(_Stmt(target, expr, deps, sexpr, kind, slot, bool_))
         return target
 
-    def cse_stmt(self, stem: str, expr: str, deps: tuple[str, ...]) -> str:
+    def cse_stmt(self, stem: str, expr: str, deps: tuple[str, ...],
+                 sexpr: str | None = None, bool_: bool = False) -> str:
         cached = self._cse.get(expr)
         if cached is not None:
             return cached
-        name = self.stmt(self.name(stem), expr, deps)
+        name = self.stmt(self.name(stem), expr, deps, sexpr, bool_=bool_)
         self._cse[expr] = name
         return name
 
@@ -188,8 +279,9 @@ class _VectorCodegen:
         else:
             prev = self.read_slot(slot)
             self.cur[slot] = self.cse_stmt(
-                "c", f"_np.where({guard}, {value}, {prev})",
-                (guard, value, prev))
+                "c", self.where_expr(guard, value, prev),
+                (guard, value, prev),
+                sexpr=f"({value} if {guard} else {prev})")
 
     def value_read(self, sp: SourcePlan, implied: frozenset) -> str:
         """Column name for an operand read on the value path (see above);
@@ -206,11 +298,13 @@ class _VectorCodegen:
         if base is None:
             self.start_used.add(slot)
             base = f"S_{slot}"
-        expr, deps = base, (base,)
+        expr, sexpr, deps = base, base, (base,)
         for guard, value in reversed(suffix):
-            expr = f"_np.where({guard}, {value}, {expr})"
+            expr = self.where_expr(guard, value, expr)
+            sexpr = f"({value} if {guard} else {sexpr})"
             deps += (guard, value)
-        return self.cse_stmt("w", self.shift_chain(expr, sp.shifts), deps)
+        return self.cse_stmt("w", self.shift_chain(expr, sp.shifts), deps,
+                             sexpr=self.shift_chain_scalar(sexpr, sp.shifts))
 
     # -- expression rendering -------------------------------------------
 
@@ -218,6 +312,10 @@ class _VectorCodegen:
         """Rewrap an intermediate into signed ``width``-bit range."""
         if self.narrow is not None:
             return f"({expr}).astype({self.narrow}).astype({self.dtype})"
+        return f"((({expr}) & {self.mask}) ^ {self.sign}) - {self.sign}"
+
+    def wrap_scalar(self, expr: str) -> str:
+        """Scalar twin of :meth:`wrap` over plain Python ints."""
         return f"((({expr}) & {self.mask}) ^ {self.sign}) - {self.sign}"
 
     def shift_chain(self, expr: str, shifts) -> str:
@@ -234,13 +332,27 @@ class _VectorCodegen:
                 expr = f"(({expr}) >> {min(amount, self.plan.width - 1)})"
         return expr
 
-    def render_source(self, sp: SourcePlan) -> tuple[str, tuple[str, ...]]:
-        """Array expression for a pre-resolved operand source (register
-        column plus shift chain); constants stay scalar here."""
+    def shift_chain_scalar(self, expr: str, shifts) -> str:
+        for op, amount in shifts:
+            if op is Op.SHL:
+                if amount >= self.plan.width:
+                    expr = "0"
+                else:
+                    expr = self.wrap_scalar(f"({expr}) << {amount}")
+            else:
+                expr = f"(({expr}) >> {min(amount, self.plan.width - 1)})"
+        return expr
+
+    def render_source(self, sp: SourcePlan) -> tuple[str, str,
+                                                     tuple[str, ...]]:
+        """(array expression, scalar expression, deps) for a pre-resolved
+        operand source (register column plus shift chain); constants stay
+        scalar in both renderings."""
         if sp.const is not None:
-            return repr(sp.const), ()
+            return repr(sp.const), repr(sp.const), ()
         name = self.read_slot(f"r{sp.register}")
-        return self.shift_chain(name, sp.shifts), (name,)
+        return (self.shift_chain(name, sp.shifts),
+                self.shift_chain_scalar(name, sp.shifts), (name,))
 
     def op_expr(self, op: Op, ts: list[str]) -> str:
         wrap = self.wrap
@@ -276,6 +388,41 @@ class _VectorCodegen:
             return wrap(f"~{a}")
         raise ValueError(f"cannot vectorize {op!r}")  # pragma: no cover
 
+    def op_expr_scalar(self, op: Op, ts: list[str]) -> str:
+        """Scalar twin of :meth:`op_expr` for the hybrid micro-loop."""
+        wrap = self.wrap_scalar
+        a = ts[0]
+        b = ts[1] if len(ts) > 1 else None
+        if op is Op.ADD:
+            return wrap(f"{a} + {b}")
+        if op is Op.SUB:
+            return wrap(f"{a} - {b}")
+        if op is Op.MUL:
+            return wrap(f"{a} * {b}")
+        if op is Op.GT:
+            return f"int({a} > {b})"
+        if op is Op.LT:
+            return f"int({a} < {b})"
+        if op is Op.GE:
+            return f"int({a} >= {b})"
+        if op is Op.LE:
+            return f"int({a} <= {b})"
+        if op is Op.EQ:
+            return f"int({a} == {b})"
+        if op is Op.NE:
+            return f"int({a} != {b})"
+        if op is Op.MUX:
+            return f"({ts[2]} if {a} != 0 else {ts[1]})"
+        if op is Op.AND:
+            return wrap(f"{a} & {b}")
+        if op is Op.OR:
+            return wrap(f"{a} | {b}")
+        if op is Op.XOR:
+            return wrap(f"{a} ^ {b}")
+        if op is Op.NOT:
+            return wrap(f"~{a}")
+        raise ValueError(f"cannot vectorize {op!r}")  # pragma: no cover
+
     def popcount(self, prev: str, new: str, guard: str | None,
                  deps: tuple[str, ...]) -> tuple[str, tuple[str, ...]]:
         expr = f"_np.bitwise_count(({prev} ^ {new}) & {self.mask})"
@@ -284,6 +431,14 @@ class _VectorCodegen:
             # fancy-indexing at 4k-element blocks.
             return f"int(({expr} * {guard}).sum())", deps + (guard,)
         return f"int({expr}.sum())", deps
+
+    def counter_total(self, slot: str,
+                      contribs: list[str]) -> tuple[str, tuple[str, ...]]:
+        """Expression summing a counter's carried-in value with this
+        pass's contributions — a representation hook: a subclass whose
+        :meth:`popcount` emits deferred values rather than ints can
+        reduce them here in one pass."""
+        return " + ".join([f"{slot}__in"] + contribs), tuple(contribs)
 
     # -- pass symbolic execution ----------------------------------------
 
@@ -297,6 +452,7 @@ class _VectorCodegen:
         if guard.never:
             return False, frozenset()
         conds = []
+        sconds = []
         live = []
         deps: tuple[str, ...] = ()
         for sp, value in guard.terms:
@@ -304,28 +460,24 @@ class _VectorCodegen:
                 if bool(sp.const) != bool(value):
                     return False, frozenset()  # contradiction: never
                 continue  # term always true: fold away
-            expr, d = self.render_source(sp)
-            conds.append(f"(({expr}) != 0)" if value else f"(({expr}) == 0)")
+            expr, sexpr, d = self.render_source(sp)
+            conds.append(self.cond_expr(expr, value))
+            sconds.append(f"(({sexpr}) != 0)" if value
+                          else f"(({sexpr}) == 0)")
             live.append((sp, 1 if value else 0))
             deps += d
         if not conds:
             return None, frozenset()
-        return self.stmt(self.name("g"), " & ".join(conds),
-                         deps), frozenset(live)
+        return self.stmt(self.name("g"), " & ".join(conds), deps,
+                         sexpr=" & ".join(sconds),
+                         bool_=True), frozenset(live)
 
     def run(self) -> str:
         plan = self.plan
-        mask, sign = self.mask, self.sign
 
         # Clock edge into state 0: input registers load (unconditional).
         for k, (_name, reg) in enumerate(plan.inputs):
-            if self.narrow is not None:
-                in_expr = (f"_m[:, {k}].astype({self.narrow})"
-                           f".astype({self.dtype})")
-            else:
-                in_expr = (f"(((_m[:, {k}] & {mask}) ^ {sign}) - {sign})"
-                           f".astype({self.dtype})")
-            col = self.stmt(f"in{k}", in_expr, ())
+            col = self.stmt(f"in{k}", self.input_expr(k), ())
             slot = f"r{reg}"
             prev = self.read_slot(slot)
             self.contrib("_rt", *self.popcount(prev, col, None, (prev, col)))
@@ -347,15 +499,16 @@ class _VectorCodegen:
                     self.contrib(f"_id_{cls}", "_n")
                     continue
                 if g is not None:
-                    self.contrib(f"_id_{cls}", f"int((~{g}).sum())", (g,))
+                    self.contrib(f"_id_{cls}", self.count_false(g), (g,))
                 is_mux = start.resource is ResourceClass.MUX
                 select = start.sources[0] if is_mux else None
                 tvs = []
                 for port, sp in enumerate(start.sources):
-                    expr, deps = self.render_source(sp)
+                    expr, sexpr, deps = self.render_source(sp)
                     if sp.const is not None:
-                        expr = f"_np.full(_n, {expr}, dtype={self.dtype})"
-                    t = self.stmt(f"t{start.nid}_{port}", expr, deps)
+                        expr = self.const_column(expr)
+                    t = self.stmt(f"t{start.nid}_{port}", expr, deps,
+                                  sexpr=sexpr)
                     # Value-path operand: a mux data port is additionally
                     # guarded by its own selection (the port's value only
                     # reaches the result when the select picks its side),
@@ -373,7 +526,7 @@ class _VectorCodegen:
                         tvs.append(t)
                     elif _contradictory(implied):
                         tvs.append(self.cse_stmt(
-                            "z", f"_np.zeros(_n, dtype={self.dtype})", ()))
+                            "z", self.zero_column(), (), sexpr="0"))
                     else:
                         tvs.append(self.value_read(sp, implied))
                     # Latches are observation-only leaves: their fold can
@@ -396,14 +549,16 @@ class _VectorCodegen:
                 # and — for mux data ports — the selected side).
                 x = self.stmt(f"x{end.nid}",
                               self.op_expr(end.op, tvalues[end.nid]),
-                              tuple(tvalues[end.nid]))
+                              tuple(tvalues[end.nid]),
+                              sexpr=self.op_expr_scalar(end.op,
+                                                        tvalues[end.nid]))
                 fo = f"fo{end.unit}"
                 prev = self.read_slot(fo)
                 self.contrib(f"_ao_{cls}", *self.popcount(prev, x, g,
                                                           (prev, x)))
                 self.write_slot(fo, x, g, terms)
                 self.contrib(f"_aa_{cls}",
-                             "_n" if g is None else f"int({g}.sum())",
+                             "_n" if g is None else self.count_true(g),
                              () if g is None else (g,))
                 dest = f"r{end.dest_register}"
                 prev = self.read_slot(dest)
@@ -413,9 +568,9 @@ class _VectorCodegen:
         # Output columns, read at end of pass.
         out_names = []
         for k, (_name, sp) in enumerate(plan.outputs):
-            expr, deps = self.render_source(sp)
+            expr, _sexpr, deps = self.render_source(sp)
             if sp.const is not None:
-                expr = f"_np.full(_n, {expr}, dtype={self.dtype})"
+                expr = self.const_column(expr)
             out_names.append(self.stmt(f"o{k}", expr, deps))
 
         state_out = self._resolve_state()
@@ -431,6 +586,7 @@ class _VectorCodegen:
         if any(guard is None for guard, _t, _v in writes):
             # An unconditional write anchors the pass: the final
             # where-chain is a pure column with no cross-vector term.
+            self.end_of[slot] = self.cur[slot]
             return self.cur[slot]
         # All writes guarded: masked-scan recurrence over the batch
         # (each written column is valid at its own guard's positions —
@@ -438,12 +594,17 @@ class _VectorCodegen:
         value = writes[0][2]
         for g, _terms, v in writes[1:]:
             value = self.stmt(self.name("v"),
-                              f"_np.where({g}, {v}, {value})", (g, v, value))
+                              self.where_expr(g, v, value), (g, v, value),
+                              sexpr=f"({v} if {g} else {value})")
         guards = [g for g, _t, _v in writes]
-        mask = self.stmt(self.name("m"), " | ".join(guards), tuple(guards))
-        return self.stmt(f"E_{slot}",
-                         f"_ffill({value}, {mask}, {slot}__in, _ar1)",
-                         (value, mask, "_ar1"))
+        mask = self.stmt(self.name("m"), " | ".join(guards), tuple(guards),
+                         sexpr=" | ".join(guards), bool_=True)
+        expr, deps = self.ffill_expr(value, mask, slot)
+        end = self.stmt(f"E_{slot}", expr, deps,
+                        sexpr=f"({value} if {mask} else _cy_{slot})",
+                        kind="ffill", slot=slot)
+        self.end_of[slot] = end
+        return end
 
     def _resolve_state(self) -> list[str]:
         self.stmt("_ar1", "_np.arange(1, _n + 1)", ())
@@ -455,30 +616,53 @@ class _VectorCodegen:
                 if not contribs:
                     state_out.append(f"{slot}__in")
                     continue
-                total = " + ".join([f"{slot}__in"] + contribs)
-                state_out.append(self.stmt(f"{slot}__out", total,
-                                           tuple(contribs)))
+                total, deps = self.counter_total(slot, contribs)
+                state_out.append(self.stmt(f"{slot}__out", total, deps))
                 continue
             end = self._end_column(slot)
             if end is None:
                 state_out.append(f"{slot}__in")
             else:
                 state_out.append(self.stmt(f"{slot}__out",
-                                           f"int(({end})[-1])", (end,)))
+                                           self.state_last(end), (end,)))
             if slot in self.start_used:
                 if end is None:
                     # Never written this pass: constant across the batch.
-                    self.stmt(f"S_{slot}",
-                              f"_np.full(_n, {slot}__in, dtype={self.dtype})",
-                              ())
+                    self.stmt(f"S_{slot}", self.state_const_expr(slot),
+                              (), sexpr=f"{slot}__in")
                 else:
-                    self.stmt(
-                        f"S_{slot}",
-                        f"_np.concatenate((_np.asarray([{slot}__in], "
-                        f"dtype={self.dtype}), ({end})[:-1]))", (end,))
+                    self.stmt(f"S_{slot}", self.state_shift_expr(slot, end),
+                              (end,), kind="shift", slot=slot)
         return state_out
 
     # -- ordering + assembly --------------------------------------------
+
+    def _kahn(self, kept: list[_Stmt], by_target: dict[str, int],
+              drop: frozenset = frozenset()) -> list[_Stmt]:
+        """Kahn topological sort over ``kept``, stable on emission order.
+        Dep edges of statements whose target is in ``drop`` are ignored
+        (used to cut recurrent ``S_`` shift statements loose).  Returns
+        fewer statements than given when the graph is cyclic."""
+        indegree = {s.target: 0 for s in kept}
+        dependants: dict[str, list[str]] = {s.target: [] for s in kept}
+        for s in kept:
+            if s.target in drop:
+                continue
+            for d in set(s.deps):
+                if d in indegree:
+                    indegree[s.target] += 1
+                    dependants[d].append(s.target)
+        ready = [by_target[t] for t, n in indegree.items() if n == 0]
+        heapq.heapify(ready)
+        ordered: list[_Stmt] = []
+        while ready:
+            s = self.stmts[heapq.heappop(ready)]
+            ordered.append(s)
+            for t in dependants[s.target]:
+                indegree[t] -= 1
+                if indegree[t] == 0:
+                    heapq.heappush(ready, by_target[t])
+        return ordered
 
     def _assemble(self, out_names: list[str], state_out: list[str]) -> str:
         plan = self.plan
@@ -499,50 +683,183 @@ class _VectorCodegen:
             stack.extend(d for d in self.stmts[by_target[target]].deps
                          if d in by_target and d not in live)
 
-        # Kahn topological sort, stable on emission order.  A leftover
-        # statement means the guarded writes form a genuine cross-vector
-        # recurrence cycle (no closed-form masked scan): refuse.
+        # A leftover statement after the full topological sort means the
+        # guarded writes form a genuine cross-vector recurrence cycle: no
+        # closed-form masked scan exists, so the recurrent core runs as a
+        # scalar micro-loop stitched between two array sections instead.
         kept = [s for s in self.stmts if s.target in live]
-        indegree = {s.target: 0 for s in kept}
-        dependants: dict[str, list[str]] = {s.target: [] for s in kept}
-        for s in kept:
-            for d in set(s.deps):
-                if d in indegree:
-                    indegree[s.target] += 1
-                    dependants[d].append(s.target)
-        ready = [by_target[t] for t, n in indegree.items() if n == 0]
-        heapq.heapify(ready)
-        ordered: list[_Stmt] = []
-        while ready:
-            s = self.stmts[heapq.heappop(ready)]
-            ordered.append(s)
-            for t in dependants[s.target]:
-                indegree[t] -= 1
-                if indegree[t] == 0:
-                    heapq.heappush(ready, by_target[t])
+        ordered = self._kahn(kept, by_target)
         if len(ordered) != len(kept):
-            raise VectorizationError(
-                f"design {plan.name!r} has a cross-vector state recurrence "
-                "the array backend cannot close; use backend='compiled'")
+            return self._assemble_hybrid(kept, by_target, out_names,
+                                         state_out)
 
-        names = _state_names(plan)
-        lines = [f"def _run(_m, _state):  # vectorized from {plan.name!r}",
-                 f"    ({', '.join(f'{n}__in' for n in names)},) = _state",
-                 "    _n = _m.shape[0]"]
+        lines = self._prologue()
         lines += [f"    {s.target} = {s.expr}" for s in ordered]
-        outs = ", ".join(out_names)
+        return self._epilogue(lines, out_names, state_out)
+
+    backend_tag = "vectorized"
+
+    def _prologue(self) -> list[str]:
+        names = _state_names(self.plan)
+        return [f"def _run(_m, _state):  "
+                f"# {self.backend_tag} from {self.plan.name!r}",
+                f"    ({', '.join(f'{n}__in' for n in names)},) = _state",
+                "    _n = _m.shape[0]"] + self.prelude_lines()
+
+    def _epilogue(self, lines: list[str], out_names: list[str],
+                  state_out: list[str]) -> str:
+        outs = ", ".join(self.result_expr(n) for n in out_names)
         if out_names:
             outs += ","
         lines.append(f"    return ({outs}), ({', '.join(state_out)},)")
         return "\n".join(lines) + "\n"
+
+    def _assemble_hybrid(self, kept: list[_Stmt], by_target: dict[str, int],
+                         out_names: list[str],
+                         state_out: list[str]) -> str:
+        """Emit the hybrid array/scalar program for a plan whose guarded
+        writes form a cross-vector recurrence.
+
+        Every dependency cycle passes through at least one ``S_<slot>``
+        shift statement (the only forward references the symbolic pass
+        emits), so the statements split three ways:
+
+        * **prefix** — statements with no transitive dependency on any
+          cycle: emitted as array code, exactly as the pure path would.
+        * **core** — the cycles plus everything squeezed between them
+          (ancestors-of-a-cycle among the cycle-dependent set): lowered
+          to scalar Python-int expressions and run row by row, with one
+          running carry per recurrent slot replacing the ``S_``/ffill
+          closed forms.
+        * **suffix** — statements downstream of the core that nothing in
+          the core depends on (activity popcounts, output reads, state
+          extraction): array code again, over core columns materialized
+          from the micro-loop.
+
+        Outputs and every counter stay bit-identical to the compiled
+        engine because the scalar expressions are exact unbounded-int
+        twins of the wrapped array expressions and the carries replay
+        the per-vector sequence the closed forms summarize."""
+        plan = self.plan
+        # Full-graph sort: what it orders is exactly the acyclic prefix.
+        prefix = self._kahn(kept, by_target)
+        prefix_targets = {s.target for s in prefix}
+        leftover = {s.target for s in kept if s.target not in prefix_targets}
+
+        # Peel the leftover from below (statements no other leftover
+        # statement depends on): whatever survives is an ancestor of a
+        # cycle — the recurrent core.  The peeled remainder only consumes
+        # core values and becomes the array suffix.
+        dependants: dict[str, set[str]] = {t: set() for t in leftover}
+        for t in leftover:
+            for d in set(self.stmts[by_target[t]].deps):
+                if d in leftover:
+                    dependants[d].add(t)
+        stack = [t for t in leftover if not dependants[t]]
+        peeled: set[str] = set()
+        while stack:
+            t = stack.pop()
+            peeled.add(t)
+            for d in set(self.stmts[by_target[t]].deps):
+                if d in leftover and d not in peeled:
+                    dependants[d].discard(t)
+                    if not dependants[d]:
+                        stack.append(d)
+        core = leftover - peeled
+
+        # Cutting the core shift statements loose (their scalar form
+        # reads the previous row's carry, not this row's end column)
+        # breaks every cycle; one stable sort then orders all three
+        # sections consistently.
+        cut = frozenset(s.target for s in kept
+                        if s.kind == "shift" and s.target in core)
+        full = self._kahn(kept, by_target, drop=cut)
+        if len(full) != len(kept):  # pragma: no cover - invariant
+            raise VectorizationError(
+                f"design {plan.name!r} has a recurrence not closed by "
+                "its shift statements")
+        core_stmts = [s for s in full if s.target in core]
+        down_stmts = [s for s in full if s.target in peeled]
+        pre_stmts = [s for s in full if s.target in prefix_targets]
+        for s in core_stmts:  # pragma: no branch
+            if s.kind != "shift" and s.sexpr is None:  # pragma: no cover
+                raise VectorizationError(
+                    f"statement {s.target} in {plan.name!r} has no scalar "
+                    "lowering for the recurrent core")
+
+        # Slots whose cross-vector closure now runs in the micro-loop.
+        slots = sorted({s.slot for s in core_stmts
+                        if s.kind in ("shift", "ffill")})
+        self.hybrid = True
+        self.scalar_slots = tuple(slots)
+        carry_after: dict[str, list[str]] = {}
+        for slot in slots:
+            end = self.end_of.get(slot)
+            if end is None or end not in core:  # pragma: no cover
+                raise VectorizationError(
+                    f"recurrent slot {slot} of {plan.name!r} has no end "
+                    "column inside the scalar core")
+            carry_after.setdefault(end, []).append(slot)
+
+        # Array columns the suffix (or the result tuple) reads from the
+        # core are materialized row by row; prefix columns the core reads
+        # cross the boundary as plain Python lists.
+        need: set[str] = {n for n in out_names + state_out if n in core}
+        for s in down_stmts:
+            need.update(d for d in set(s.deps) if d in core)
+        materialized = [s.target for s in core_stmts if s.target in need]
+        bounds: list[str] = []
+        seen: set[str] = set()
+        for s in core_stmts:
+            for d in s.deps:
+                if d in prefix_targets and d not in seen:
+                    seen.add(d)
+                    bounds.append(d)
+
+        mapping = {t: f"{t}_s" for t in core}
+        mapping.update({d: f"{d}_l[_i]" for d in bounds})
+        pattern = re.compile(
+            r"\b(" + "|".join(map(re.escape, mapping)) + r")\b")
+
+        def lower(sexpr: str) -> str:
+            return pattern.sub(lambda m: mapping[m.group(0)], sexpr)
+
+        lines = self._prologue()
+        lines[0] = (f"def _run(_m, _state):  # hybrid vectorized from "
+                    f"{plan.name!r}")
+        lines += [f"    {s.target} = {s.expr}" for s in pre_stmts]
+        lines += [f"    {d}_l = ({d}).tolist()" for d in bounds]
+        lines += [f"    _cy_{slot} = {slot}__in" for slot in slots]
+        lines += [f"    {t}_l = []" for t in materialized]
+        lines.append("    for _i in range(_n):")
+        # Shift reads first: they must observe the previous row's carry
+        # before any end-column update this row.
+        for s in core_stmts:
+            if s.kind == "shift":
+                lines.append(f"        {s.target}_s = _cy_{s.slot}")
+        for s in core_stmts:
+            if s.kind == "shift":
+                continue
+            lines.append(f"        {s.target}_s = {lower(s.sexpr)}")
+            for slot in carry_after.get(s.target, ()):
+                lines.append(f"        _cy_{slot} = {s.target}_s")
+        lines += [f"        {t}_l.append({t}_s)" for t in materialized]
+        for t in materialized:
+            dtype = "bool" if self.stmts[by_target[t]].bool_ else self.dtype
+            lines.append(f"    {t} = _np.asarray({t}_l, dtype={dtype})")
+        lines += [f"    {s.target} = {s.expr}" for s in down_stmts]
+        return self._epilogue(lines, out_names, state_out)
 
 
 def generate_vector_source(plan: ExecutionPlan,
                            power_management: bool) -> str:
     """NumPy source of the specialized ``_run(matrix, state)`` runner.
 
-    Raises :class:`VectorizationError` when the plan's guarded state has
-    no closed-form batch formulation.
+    Plans whose guarded state has no closed-form batch formulation come
+    back as a *hybrid* program: array code around a scalar micro-loop
+    over just the recurrent statements.  Raises
+    :class:`VectorizationError` only for plans beyond the backend's
+    int64 width headroom.
     """
     return _VectorCodegen(plan, power_management).run()
 
@@ -559,7 +876,8 @@ class ArrayBatchResult:
     samples: int
 
 
-# (fingerprint, power_management) -> (plan, source, runner) — compile-once.
+# (fingerprint, power_management) ->
+# (plan, source, runner, hybrid, scalar_slots) — compile-once.
 _VECTOR_CACHE = _make_lru()
 
 
@@ -578,6 +896,13 @@ class VectorizedEngine(_EngineBase):
 
     backend = "vectorized"
 
+    #: Rows per :meth:`run_array` execution chunk; ``None`` runs the
+    #: whole batch in one pass.  Subclasses whose working set per value
+    #: is compact enough that a tile stays cache-resident (the packed
+    #: backend) set this to keep huge Monte-Carlo blocks off main
+    #: memory; tiles carry state exactly like consecutive batch calls.
+    _tile_rows: int | None = None
+
     def __init__(self, design: SynthesizedDesign,
                  power_management: bool = True) -> None:
         self.design = design
@@ -586,13 +911,16 @@ class VectorizedEngine(_EngineBase):
         cached = _lru_get(_VECTOR_CACHE, key)
         if cached is None:
             plan = cached_plan(design)
-            source = generate_vector_source(plan, power_management)
+            codegen = _VectorCodegen(plan, power_management)
+            source = codegen.run()
             namespace: dict[str, object] = {"_np": np, "_ffill": _masked_ffill}
             exec(compile(source, f"<vectorized:{design.graph.name}>", "exec"),
                  namespace)
-            cached = (plan, source, namespace["_run"])
+            cached = (plan, source, namespace["_run"], codegen.hybrid,
+                      codegen.scalar_slots)
             _lru_put(_VECTOR_CACHE, key, cached)
-        self.plan, self.source, self._run = cached
+        self.plan, self.source, self._run, self.hybrid, self.scalar_slots = \
+            cached
         self._init_state()
 
     def run_array(self, matrix: np.ndarray) -> ArrayBatchResult:
@@ -617,14 +945,31 @@ class VectorizedEngine(_EngineBase):
                          for name, _sp in self.plan.outputs},
                 activity=ActivityCounter(width=self.plan.width), samples=0)
         before = self._state
-        cols, after = self._run(matrix, before)
+        tile = self._tile_rows
+        n = matrix.shape[0]
+        if tile and n > tile:
+            # Chunked execution with state threaded across tiles — the
+            # same carry semantics as consecutive run_array calls, so
+            # results are bit-identical by construction.  Counters are
+            # monotonic state slots, so one before/after delta covers
+            # the whole span.
+            state = before
+            chunks = []
+            for start in range(0, n, tile):
+                cols, state = self._run(matrix[start:start + tile], state)
+                chunks.append(cols)
+            after = state
+            cols = [np.concatenate([chunk[i] for chunk in chunks])
+                    for i in range(len(self.plan.outputs))]
+        else:
+            cols, after = self._run(matrix, before)
         self._state = after
-        self.samples += matrix.shape[0]
+        self.samples += n
         return ArrayBatchResult(
             outputs={name: col for (name, _sp), col
                      in zip(self.plan.outputs, cols)},
             activity=self._activity_delta(before, after),
-            samples=matrix.shape[0])
+            samples=n)
 
     def run_batch(self, vectors) -> "BatchResult":
         """Run vector dicts (any iterable); converts to one matrix."""

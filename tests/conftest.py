@@ -3,9 +3,19 @@
 from __future__ import annotations
 
 import pytest
+from hypothesis import settings
 
 from repro.circuits import abs_diff, build, cordic, dealer, gcd, vender
 from repro.ir.builder import GraphBuilder
+
+# CI determinism: every Hypothesis test derives its examples from the
+# test function itself instead of a fresh random seed, so a property
+# either fails on every run or on none — no flaky tier-1 reds.  Any
+# circuit an example run DOES falsify gets pinned as a named regression
+# (see ``repro.circuits.extra.gated_recurrence``) rather than left to
+# the generator to stumble on again.
+settings.register_profile("ci", derandomize=True, deadline=None)
+settings.load_profile("ci")
 
 
 @pytest.fixture

@@ -1,0 +1,257 @@
+"""Bit-packed backend: kernel unit tests + engine differential tests.
+
+The packed backend stores each value column as ``width`` uint64 bit
+slices, 64 Monte-Carlo vectors per machine word, and evaluates logic
+slicewise.  Two layers are tested here:
+
+* the word-parallel kernels (``_padd``, ``_plt``, ``_pffill``, ...)
+  against plain Python integer arithmetic on random columns, and
+* :class:`PackedEngine` against :class:`CompiledEngine` — outputs and
+  the full merged :class:`ActivityCounter`, power management on and
+  off, across batch splits — on the benchmark suite and on the
+  pure-logic circuit the backend is optimized for.
+
+Recurrent (hybrid) plans and widths above 64 must refuse with
+``PackingError``, and ``create_engine`` must degrade to the hybrid
+vectorized engine rather than surface the error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import build
+from repro.circuits.extra import gated_recurrence, logic_mixer
+from repro.pipeline import FlowConfig, run_pair
+from repro.sched.timing import critical_path_length
+from repro.sim.activity import ActivityCounter
+from repro.sim.backend import create_engine
+from repro.sim.engine import CompiledEngine
+from repro.sim.packed import (
+    PackedEngine,
+    PackingError,
+    _pack,
+    _padd,
+    _pconst,
+    _peq,
+    _pffill,
+    _plast,
+    _plt,
+    _pmul,
+    _pshift1,
+    _pshl,
+    _pshr,
+    _psub,
+    _punpack,
+    _valid_mask,
+    generate_packed_source,
+)
+from repro.sim.vectorized import VectorizedEngine
+from repro.sim.vectors import random_vectors
+
+
+WIDTH = 8
+MASK = (1 << WIDTH) - 1
+SIGN = 1 << (WIDTH - 1)
+
+
+def wrap(x):
+    """Two's-complement wrap to ``WIDTH`` bits, like every backend."""
+    return ((int(x) & MASK) ^ SIGN) - SIGN
+
+
+def columns(seed, n=100):
+    """A deliberately awkward length (100 spans a word boundary)."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(-(1 << 10), 1 << 10, size=n, dtype=np.int64)
+
+
+class TestKernels:
+    @pytest.mark.parametrize("n", [1, 63, 64, 65, 100, 128])
+    def test_pack_roundtrip(self, n):
+        col = columns(n, n)
+        packed = _pack(col, WIDTH)
+        assert packed.shape == (WIDTH, (n + 63) // 64)
+        assert _punpack(packed, n).tolist() == [wrap(v) for v in col]
+
+    def test_valid_mask(self):
+        assert _valid_mask(64).tolist() == [(1 << 64) - 1]
+        assert _valid_mask(65).tolist() == [(1 << 64) - 1, 1]
+        assert int(_valid_mask(100)[1]) == (1 << 36) - 1
+
+    @pytest.mark.parametrize("kernel,op", [
+        (_padd, lambda a, b: a + b),
+        (_psub, lambda a, b: a - b),
+        (_pmul, lambda a, b: a * b),
+    ])
+    def test_arithmetic(self, kernel, op):
+        a, b = columns(1), columns(2)
+        got = _punpack(kernel(_pack(a, WIDTH), _pack(b, WIDTH)), 100)
+        assert got.tolist() == [wrap(op(wrap(x), wrap(y)))
+                                for x, y in zip(a, b)]
+
+    def test_signed_less_than(self):
+        a, b = columns(3), columns(4)
+        mask = _plt(_pack(a, WIDTH), _pack(b, WIDTH))
+        got = [(int(mask[j // 64]) >> (j % 64)) & 1 for j in range(100)]
+        assert got == [int(wrap(x) < wrap(y)) for x, y in zip(a, b)]
+
+    def test_equality(self):
+        a = columns(5)
+        b = a.copy()
+        b[::3] = columns(6)[::3]  # force both outcomes
+        mask = _peq(_pack(a, WIDTH), _pack(b, WIDTH))
+        got = [(int(mask[j // 64]) >> (j % 64)) & 1 for j in range(100)]
+        assert got == [int(wrap(x) == wrap(y)) for x, y in zip(a, b)]
+
+    @pytest.mark.parametrize("k", [0, 1, 3, WIDTH - 1])
+    def test_shifts(self, k):
+        a = columns(7)
+        wrapped = [wrap(v) for v in a]
+        left = _punpack(_pshl(_pack(a, WIDTH), k), 100)
+        assert left.tolist() == [wrap(v << k) for v in wrapped]
+        right = _punpack(_pshr(_pack(a, WIDTH), k), 100)
+        assert right.tolist() == [v >> k for v in wrapped]
+
+    def test_const_and_last(self):
+        col = _pconst(-3, WIDTH, 2)
+        assert _punpack(col, 100).tolist() == [-3] * 100
+        data = columns(8)
+        assert _plast(_pack(data, WIDTH), 100) == wrap(data[99])
+
+    @pytest.mark.parametrize("n,carry", [(100, 0), (100, -5), (64, 7),
+                                         (65, -1), (130, 3)])
+    def test_masked_forward_fill(self, n, carry):
+        """_pffill == sequential carry propagation, including across the
+        word boundary and back to the scalar seed."""
+        rng = np.random.default_rng(n * 1000 + (carry & MASK))
+        value = rng.integers(-128, 128, size=n, dtype=np.int64)
+        taken = rng.random(n) < 0.4
+        mask = np.zeros((n + 63) // 64, dtype=np.uint64)
+        for j in np.nonzero(taken)[0]:
+            mask[j // 64] |= np.uint64(1) << np.uint64(j % 64)
+        got = _punpack(
+            _pffill(_pack(value, WIDTH), mask, carry & MASK), n)
+        expected, cur = [], wrap(carry)
+        for j in range(n):
+            if taken[j]:
+                cur = wrap(value[j])
+            expected.append(cur)
+        assert got.tolist() == expected
+
+    @pytest.mark.parametrize("n,carry", [(100, 9), (64, -2), (65, 0)])
+    def test_shift_by_one(self, n, carry):
+        value = columns(9, n)
+        got = _punpack(_pshift1(_pack(value, WIDTH), carry & MASK), n)
+        expected = [wrap(carry)] + [wrap(v) for v in value[:-1]]
+        assert got.tolist() == expected
+
+
+def assert_packed_identical(design, vectors, power_management):
+    compiled = CompiledEngine(design, power_management=power_management)
+    couts, cact = compiled.run_many(vectors)
+    packed = PackedEngine(design, power_management=power_management)
+    pouts, pact = packed.run_many(vectors)
+    assert pouts == couts
+    assert pact == cact
+
+
+class TestEngineDifferential:
+    @pytest.mark.parametrize("name", ["dealer", "gcd", "vender", "cordic"])
+    def test_suite_circuits(self, name):
+        graph = build(name)
+        steps = critical_path_length(graph) + 1
+        pair = run_pair(graph, FlowConfig(n_steps=steps))
+        n = 8 if name == "cordic" else 70  # 70 crosses a word boundary
+        vectors = random_vectors(graph, n, seed=steps)
+        for result in (pair.managed, pair.baseline):
+            for pm in (True, False):
+                assert_packed_identical(result.design, vectors, pm)
+
+    def test_pure_logic_circuit(self):
+        graph = logic_mixer()
+        cp = critical_path_length(graph)
+        pair = run_pair(graph, FlowConfig(n_steps=cp + 1))
+        vectors = random_vectors(graph, 200, seed=0)
+        for pm in (True, False):
+            assert_packed_identical(pair.managed.design, vectors, pm)
+
+    def test_batch_boundaries_do_not_matter(self):
+        graph = build("gcd")
+        design = run_pair(graph, FlowConfig(n_steps=7)).managed.design
+        vectors = random_vectors(graph, 150, seed=3)
+        one = PackedEngine(design).run_batch(vectors)
+        split = PackedEngine(design)
+        # 70 is not a multiple of 64: state crosses mid-word boundaries.
+        parts = [split.run_batch(vectors[:70]),
+                 split.run_batch(vectors[70:])]
+        assert sum((p.outputs for p in parts), []) == one.outputs
+        merged = ActivityCounter(width=design.width)
+        for p in parts:
+            merged.merge(p.activity)
+        assert merged == one.activity
+
+    def test_tiled_run_array_identical(self):
+        # Huge batches run in _tile_rows chunks with state threaded
+        # across tiles; shrink the tile so 150 vectors exercise several
+        # ragged tiles without a 64k-vector test batch.
+        import numpy as np
+
+        from repro.sim.vectors import vectors_to_array
+
+        graph = build("gcd")
+        design = run_pair(graph, FlowConfig(n_steps=7)).managed.design
+        whole = PackedEngine(design)
+        tiled = PackedEngine(design)
+        tiled._tile_rows = 50  # not a multiple of 64: worst case
+        matrix = vectors_to_array(random_vectors(graph, 150, seed=3),
+                                  whole.input_names)
+        ref = whole.run_array(matrix)
+        got = tiled.run_array(matrix)
+        assert got.activity == ref.activity
+        assert got.outputs.keys() == ref.outputs.keys()
+        for name, col in ref.outputs.items():
+            assert np.array_equal(got.outputs[name], col)
+
+    def test_source_is_packed(self):
+        from repro.sim.engine import cached_plan
+
+        graph = build("dealer")
+        steps = critical_path_length(graph) + 1
+        design = run_pair(graph, FlowConfig(n_steps=steps)).managed.design
+        source = generate_packed_source(cached_plan(design),
+                                        power_management=True)
+        assert "_pack(" in source and "_valid_mask" in source
+
+
+class TestRefusalAndFallback:
+    def test_recurrent_design_raises(self):
+        graph = gated_recurrence()
+        cp = critical_path_length(graph)
+        design = run_pair(graph, FlowConfig(n_steps=cp + 1)).managed.design
+        with pytest.raises(PackingError, match="recurren"):
+            PackedEngine(design)
+
+    def test_wide_design_raises(self):
+        graph = build("dealer")
+        steps = critical_path_length(graph) + 1
+        design = run_pair(
+            graph, FlowConfig(n_steps=steps, width=65)).managed.design
+        with pytest.raises(PackingError, match="width"):
+            PackedEngine(design)
+
+    def test_create_engine_degrades_to_hybrid(self):
+        graph = gated_recurrence()
+        cp = critical_path_length(graph)
+        design = run_pair(graph, FlowConfig(n_steps=cp + 1)).managed.design
+        engine = create_engine(design, backend="packed")
+        assert isinstance(engine, VectorizedEngine)
+        assert not isinstance(engine, PackedEngine)
+        assert engine.chosen_backend == "vectorized"
+        assert engine.hybrid
+
+    def test_packed_engine_chosen_backend(self):
+        graph = build("gcd")
+        design = run_pair(graph, FlowConfig(n_steps=7)).managed.design
+        engine = create_engine(design, backend="packed")
+        assert isinstance(engine, PackedEngine)
+        assert engine.chosen_backend == "packed"
