@@ -30,6 +30,7 @@ language.  Every synthesis command drives a shared caching
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 
@@ -210,9 +211,16 @@ def cmd_optimize(args: argparse.Namespace) -> int:
                              "list of control-step counts, e.g. 5,6,7")
     else:
         budgets = (_steps_for(graph, args),)
+    iters = args.iters
+    if (args.search == "portfolio" and args.time_budget is not None
+            and iters == 150):
+        # Pure anytime run: the wall clock, not an iteration count, is
+        # the budget (passing --iters explicitly keeps both caps).
+        iters = None
     spec = SearchSpec(driver=args.search, objective=args.objective,
-                      iters=args.iters, seed=args.seed,
-                      restarts=args.restarts, beam_width=args.beam_width)
+                      iters=iters, seed=args.seed,
+                      restarts=args.restarts, beam_width=args.beam_width,
+                      workers=args.workers, time_budget=args.time_budget)
     pm_base = PMOptions(partial=args.partial)
     try:
         result = optimize(
@@ -223,6 +231,12 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     except ValueError as error:
         raise SystemExit(f"error: {error}") from None
     print(result.table())
+    if args.pareto_out and result.archive is not None:
+        pathlib.Path(args.pareto_out).write_text(
+            json.dumps(result.archive.to_dict(), indent=2, sort_keys=True)
+            + "\n", encoding="utf-8")
+        print(f"pareto archive ({len(result.archive)} points) "
+              f"-> {args.pareto_out}")
     # The base carries the same pm_base the search scored candidates
     # under, so the synthesized design is the one the search selected.
     synthesized = _PIPELINE.run(graph, result.flow_config(
@@ -289,7 +303,13 @@ def _print_event(event: dict) -> None:
               f"{p['power_reduction_pct']:6.2f}% saved, area {p['area']} "
               f"({origin})")
     elif kind == "pareto":
-        print(f"  pareto {event['size']} of {event['of']} points survive")
+        if "of" in event:  # explore sweep: front over the finished grid
+            print(f"  pareto {event['size']} of {event['of']} points "
+                  f"survive")
+        else:  # portfolio optimizer: evolving archive snapshot
+            print(f"  pareto round {event.get('round', '?'):>3} "
+                  f"{event['size']} nondominated point"
+                  f"{'' if event['size'] == 1 else 's'}")
     elif kind == "best":
         print(f"  best   step {event['step']:>4d} score {event['score']:.4f}"
               f" @{event['n_steps']} steps / {event['scheduler']}")
@@ -326,10 +346,13 @@ def cmd_submit(args: argparse.Namespace) -> int:
             "seed": args.seed,
             "restarts": args.restarts,
             "beam_width": args.beam_width,
+            "workers": args.search_workers,
             "schedulers": [s for s in args.schedulers.split(",") if s],
             "sim_vectors": args.sim_vectors or 128,
             "partial": args.partial,
         }
+        if args.time_budget is not None:
+            params["time_budget"] = args.time_budget
     client = _serve_client(args)
     try:
         job = client.submit(args.kind, **params)
@@ -353,14 +376,18 @@ def _print_summary(job: dict) -> None:
     result = job.get("result") or {}
     line = (f"job {job['id']} {job['state']}: "
             f"{job['completed']} units done, {job['resumed']} resumed")
-    if "pareto_size" in result:
+    if "points" in result:
         line += (f"; pareto {result['pareto_size']}/{result['points']}"
                  f", store {result['store_hits']} hits")
     if "outcome" in result:
         outcome = result["outcome"]
         line += (f"; best score {outcome['score']:.4f} "
                  f"({result['evaluations']} evaluated, "
+                 f"{result.get('memo_hits', 0)} memo + "
+                 f"{result.get('store_hits', 0)} store hits, "
                  f"{result['resumed']} journal-resumed)")
+        if result.get("pareto_size"):
+            line += f"; pareto archive {result['pareto_size']}"
     print(line)
 
 
@@ -510,7 +537,7 @@ def make_parser() -> argparse.ArgumentParser:
                            help="engine-simulate every point on N random "
                                 "vectors (default 0 = static estimate)")
     p_explore.add_argument("--search", default=None,
-                           choices=("anneal", "beam", "random"),
+                           choices=("anneal", "beam", "random", "portfolio"),
                            help="search the (ordering, budget) space with "
                                 "this repro.opt driver instead of sweeping "
                                 "the fixed grid (see `repro optimize` for "
@@ -534,7 +561,7 @@ def make_parser() -> argparse.ArgumentParser:
                        help="comma-separated budgets to search over "
                             "(overrides --steps)")
     p_opt.add_argument("--search", default="anneal",
-                       choices=("anneal", "beam", "random"),
+                       choices=("anneal", "beam", "random", "portfolio"),
                        help="search driver (default: anneal)")
     p_opt.add_argument("--objective", default="gated_weight",
                        help="weighted metric terms 'name[=weight],...', "
@@ -547,6 +574,15 @@ def make_parser() -> argparse.ArgumentParser:
                        help="annealing restart chains (default 2)")
     p_opt.add_argument("--beam-width", type=int, default=4,
                        help="beam width for --search beam (default 4)")
+    p_opt.add_argument("--workers", type=int, default=4,
+                       help="island worker processes for --search "
+                            "portfolio (default 4; 1 = in-process)")
+    p_opt.add_argument("--time-budget", type=float, default=None,
+                       metavar="SECONDS",
+                       help="anytime wall-clock budget: stop the search "
+                            "and return the best archive so far")
+    p_opt.add_argument("--pareto-out", default=None, metavar="FILE",
+                       help="write the final Pareto archive as JSON")
     p_opt.add_argument("--schedulers", default="list",
                        help="comma-separated scheduler dimension "
                             "(default: list)")
@@ -618,13 +654,19 @@ def make_parser() -> argparse.ArgumentParser:
                           choices=("compiled", "vectorized", "packed", "auto"))
     p_submit.add_argument("--sim-vectors", type=int, default=0)
     p_submit.add_argument("--search", default="anneal",
-                          choices=("anneal", "beam", "random"),
+                          choices=("anneal", "beam", "random", "portfolio"),
                           help="optimize search driver (default: anneal)")
     p_submit.add_argument("--objective", default="gated_weight")
     p_submit.add_argument("--iters", type=int, default=150)
     p_submit.add_argument("--seed", type=int, default=0)
     p_submit.add_argument("--restarts", type=int, default=2)
     p_submit.add_argument("--beam-width", type=int, default=4)
+    p_submit.add_argument("--search-workers", type=int, default=4,
+                          help="portfolio island workers inside the "
+                               "serve worker (default 4)")
+    p_submit.add_argument("--time-budget", type=float, default=None,
+                          metavar="SECONDS",
+                          help="anytime wall-clock budget for the search")
     p_submit.add_argument("--schedulers", default="list")
     client_options(p_submit)
     p_submit.set_defaults(func=cmd_submit)

@@ -10,7 +10,14 @@ Three layers:
 * :mod:`repro.opt.search` — the drivers: :func:`anneal`,
   :func:`beam_search`, :func:`random_search`, dispatched by
   :func:`optimize`, resumable through the explore-style JSONL journal
-  and cache-aware through :class:`~repro.pipeline.DiskArtifactCache`.
+  and cache-aware through :class:`~repro.pipeline.DiskArtifactCache`;
+* :mod:`repro.opt.archive` — the NSGA-II Pareto layer
+  (:class:`ParetoArchive`, :func:`nondominated_sort`,
+  :func:`crowding_distances`) every driver maintains alongside its
+  scalarized best;
+* :mod:`repro.opt.portfolio` — the island-model parallel
+  :func:`portfolio` driver: heterogeneous chains in worker processes
+  with elite migration at deterministic round barriers.
 
 Quick start::
 
@@ -44,6 +51,10 @@ _SEARCH_NAMES = ("DRIVERS", "OptResult", "SearchSpec", "anneal",
                  "beam_search", "optimize", "random_search")
 _EVALUATE_NAMES = ("EvaluationBudgetExceeded", "Evaluator", "EvalStats",
                    "OPT_FORMAT")
+_ARCHIVE_NAMES = ("ArchiveEntry", "ParetoArchive", "crowding_distances",
+                  "nondominated_sort", "nsga_select")
+_PORTFOLIO_NAMES = ("ISLAND_PROFILES", "IslandState", "portfolio_search",
+                    "run_island_round")
 
 __all__ = [
     "Candidate",
@@ -55,7 +66,9 @@ __all__ = [
     "gated_weight",
     "pareto_front",
     "pm_score",
+    *_ARCHIVE_NAMES,
     *_EVALUATE_NAMES,
+    *_PORTFOLIO_NAMES,
     *_SEARCH_NAMES,
 ]
 
@@ -69,4 +82,15 @@ def __getattr__(name: str):
         from repro.opt import evaluate
 
         return getattr(evaluate, name)
+    if name in _ARCHIVE_NAMES:
+        from repro.opt import archive
+
+        return getattr(archive, name)
+    if name in _PORTFOLIO_NAMES:
+        # import_module, not a from-import: ``repro.opt.portfolio`` is
+        # a module whose main export shares its name, and the
+        # from-import form would re-enter this __getattr__.
+        import importlib
+
+        return getattr(importlib.import_module("repro.opt.portfolio"), name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -20,11 +20,20 @@ of reuse:
 * an optional JSONL **journal** (the PR-4 explore format): every fresh
   evaluation is appended as it completes, and a re-run with the same
   journal replays them, which is what makes interrupted searches
-  resumable (see :mod:`repro.opt.search`).
+  resumable (see :mod:`repro.opt.search`).  The writer group-commits by
+  default (``durability="batch"``); pass ``durability="record"`` to
+  fsync every record, as the serve crash-recovery path does.
 
 ``max_evaluations`` bounds the number of *fresh* computations; crossing
 the bound raises :class:`EvaluationBudgetExceeded`, leaving the journal
 and store intact for the resuming run.
+
+Two hooks exist for the island-model portfolio driver: ``preload``
+seeds the memo with metrics computed elsewhere (cross-island memo
+inheritance — hits count as memo hits, not replays), and ``session``
+collects every record this evaluator *produced* (fresh computes and
+store hits, not memo or preload hits), which is exactly what an island
+must report back to the coordinator.
 """
 
 from __future__ import annotations
@@ -32,6 +41,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Mapping
 
 from repro.core.pm_pass import PMOptions, PMResult, apply_power_management
 from repro.ir.graph import CDFG
@@ -84,6 +94,8 @@ class Evaluator:
     width: int = 8
     pm_base: PMOptions | None = None
     max_evaluations: int | None = None
+    durability: str = "batch"
+    preload: "Mapping[str, Mapping[str, float]] | None" = None
     stats: EvalStats = field(default_factory=EvalStats)
 
     def __post_init__(self) -> None:
@@ -98,9 +110,15 @@ class Evaluator:
         if self.pm_base is None:
             self.pm_base = PMOptions()
         self._memo: dict[str, dict[str, float]] = {}
+        #: Records produced here this session (computed + store hits).
+        self.session: dict[str, dict[str, float]] = {}
         self._pipeline = None
         self._fingerprint: str | None = None
         self._journal_handle = None
+        if self.preload is not None:
+            for key, metrics in self.preload.items():
+                self._memo[str(key)] = {
+                    str(k): float(v) for k, v in metrics.items()}
         if self.journal is not None:
             path = Path(self.journal)
             for record in load_journal(path).values():
@@ -110,7 +128,8 @@ class Evaluator:
                     self._memo[str(record["key"])] = {
                         str(k): float(v) for k, v in metrics.items()}
                     self.stats.resumed += 1
-            self._journal_handle = open_journal(path, JOURNAL_KIND)
+            self._journal_handle = open_journal(path, JOURNAL_KIND,
+                                                durability=self.durability)
 
     def close(self) -> None:
         if self._journal_handle is not None:
@@ -173,8 +192,21 @@ class Evaluator:
         self._remember(key, metrics)
         return self.objective.score(metrics), metrics
 
+    def memo_snapshot(self) -> dict[str, dict[str, float]]:
+        """Copy of the memo, shippable to workers as a ``preload``."""
+        return {key: dict(metrics) for key, metrics in self._memo.items()}
+
+    def absorb(self, key: str, metrics: Mapping[str, float]) -> bool:
+        """Adopt an evaluation computed elsewhere (an island's report):
+        memoized and journaled unless already known.  True when new."""
+        if key in self._memo:
+            return False
+        self._remember(key, {str(k): float(v) for k, v in metrics.items()})
+        return True
+
     def _remember(self, key: str, metrics: dict[str, float]) -> None:
         self._memo[key] = metrics
+        self.session[key] = metrics
         if self._journal_handle is not None:
             append_record(self._journal_handle, key,
                           {"sig": self._signature(), "metrics": metrics})

@@ -2,9 +2,22 @@
 
 One journal is an append-only JSONL file: a meta line ``{"format": N,
 "kind": "<kind>"}`` followed by one record per completed unit of work,
-``{"key": "<content key>", ...payload}``.  Appends are flushed and
-fsynced so a killed process loses at most the record it was writing;
-loading tolerates that torn tail (and any other garbage line) by
+``{"key": "<content key>", ...payload}``.  Appends go through a
+:class:`JournalWriter` with two durability levels:
+
+* ``"record"`` — every append is flushed *and* fsynced before
+  returning, so even a machine crash loses at most the record being
+  written.  This is the serve crash-recovery contract.
+* ``"batch"`` — group commit: every append is still written and
+  flushed (a killed *process* loses nothing), but the fsync happens
+  only every ``batch_records`` appends or ``batch_seconds`` of wall
+  clock, and on :meth:`~JournalWriter.close`.  A machine crash can
+  lose at most one batch.  This is the default for the optimizer and
+  explorer journals, where records are a cache of recomputable work
+  and per-record fsyncs dominate cheap evaluations.
+
+Either way the file stays torn-tail safe: records are single lines,
+and loading tolerates a torn tail (or any other garbage line) by
 skipping it.  Both the exploration sweep journal and the optimizer
 evaluation journal are instances of this format.
 
@@ -20,11 +33,19 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Mapping
 
 JOURNAL_FORMAT = 1
+
+DURABILITY_LEVELS = ("record", "batch")
+
+#: Group-commit defaults: fsync at most this many records / this much
+#: wall-clock behind the last append.
+BATCH_RECORDS = 64
+BATCH_SECONDS = 0.25
 
 
 def load_journal(path: Path) -> dict[str, dict]:
@@ -48,7 +69,79 @@ def load_journal(path: Path) -> dict[str, dict]:
     return records
 
 
-def open_journal(path: Path, kind: str):
+class JournalWriter:
+    """Append records to one journal under a durability policy.
+
+    Wraps the raw file handle so the two fsync disciplines (see module
+    docstring) share one call site.  Also usable as a context manager;
+    :meth:`close` always drains the pending batch first.
+    """
+
+    def __init__(self, handle, *, durability: str = "record",
+                 batch_records: int = BATCH_RECORDS,
+                 batch_seconds: float = BATCH_SECONDS) -> None:
+        if durability not in DURABILITY_LEVELS:
+            raise ValueError(
+                f"unknown journal durability {durability!r}; "
+                f"expected one of {DURABILITY_LEVELS}")
+        self._handle = handle
+        self.durability = durability
+        self.batch_records = max(1, int(batch_records))
+        self.batch_seconds = float(batch_seconds)
+        self._pending = 0
+        self._last_sync = time.monotonic()
+
+    @property
+    def pending(self) -> int:
+        """Records written but not yet fsynced (always 0 for "record")."""
+        return self._pending
+
+    def append(self, key: str, payload: Mapping[str, object]) -> None:
+        """Append one ``{"key": ..., **payload}`` record.
+
+        Always writes and flushes (torn-tail safe against process
+        death); fsyncs per the durability policy.
+        """
+        record = {"key": key, **payload}
+        self._handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+        self._handle.flush()
+        self._pending += 1
+        if self.durability == "record":
+            self.sync()
+        elif (self._pending >= self.batch_records
+                or time.monotonic() - self._last_sync >= self.batch_seconds):
+            self.sync()
+
+    def sync(self) -> None:
+        """Force the pending batch to disk."""
+        if self._pending:
+            os.fsync(self._handle.fileno())
+            self._pending = 0
+        self._last_sync = time.monotonic()
+
+    def fileno(self) -> int:
+        return self._handle.fileno()
+
+    def close(self) -> None:
+        if self._handle.closed:
+            return
+        self.sync()
+        self._handle.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._handle.closed
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def open_journal(path: Path, kind: str, *, durability: str = "record",
+                 batch_records: int = BATCH_RECORDS,
+                 batch_seconds: float = BATCH_SECONDS) -> JournalWriter:
     """Open ``path`` for appending; write the meta line when fresh and
     repair a torn (newline-less) tail left by a killed writer."""
     path.parent.mkdir(parents=True, exist_ok=True)
@@ -68,15 +161,15 @@ def open_journal(path: Path, kind: str):
     elif torn_tail:
         handle.write("\n")
         handle.flush()
-    return handle
+    return JournalWriter(handle, durability=durability,
+                         batch_records=batch_records,
+                         batch_seconds=batch_seconds)
 
 
-def append_record(handle, key: str, payload: Mapping[str, object]) -> None:
-    """Durably append one ``{"key": ..., **payload}`` record."""
-    record = {"key": key, **payload}
-    handle.write(json.dumps(record, separators=(",", ":")) + "\n")
-    handle.flush()
-    os.fsync(handle.fileno())
+def append_record(handle: JournalWriter, key: str,
+                  payload: Mapping[str, object]) -> None:
+    """Append one record through ``handle``'s durability policy."""
+    handle.append(key, payload)
 
 
 # -- compaction ----------------------------------------------------------

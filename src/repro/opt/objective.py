@@ -145,6 +145,14 @@ class Objective:
         return sum(weight * METRICS[name].sense * metrics[name]
                    for name, weight in self.terms)
 
+    def vector(self, metrics: Mapping[str, float]) -> tuple[float, ...]:
+        """Minimized objective tuple (one entry per term, weights
+        ignored), compatible with :func:`dominates` /
+        :func:`pareto_front`: each maximize-sense metric is negated so
+        smaller is uniformly better."""
+        return tuple(-METRICS[name].sense * metrics[name]
+                     for name, _ in self.terms)
+
     def signature(self) -> str:
         """Stable spec string (round-trips through :meth:`parse`)."""
         return ",".join(name if weight == 1.0 else f"{name}={weight:g}"

@@ -1,6 +1,6 @@
 """Stochastic search drivers over the joint PM design space.
 
-Three drivers move through the (MUX ordering, control-step budget,
+Four drivers move through the (MUX ordering, control-step budget,
 scheduler) space of :mod:`repro.opt.space`, scoring candidates with a
 shared cache-aware :class:`~repro.opt.evaluate.Evaluator`:
 
@@ -12,7 +12,10 @@ shared cache-aware :class:`~repro.opt.evaluate.Evaluator`:
   remaining MUXes in savings order, and the ``beam_width`` best
   prefixes survive each depth;
 * :func:`random_search` — the uniform-sampling baseline the other two
-  are judged against.
+  are judged against;
+* ``portfolio`` (:mod:`repro.opt.portfolio`) — the island-model
+  parallel driver: heterogeneous chains in worker processes with
+  periodic elite migration through the shared journal/store.
 
 Every driver first evaluates the built-in greedy strategies
 (``output_first`` / ``input_first`` / ``savings``) at every (budget,
@@ -23,16 +26,26 @@ makes the journal-based resume exact — an interrupted run re-launched
 with the same journal serves the already-computed evaluations from disk
 and continues live from the interruption point, producing the same
 :meth:`OptResult.outcome` as an uninterrupted run.
+
+Alongside the scalarized best, every driver maintains a
+:class:`~repro.opt.archive.ParetoArchive` over the objective's metric
+terms and attaches it to :attr:`OptResult.archive` — multi-term
+objectives get the whole nondominated trade-off curve, not just the
+weighted winner.  ``time_budget=`` (seconds of wall clock) makes any
+driver *anytime*: it stops cleanly at the deadline with the best front
+found so far, and a longer budget never returns a dominated front.
 """
 
 from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, replace
+import time
+from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping
 
 from repro.ir.graph import CDFG
+from repro.opt.archive import ParetoArchive
 from repro.opt.evaluate import Evaluator
 from repro.opt.objective import Objective
 from repro.opt.space import Candidate, SearchSpace
@@ -48,6 +61,8 @@ class SearchSpec:
     seed: int = 0
     restarts: int = 2
     beam_width: int = 4
+    workers: int = 4                    #: portfolio only
+    time_budget: "float | None" = None  #: anytime wall-clock cap, seconds
 
 
 @dataclass(frozen=True)
@@ -56,10 +71,11 @@ class OptResult:
 
     ``best_label`` names the winning candidate's origin: a greedy seed
     label (``output_first@7/list``-style) when no search move beat the
-    seeds, ``"search"`` otherwise.  ``evaluations`` / ``reused`` /
-    ``resumed`` are run diagnostics and intentionally *not* part of
-    :meth:`outcome` — a resumed run recomputes less but must find the
-    same answer.
+    seeds, ``"search"`` (or ``"island<k>"``) otherwise.  ``evaluations``
+    / ``reused`` (split as ``memo_hits`` + ``store_hits``) / ``resumed``
+    are run diagnostics and intentionally *not* part of :meth:`outcome`
+    — a resumed run recomputes less but must find the same answer.
+    ``archive`` is the run's Pareto front over the objective terms.
     """
 
     circuit: str
@@ -76,10 +92,19 @@ class OptResult:
     evaluations: int
     reused: int
     resumed: int
+    memo_hits: int = 0
+    store_hits: int = 0
+    archive: "ParetoArchive | None" = field(
+        default=None, compare=False, repr=False)
 
     @property
     def metrics(self) -> dict[str, float]:
         return dict(self.best_metrics)
+
+    @property
+    def journal_replays(self) -> int:
+        """Alias for ``resumed`` under its observable name."""
+        return self.resumed
 
     @property
     def best_greedy_score(self) -> float:
@@ -96,7 +121,7 @@ class OptResult:
         Identical for an uninterrupted run and any interrupt/resume
         split of it; this is what the golden regression pins.
         """
-        return {
+        outcome = {
             "circuit": self.circuit,
             "driver": self.driver,
             "objective": self.objective,
@@ -110,6 +135,12 @@ class OptResult:
             "greedy_scores": dict(self.greedy_scores),
             "history": [list(step) for step in self.history],
         }
+        if self.archive is not None:
+            # The front is trajectory-determined, so resume-invariant;
+            # the archive's reuse counters are not and stay out.
+            outcome["pareto"] = [entry.to_dict()
+                                 for entry in self.archive.front()]
+        return outcome
 
     def flow_config(self, base=None):
         """A :class:`~repro.pipeline.FlowConfig` that synthesizes the
@@ -134,9 +165,13 @@ class OptResult:
         lines.append(
             f"  order {'>'.join(str(m) for m in self.best.order) or '-'} "
             f"@ {self.best.n_steps} steps / {self.best.scheduler}")
-        lines.append(f"  {self.evaluations} evaluated, {self.reused} reused"
-                     + (f", {self.resumed} resumed from journal"
-                        if self.resumed else ""))
+        lines.append(f"  {self.evaluations} evaluated, {self.reused} reused "
+                     f"({self.memo_hits} memo, {self.store_hits} store)"
+                     + (f", {self.journal_replays} resumed from journal"
+                        if self.journal_replays else ""))
+        if self.archive is not None and len(self.archive) > 1:
+            lines.append(f"  pareto front: {len(self.archive)} points over "
+                         f"{self.objective}")
         return "\n".join(lines)
 
 
@@ -145,7 +180,7 @@ class _Run:
 
     def __init__(self, graph: CDFG, objective, n_steps, budgets, schedulers,
                  store, journal, max_evaluations, sim_vectors, pm_base,
-                 progress=None):
+                 progress=None, time_budget=None, durability="batch"):
         self.graph = graph
         self.progress = progress
         self.objective = Objective.parse(objective)
@@ -154,13 +189,21 @@ class _Run:
         self.evaluator = Evaluator(
             graph=graph, objective=self.objective, store=store,
             journal=journal, max_evaluations=max_evaluations,
-            sim_vectors=sim_vectors, pm_base=pm_base)
+            sim_vectors=sim_vectors, pm_base=pm_base, durability=durability)
+        self.archive = ParetoArchive(self.objective)
+        self.deadline = (None if time_budget is None
+                         else time.monotonic() + float(time_budget))
         self.best: Candidate | None = None
         self.best_score = -math.inf
         self.best_metrics: Mapping[str, float] = {}
         self.best_label = ""
         self.history: list[tuple[int, float]] = []
         self.greedy_scores: list[tuple[str, float]] = []
+
+    def out_of_time(self) -> bool:
+        """The anytime wall-clock budget is spent (always False without
+        one)."""
+        return self.deadline is not None and time.monotonic() >= self.deadline
 
     # Context manager so a driver that dies mid-search (e.g. on
     # EvaluationBudgetExceeded) still closes the journal handle.
@@ -179,6 +222,7 @@ class _Run:
     def offer(self, candidate: Candidate, score: float,
               metrics: Mapping[str, float], step: int,
               label: str = "search") -> None:
+        self.archive.offer(candidate, metrics, label=label)
         if score > self.best_score:
             self.best, self.best_score = candidate, score
             self.best_metrics, self.best_label = metrics, label
@@ -190,6 +234,10 @@ class _Run:
         self.evaluator.close()
         assert self.best is not None
         stats = self.evaluator.stats
+        self.archive.evaluations = stats.computed
+        self.archive.memo_hits = stats.memo_hits
+        self.archive.store_hits = stats.store_hits
+        self.archive.journal_replays = stats.resumed
         return OptResult(
             circuit=self.graph.name, driver=driver,
             objective=self.objective.signature(), seed=seed,
@@ -199,7 +247,8 @@ class _Run:
             greedy_scores=tuple(self.greedy_scores),
             history=tuple(self.history),
             evaluations=stats.computed, reused=stats.reused,
-            resumed=stats.resumed)
+            resumed=stats.resumed, memo_hits=stats.memo_hits,
+            store_hits=stats.store_hits, archive=self.archive)
 
 
 def random_search(graph: CDFG, objective="gated_weight", *,
@@ -207,14 +256,18 @@ def random_search(graph: CDFG, objective="gated_weight", *,
                   schedulers=("list",), iters: int = 100, seed: int = 0,
                   store=None, journal=None, max_evaluations=None,
                   sim_vectors: int = 128, pm_base=None,
+                  time_budget=None, durability="batch",
                   progress=None) -> OptResult:
     """Uniform random sampling of the space — the honesty baseline."""
     with _Run(graph, objective, n_steps, budgets, schedulers,
               store, journal, max_evaluations, sim_vectors, pm_base,
-              progress=progress) as run:
+              progress=progress, time_budget=time_budget,
+              durability=durability) as run:
         rng = random.Random(seed)
         run.seed_greedy()
         for step in range(1, iters + 1):
+            if run.out_of_time():
+                break
             candidate = run.space.random_candidate(rng)
             score, metrics = run.evaluator.evaluate(candidate)
             run.offer(candidate, score, metrics, step)
@@ -226,6 +279,7 @@ def anneal(graph: CDFG, objective="gated_weight", *,
            iters: int = 150, seed: int = 0, restarts: int = 2,
            store=None, journal=None, max_evaluations=None,
            sim_vectors: int = 128, pm_base=None,
+           time_budget=None, durability="batch",
            progress=None) -> OptResult:
     """Seeded simulated annealing with a restart schedule.
 
@@ -239,11 +293,14 @@ def anneal(graph: CDFG, objective="gated_weight", *,
         raise ValueError(f"restarts must be >= 1, got {restarts}")
     with _Run(graph, objective, n_steps, budgets, schedulers,
               store, journal, max_evaluations, sim_vectors, pm_base,
-              progress=progress) as run:
+              progress=progress, time_budget=time_budget,
+              durability=durability) as run:
         rng = random.Random(seed)
         run.seed_greedy()
         step = 0
         for restart in range(restarts):
+            if run.out_of_time():
+                break
             chain_iters = iters // restarts + (1 if restart < iters % restarts
                                                else 0)
             if chain_iters == 0:
@@ -259,6 +316,8 @@ def anneal(graph: CDFG, objective="gated_weight", *,
             cooling = (0.01) ** (1.0 / max(1, chain_iters - 1))
             temperature = t_hot
             for _ in range(chain_iters):
+                if run.out_of_time():
+                    break
                 candidate = run.space.neighbor(current, rng)
                 score, metrics = run.evaluator.evaluate(candidate)
                 step += 1
@@ -275,6 +334,7 @@ def beam_search(graph: CDFG, objective="gated_weight", *,
                 schedulers=("list",), beam_width: int = 4, seed: int = 0,
                 store=None, journal=None, max_evaluations=None,
                 sim_vectors: int = 128, pm_base=None,
+                time_budget=None, durability="batch",
                 progress=None) -> OptResult:
     """Deterministic beam search over MUX-ordering prefixes.
 
@@ -290,7 +350,8 @@ def beam_search(graph: CDFG, objective="gated_weight", *,
 
     with _Run(graph, objective, n_steps, budgets, schedulers,
               store, journal, max_evaluations, sim_vectors, pm_base,
-              progress=progress) as run:
+              progress=progress, time_budget=time_budget,
+              durability=durability) as run:
         run.seed_greedy()
         completion = tuple(order_muxes(graph, "savings"))
         step = 0
@@ -298,6 +359,8 @@ def beam_search(graph: CDFG, objective="gated_weight", *,
             for scheduler in run.space.schedulers:
                 beam: list[tuple[int, ...]] = [()]
                 for _depth in range(len(run.space.mux_ids)):
+                    if run.out_of_time():
+                        break
                     extensions: list[tuple[float, tuple[int, ...]]] = []
                     for prefix in beam:
                         chosen = set(prefix)
@@ -321,11 +384,37 @@ def beam_search(graph: CDFG, objective="gated_weight", *,
         return run.result("beam", seed)
 
 
+def _portfolio(graph: CDFG, **kwargs) -> OptResult:
+    # Imported lazily: repro.opt.portfolio builds on this module.
+    from repro.opt.portfolio import portfolio
+
+    return portfolio(graph, **kwargs)
+
+
 DRIVERS: dict[str, Callable[..., OptResult]] = {
     "anneal": anneal,
     "beam": beam_search,
     "random": random_search,
+    "portfolio": _portfolio,
 }
+
+#: Keyword arguments every driver accepts.
+COMMON_KNOBS = ("objective", "n_steps", "budgets", "schedulers", "seed",
+                "store", "journal", "max_evaluations", "sim_vectors",
+                "pm_base", "time_budget", "durability", "progress")
+
+#: Per-driver tuning knobs on top of :data:`COMMON_KNOBS`.  A
+#: :class:`SearchSpec` knob outside the chosen driver's set is dropped
+#: (one spec fits every driver); any *other* unknown kwarg is an error.
+DRIVER_KNOBS = {
+    "anneal": ("iters", "restarts"),
+    "beam": ("beam_width",),
+    "random": ("iters",),
+    "portfolio": ("iters", "workers", "islands", "migration_every",
+                  "archive_size", "front_progress"),
+}
+
+_SPEC_KNOBS = ("iters", "restarts", "beam_width", "workers")
 
 
 def optimize(graph: CDFG, search: "SearchSpec | str" = SearchSpec(),
@@ -336,16 +425,25 @@ def optimize(graph: CDFG, search: "SearchSpec | str" = SearchSpec(),
     if spec.driver not in DRIVERS:
         raise ValueError(f"unknown search driver {spec.driver!r}; choose "
                          f"from {sorted(DRIVERS)}")
+    wanted = DRIVER_KNOBS[spec.driver]
+    unknown = sorted(set(kwargs)
+                     - set(COMMON_KNOBS) - set(wanted) - set(_SPEC_KNOBS))
+    if unknown:
+        raise ValueError(
+            f"unknown option(s) {', '.join(repr(k) for k in unknown)} for "
+            f"driver {spec.driver!r}; valid options: "
+            f"{', '.join(sorted(set(COMMON_KNOBS) | set(wanted)))}")
     kwargs.setdefault("objective", spec.objective)
     kwargs.setdefault("seed", spec.seed)
-    kwargs.setdefault("iters", spec.iters)
-    kwargs.setdefault("restarts", spec.restarts)
-    kwargs.setdefault("beam_width", spec.beam_width)
-    # Each driver takes only its own tuning knobs; the others are
+    if spec.time_budget is not None:
+        kwargs.setdefault("time_budget", spec.time_budget)
+    # Each driver takes only its own tuning knobs; the spec's others are
     # dropped here so one SearchSpec (or kwargs pile) fits every driver.
-    wanted = {"beam": ("beam_width",), "anneal": ("iters", "restarts"),
-              "random": ("iters",)}.get(spec.driver, ())
-    for knob in ("iters", "restarts", "beam_width"):
-        if knob not in wanted:
+    spec_defaults = {"iters": spec.iters, "restarts": spec.restarts,
+                     "beam_width": spec.beam_width, "workers": spec.workers}
+    for knob in _SPEC_KNOBS:
+        if knob in wanted:
+            kwargs.setdefault(knob, spec_defaults[knob])
+        else:
             kwargs.pop(knob, None)
     return DRIVERS[spec.driver](graph, **kwargs)

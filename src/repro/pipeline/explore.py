@@ -361,9 +361,12 @@ def load_point_journal(path: Path) -> dict[str, ExplorationPoint]:
     return completed
 
 
-def open_point_journal(path: Path):
-    """Append handle for a sweep journal (meta line written when fresh)."""
-    return open_journal(path, kind="explore-journal")
+def open_point_journal(path: Path, durability: str = "batch"):
+    """Append handle for a sweep journal (meta line written when fresh).
+
+    Group-commits by default; pass ``durability="record"`` to fsync
+    every point (the serve crash-recovery contract)."""
+    return open_journal(path, kind="explore-journal", durability=durability)
 
 
 def journal_point(handle, key: str, point: ExplorationPoint) -> None:
@@ -382,6 +385,8 @@ def _search_explore(
     sim_vectors: int,
     store: DiskArtifactCache | None,
     resume: str | os.PathLike | None,
+    workers: int = 1,
+    durability: str = "batch",
 ) -> ExplorationResult:
     """``explore(search=...)``: one optimizer run + one point per circuit."""
     from repro.opt.search import SearchSpec, optimize
@@ -392,6 +397,11 @@ def _search_explore(
     base = configs[0]
     points = []
     resumed = 0
+    extra: dict[str, object] = {}
+    if spec_obj.driver == "portfolio":
+        # The island-model driver parallelizes *within* one circuit, so
+        # explore's worker count flows through instead of being ignored.
+        extra["workers"] = max(1, workers)
     for spec in specs:
         graph = _load_spec(spec)
         if isinstance(budgets, Mapping):
@@ -401,8 +411,8 @@ def _search_explore(
         outcome = optimize(
             graph, spec_obj, budgets=tuple(circuit_budgets),
             schedulers=schedulers, store=store, journal=resume,
-            pm_base=base.pm,
-            sim_vectors=sim_vectors if sim_vectors > 0 else 128)
+            pm_base=base.pm, durability=durability,
+            sim_vectors=sim_vectors if sim_vectors > 0 else 128, **extra)
         resumed += outcome.resumed
         config = outcome.flow_config(base)
         points.append(_run_point(spec, config, sim_vectors, store))
@@ -420,6 +430,7 @@ def explore(
     chunk_size: int | None = None,
     search=None,
     progress: Callable[[ExplorationPoint], None] | None = None,
+    durability: str = "batch",
 ) -> ExplorationResult:
     """Synthesize every (circuit, budget, config) point of a sweep.
 
@@ -444,11 +455,17 @@ def explore(
     joint (MUX ordering, budget, scheduler) space — budgets from
     ``budgets``, schedulers from ``configs``, other config fields from
     ``configs[0]`` — and the result holds the single optimizer-chosen
-    point per circuit.  In search mode the run is sequential
-    (``workers``/``chunk_size`` are ignored), ``store=`` additionally
-    backs candidate evaluation, ``resume=`` journals evaluations rather
-    than finished points, and ``result.resumed`` counts evaluations
-    replayed from that journal.
+    point per circuit.  In search mode single-chain drivers run
+    sequentially (``workers``/``chunk_size`` are ignored), while
+    ``search="portfolio"`` parallelizes *within* each circuit across
+    ``workers`` island processes; ``store=`` additionally backs
+    candidate evaluation, ``resume=`` journals evaluations rather than
+    finished points, and ``result.resumed`` counts evaluations replayed
+    from that journal.
+
+    ``durability`` sets the resume journal's fsync policy: ``"batch"``
+    (default) group-commits; ``"record"`` fsyncs every record, as the
+    serve crash-recovery path requires.
 
     ``progress`` (grid mode only) is called in the submitting process
     with every :class:`ExplorationPoint` as it becomes available —
@@ -464,7 +481,8 @@ def explore(
         if not specs:
             raise ValueError("explore() needs at least one circuit")
         return _search_explore(specs, budgets, configs, search,
-                               sim_vectors, store, resume)
+                               sim_vectors, store, resume,
+                               workers=workers, durability=durability)
 
     jobs = plan_jobs(circuits, budgets, configs, sim_vectors)
 
@@ -483,7 +501,8 @@ def explore(
             pending.append((index, key, spec, config, n_sim))
     resumed = len(jobs) - len(pending)
 
-    journal = open_point_journal(Path(resume)) if resume is not None else None
+    journal = open_point_journal(Path(resume), durability=durability) \
+        if resume is not None else None
     try:
         if workers > 1 and len(pending) > 1:
             if chunk_size is None:

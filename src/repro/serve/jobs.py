@@ -144,8 +144,10 @@ class JobRegistry:
         self._journal = None
         if self._journal_path is not None:
             self._restore()
+            # Job state is the crash-recovery record: fsync every append.
             self._journal = open_journal(self._journal_path,
-                                         REGISTRY_JOURNAL_KIND)
+                                         REGISTRY_JOURNAL_KIND,
+                                         durability="record")
 
     # -- persistence -----------------------------------------------------
 
@@ -210,7 +212,8 @@ class JobRegistry:
             outcome = compact_journal(self._journal_path,
                                       kind=REGISTRY_JOURNAL_KIND)
             self._journal = open_journal(self._journal_path,
-                                         REGISTRY_JOURNAL_KIND)
+                                         REGISTRY_JOURNAL_KIND,
+                                         durability="record")
             return outcome
 
     # -- submission and lookup -------------------------------------------

@@ -233,7 +233,8 @@ class JobServer:
         chunk_size = int(params.get("chunk_size", self.chunk_size))
         chunks = [pending[i:i + chunk_size]
                   for i in range(0, len(pending), max(1, chunk_size))]
-        journal = open_point_journal(journal_path)
+        # Crash recovery hinges on this journal: fsync every point.
+        journal = open_point_journal(journal_path, durability="record")
         futures: set = set()
         try:
             futures = {
@@ -302,7 +303,8 @@ class JobServer:
         params = job.params
         search = {name: params[name]
                   for name in ("driver", "objective", "iters", "seed",
-                               "restarts", "beam_width")
+                               "restarts", "beam_width", "workers",
+                               "time_budget")
                   if name in params}
         progress_path = self.journal_dir / f"{job.key}.progress.jsonl"
         try:

@@ -5,9 +5,11 @@ Explore jobs reuse :func:`repro.pipeline.explore.run_chunk` directly —
 the server plans the grid, diffs it against the job's resume journal,
 and ships pending chunks here.  Optimize jobs run a whole
 :func:`repro.opt.search.optimize` in one worker; incremental
-best-so-far improvements stream back through a sidecar JSONL progress
-file the server tails (the pool cannot carry callbacks across the
-process boundary, a flushed append-only file can).
+best-so-far improvements — and, for the portfolio driver, evolving
+Pareto-archive snapshots (``"type": "pareto"`` records) — stream back
+through a sidecar JSONL progress file the server tails (the pool
+cannot carry callbacks across the process boundary, a flushed
+append-only file can).
 """
 
 from __future__ import annotations
@@ -44,21 +46,36 @@ def run_optimize_job(payload: dict) -> dict:
     spec = SearchSpec(**payload.get("search", {}))
     progress_path = payload.get("progress_path")
     progress = None
+    front_progress = None
     if progress_path:
         handle = open(progress_path, "a", encoding="utf-8")
 
+        def _emit(record: dict) -> None:
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
         def progress(step, score, candidate):
-            handle.write(json.dumps({
+            _emit({
                 "step": step,
                 "score": score,
                 "n_steps": candidate.n_steps,
                 "scheduler": candidate.scheduler,
                 "order": list(candidate.order),
-            }, separators=(",", ":")) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+            })
+
+        def front_progress(round_index, archive):
+            _emit({
+                "type": "pareto",
+                "round": round_index,
+                "size": len(archive),
+                "front": [entry.to_dict() for entry in archive.front()],
+            })
 
     pm_base = PMOptions(partial=bool(payload.get("partial", False)))
+    extra = {}
+    if spec.driver == "portfolio":
+        extra["front_progress"] = front_progress
     try:
         result = optimize(
             graph, spec,
@@ -68,7 +85,10 @@ def run_optimize_job(payload: dict) -> dict:
             journal=payload.get("journal"),
             sim_vectors=int(payload.get("sim_vectors", 128)),
             pm_base=pm_base,
+            # Serve journals are the crash-recovery record: fsync each.
+            durability="record",
             progress=progress,
+            **extra,
         )
     finally:
         if progress_path:
@@ -78,6 +98,9 @@ def run_optimize_job(payload: dict) -> dict:
         "evaluations": result.evaluations,
         "reused": result.reused,
         "resumed": result.resumed,
+        "memo_hits": result.memo_hits,
+        "store_hits": result.store_hits,
+        "pareto_size": len(result.archive) if result.archive else 0,
         "improvement_over_greedy": result.improvement_over_greedy,
     }
 

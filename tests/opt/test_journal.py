@@ -1,12 +1,21 @@
-"""compact_journal: dedup, garbage removal, atomicity, meta handling."""
+"""compact_journal: dedup, garbage removal, atomicity, meta handling.
+
+Plus the :class:`JournalWriter` durability policies: per-record fsync
+("record") versus group commit ("batch") with its record-count and
+wall-clock triggers, and the close/context-manager drain guarantee.
+"""
 
 import json
 
 import pytest
 
 from repro.opt.journal import (
+    BATCH_RECORDS,
+    BATCH_SECONDS,
+    DURABILITY_LEVELS,
     JOURNAL_FORMAT,
     CompactionResult,
+    JournalWriter,
     append_record,
     compact_journal,
     load_journal,
@@ -21,6 +30,75 @@ def journal(tmp_path):
 
 def lines(path):
     return path.read_text().splitlines()
+
+
+class TestDurability:
+    def test_levels_and_defaults(self):
+        assert DURABILITY_LEVELS == ("record", "batch")
+        assert BATCH_RECORDS >= 1
+        assert BATCH_SECONDS > 0
+
+    def test_unknown_durability_is_rejected(self, journal):
+        with pytest.raises(ValueError, match="eventually"):
+            open_journal(journal, "test", durability="eventually")
+
+    def test_record_mode_never_leaves_a_pending_batch(self, journal):
+        handle = open_journal(journal, "test", durability="record")
+        for i in range(5):
+            append_record(handle, f"k{i}", {"v": i})
+            assert handle.pending == 0
+        handle.close()
+        assert len(load_journal(journal)) == 5
+
+    def test_batch_mode_accumulates_then_group_commits(self, journal):
+        handle = open_journal(journal, "test", durability="batch",
+                              batch_records=4, batch_seconds=3600.0)
+        for i in range(3):
+            append_record(handle, f"k{i}", {"v": i})
+        assert handle.pending == 3  # under both triggers: still buffered
+        append_record(handle, "k3", {"v": 3})
+        assert handle.pending == 0  # record-count trigger fired
+        # Flushed-but-unsynced records are still readable: batch mode
+        # only defers the fsync, not the write.
+        append_record(handle, "k4", {"v": 4})
+        assert handle.pending == 1
+        assert len(load_journal(journal)) == 5
+        handle.close()
+
+    def test_wall_clock_trigger(self, journal):
+        # batch_seconds=0 makes every append exceed the clock budget, so
+        # batch mode degenerates to per-record sync — deterministically.
+        handle = open_journal(journal, "test", durability="batch",
+                              batch_records=10_000, batch_seconds=0.0)
+        append_record(handle, "a", {"v": 1})
+        assert handle.pending == 0
+        handle.close()
+
+    def test_close_drains_the_pending_batch(self, journal):
+        handle = open_journal(journal, "test", durability="batch",
+                              batch_records=10_000, batch_seconds=3600.0)
+        append_record(handle, "a", {"v": 1})
+        assert handle.pending == 1
+        handle.close()
+        assert handle.closed
+        handle.close()  # idempotent
+        assert load_journal(journal)["a"]["v"] == 1
+
+    def test_context_manager_drains_too(self, journal):
+        with open_journal(journal, "test", durability="batch",
+                          batch_records=10_000,
+                          batch_seconds=3600.0) as handle:
+            append_record(handle, "a", {"v": 1})
+            assert handle.pending == 1
+        assert handle.closed
+
+    def test_writer_wraps_any_handle(self, tmp_path):
+        path = tmp_path / "raw.jsonl"
+        with open(path, "w", encoding="utf-8") as raw:
+            writer = JournalWriter(raw, durability="record")
+            writer.append("a", {"v": 1})
+            assert writer.fileno() == raw.fileno()
+        assert load_journal(path)["a"]["v"] == 1
 
 
 class TestCompaction:

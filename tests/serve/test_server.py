@@ -67,6 +67,33 @@ class TestAPI:
         assert final["result"]["evaluations"] > 0
         assert "outcome" in final["result"]
 
+    def test_portfolio_job_streams_pareto_archives(self, served):
+        _, _, client = served
+        job = client.submit("optimize", circuit="gcd", budgets=[6, 7],
+                            driver="portfolio", iters=20, seed=3,
+                            workers=1, sim_vectors=16)
+        events = list(client.stream(job["id"], timeout=120))
+        archives = [e for e in events if e["type"] == "pareto"]
+        assert archives  # the evolving archive streams live
+        assert all("round" in e and e["size"] >= 1 for e in archives)
+        assert all(e["front"] for e in archives)
+        final = client.job(job["id"])
+        result = final["result"]
+        assert result["pareto_size"] >= 1
+        assert result["outcome"]["pareto"]
+        assert result["evaluations"] > 0
+        # Warm resubmission: the record-durability journal serves every
+        # evaluation, and the hit counters surface in the summary.
+        again = client.wait(client.submit(
+            "optimize", circuit="gcd", budgets=[6, 7],
+            driver="portfolio", iters=20, seed=3, workers=1,
+            sim_vectors=16)["id"], timeout=120)
+        warm = again["result"]
+        assert warm["outcome"] == result["outcome"]
+        assert warm["evaluations"] == 0
+        assert warm["resumed"] > 0
+        assert warm["memo_hits"] > 0
+
     def test_identical_inflight_submissions_share_a_job(self, served):
         _, _, client = served
         params = {"circuits": ["vender"], "budgets": [6, 7, 8]}
