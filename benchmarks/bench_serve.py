@@ -15,8 +15,12 @@ It exits nonzero unless:
   (incremental results, not just a final blob);
 * resubmitting the identical sweep resumes every point from the journal
   (zero recomputes) and the store reports warm hits;
-* a killed server restarts, re-queues the interrupted job, and finishes
-  it without redoing journaled points;
+* a killed server restarts, re-claims the interrupted job once its
+  lease expires, and finishes it without redoing journaled points;
+* SSE streaming delivers every point event a poll replay sees (the
+  latency of both paths is printed for comparison);
+* two servers sharing one state directory drain one queue — a job
+  submitted while server A's worker is busy is claimed by server B;
 * maintenance (journal compaction + store GC) and shutdown both
   succeed.
 """
@@ -48,7 +52,9 @@ def run_smoke(state: Path, workers: int = 2) -> int:
         if not ok:
             failures.append(what)
 
-    handle = start_in_thread(state, workers=workers)
+    # Short lease so the kill-and-restart section recovers in seconds
+    # instead of waiting out the 30 s default.
+    handle = start_in_thread(state, workers=workers, lease_s=2.0)
     port = handle.port
     print(f"server on 127.0.0.1:{port}, state in {state}")
 
@@ -107,6 +113,34 @@ def run_smoke(state: Path, workers: int = 2) -> int:
           "warm resubmit resumed every point (zero recomputes)")
     check(stats_after["entries"] > 0, "store holds artifacts")
 
+    # -- SSE vs poll streaming --------------------------------------------
+    def timed_stream(params: dict, mode: str) -> tuple[list, float, float]:
+        job_ = client.submit("explore", **params)
+        t0 = time.perf_counter()
+        first = None
+        events_ = []
+        for event in client.stream(job_["id"], timeout=300, mode=mode):
+            if first is None and event["type"] == "point":
+                first = time.perf_counter() - t0
+            events_.append(event)
+        return events_, first if first is not None else -1.0, \
+            time.perf_counter() - t0
+
+    sse_events, sse_first, sse_total = timed_stream(
+        {"circuits": ["gen:tiny:31"], "budgets": [6, 7]}, "sse")
+    poll_events, poll_first, poll_total = timed_stream(
+        {"circuits": ["gen:tiny:32"], "budgets": [6, 7]}, "poll")
+    print(f"stream: sse first point {sse_first * 1000:.0f}ms, done "
+          f"{sse_total:.2f}s; poll first point {poll_first * 1000:.0f}ms, "
+          f"done {poll_total:.2f}s")
+    check([e["type"] for e in sse_events].count("point") == 2,
+          "SSE streamed every point event")
+    check(sse_events[-1]["type"] == "state"
+          and sse_events[-1]["state"] == "done",
+          "SSE stream ended on the terminal state event")
+    check([e["type"] for e in poll_events].count("point") == 2,
+          "poll streamed every point event")
+
     # -- maintenance ------------------------------------------------------
     report = client.maintenance()
     check(report["store"]["dropped"] == 0,
@@ -129,7 +163,7 @@ def run_smoke(state: Path, workers: int = 2) -> int:
     journal = state / "journals" / f"{interrupted['key']}.jsonl"
     banked = len(load_point_journal(journal))
 
-    restarted = start_in_thread(state, workers=workers)
+    restarted = start_in_thread(state, workers=workers, lease_s=2.0)
     client = ServeClient(port=restarted.port)
     revived = client.wait(interrupted["id"], timeout=300)
     print(f"restart: {banked} points banked at kill, "
@@ -145,6 +179,40 @@ def run_smoke(state: Path, workers: int = 2) -> int:
     client.shutdown()
     restarted._thread.join(timeout=30)
     check(not restarted._thread.is_alive(), "clean shutdown")
+
+    # -- two servers, one queue -------------------------------------------
+    cluster = state / "cluster"
+    a = start_in_thread(cluster, workers=1, lease_s=5.0,
+                        server_id="bench-a")
+    b = start_in_thread(cluster, workers=1, lease_s=5.0,
+                        server_id="bench-b")
+    try:
+        ca = ServeClient(port=a.port)
+        cb = ServeClient(port=b.port)
+        # A chunky job pins its claimer's only worker...
+        busy = ca.submit("explore", circuits=["gen:branchy:11"],
+                         budgets=[10, 11, 12, 13, 14, 15],
+                         sim_backend="compiled", sim_vectors=8192)
+        while (owner := ca.job(busy["id"]).get("server_id")) is None:
+            time.sleep(0.02)
+        # ...so a job handed to the *idle* peer must be claimed there —
+        # the busy owner has no free worker to steal it with.
+        idle = cb if owner == "bench-a" else ca
+        spill = idle.submit("explore", circuits=["gen:tiny:33"],
+                            budgets=[6, 7])
+        spilled = ca.wait(spill["id"], timeout=300)  # visible cluster-wide
+        drained = cb.wait(busy["id"], timeout=300)
+        print(f"cluster: {busy['id']} ran on {drained['server_id']}, "
+              f"{spill['id']} on {spilled['server_id']}")
+        check(drained["state"] == "done" and spilled["state"] == "done",
+              "both jobs in the shared queue finished")
+        check(spilled["server_id"] != drained["server_id"]
+              and {spilled["server_id"], drained["server_id"]}
+              == {"bench-a", "bench-b"},
+              "the idle server drained the job the busy one could not")
+    finally:
+        a.stop()
+        b.stop()
 
     print("serve smoke OK" if not failures
           else f"serve smoke: {len(failures)} failure(s)")

@@ -260,10 +260,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             max_store_entries=args.max_store_entries,
             chunk_size=args.chunk_size,
-            maintenance_interval=args.maintain_every)
+            maintenance_interval=args.maintain_every,
+            server_id=args.server_id,
+            lease_s=args.lease)
         await server.start()
         print(f"repro serve listening on http://{server.host}:{server.port}"
-              f" ({args.workers} workers, state in {args.state})")
+              f" ({args.workers} workers, state in {args.state}, "
+              f"server id {server.server_id})")
         try:
             await server.serve_forever()
         finally:
@@ -316,6 +319,10 @@ def _print_event(event: dict) -> None:
     elif kind == "state":
         detail = f": {event['error']}" if event.get("error") else ""
         print(f"  state  -> {event['state']}{detail}")
+    elif kind == "gap":
+        print(f"  gap    {event['dropped']} event"
+              f"{'' if event['dropped'] == 1 else 's'} aged out of the "
+              f"feed before streaming")
 
 
 def cmd_submit(args: argparse.Namespace) -> int:
@@ -396,7 +403,11 @@ def cmd_jobs(args: argparse.Namespace) -> int:
 
     client = _serve_client(args)
     try:
-        if args.job_id:
+        if args.job_id and args.follow:
+            for event in client.stream(args.job_id, timeout=args.timeout):
+                _print_event(event)
+            _print_summary(client.job(args.job_id))
+        elif args.job_id:
             job = client.job(args.job_id,
                              since=0 if args.events else None)
             _print_summary(job)
@@ -625,6 +636,15 @@ def make_parser() -> argparse.ArgumentParser:
                          metavar="SECONDS",
                          help="run journal compaction + store GC on this "
                               "period (default 0 = only on demand)")
+    p_serve.add_argument("--server-id", default=None, metavar="ID",
+                         help="stable identity in the shared lease queue "
+                              "(default: random per process); give each "
+                              "server on a shared --state its own id")
+    p_serve.add_argument("--lease", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="job lease duration: a crashed server's "
+                              "jobs are re-claimed by a peer once its "
+                              "lease expires (default 30)")
     p_serve.set_defaults(func=cmd_serve)
 
     def client_options(p: argparse.ArgumentParser) -> None:
@@ -677,6 +697,9 @@ def make_parser() -> argparse.ArgumentParser:
                         help="job id to inspect (default: list all)")
     p_jobs.add_argument("--events", action="store_true",
                         help="with a job id, also print its event feed")
+    p_jobs.add_argument("--follow", action="store_true",
+                        help="with a job id, stream live events over SSE "
+                             "until the job terminates")
     client_options(p_jobs)
     p_jobs.set_defaults(func=cmd_jobs)
 

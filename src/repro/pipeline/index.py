@@ -39,6 +39,26 @@ INDEX_FORMAT = 1
 
 INDEX_NAME = "index.db"
 
+
+def wal_connect(path: "str | os.PathLike", *, timeout: float = 30.0,
+                check_same_thread: bool = True) -> sqlite3.Connection:
+    """A SQLite connection configured for concurrent serving workloads.
+
+    WAL journal (readers never block the writer), ``NORMAL`` synchronous
+    (WAL makes that crash-safe for committed transactions), a generous
+    busy timeout, and manual transaction control — the configuration
+    both the artifact index and the :mod:`repro.serve` lease queue run
+    on, extracted here so every store-adjacent database behaves the
+    same way under multi-process contention.
+    """
+    conn = sqlite3.connect(path, timeout=timeout, isolation_level=None,
+                           check_same_thread=check_same_thread)
+    conn.execute("PRAGMA journal_mode=WAL")
+    conn.execute("PRAGMA synchronous=NORMAL")
+    conn.execute("PRAGMA busy_timeout={}".format(int(timeout * 1000)))
+    return conn
+
+
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS entries (
     digest TEXT PRIMARY KEY,
@@ -84,11 +104,11 @@ class IndexedArtifactStore(DiskArtifactCache):
         return self._conn
 
     def _open_index(self) -> sqlite3.Connection:
-        conn = sqlite3.connect(self.index_path, timeout=30.0,
-                               isolation_level=None)  # manual transactions
-        conn.execute("PRAGMA journal_mode=WAL")
-        conn.execute("PRAGMA synchronous=NORMAL")
-        conn.execute("PRAGMA busy_timeout=30000")
+        # The serving tier touches the index from the event loop's I/O
+        # and maintenance executor threads; statement execution is
+        # serialized by the sqlite3 module itself.
+        conn = wal_connect(self.index_path, timeout=30.0,
+                           check_same_thread=False)
         conn.executescript(_SCHEMA)
         row = conn.execute(
             "SELECT v FROM meta WHERE k='format'").fetchone()

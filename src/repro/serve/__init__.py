@@ -16,26 +16,36 @@ optimizer into an always-on service:
 See ``docs/serving.md`` for the API and operational knobs.
 """
 
-from repro.serve.client import JobFailed, ServeClient, ServeError
+from repro.serve.client import (
+    EventGapError,
+    JobFailed,
+    ServeClient,
+    ServeError,
+)
 from repro.serve.jobs import (
     Job,
     JobError,
     JobRegistry,
+    JobRow,
     JobState,
     JobStateError,
+    LeaseStore,
     UnknownJobError,
     job_content_key,
 )
 from repro.serve.server import JobServer, ServerHandle, start_in_thread
 
 __all__ = [
+    "EventGapError",
     "Job",
     "JobError",
     "JobFailed",
     "JobRegistry",
+    "JobRow",
     "JobServer",
     "JobState",
     "JobStateError",
+    "LeaseStore",
     "ServeClient",
     "ServeError",
     "ServerHandle",

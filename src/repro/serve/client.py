@@ -1,9 +1,11 @@
 """Stdlib HTTP client for a :class:`~repro.serve.server.JobServer`.
 
 ``ServeClient`` is the programmatic face the CLI (``repro submit``,
-``repro jobs``) and the tests use; each call is one short-lived
-``http.client`` request, so any number of clients can hammer one server
-concurrently with no shared connection state.
+``repro jobs``) and the tests use.  Plain calls ride one persistent
+keep-alive connection per thread (reopened transparently when the
+server closes it); :meth:`stream` follows a job's events live over the
+server's SSE endpoint, reconnecting with ``Last-Event-ID`` after a
+drop, with the old ``?since=`` poll loop kept as ``mode="poll"``.
 
     >>> client = ServeClient(port=8642)
     >>> job = client.submit("explore", circuits=["gcd"], budgets=[6, 7])
@@ -17,7 +19,10 @@ from __future__ import annotations
 
 import http.client
 import json
+import threading
 import time
+
+TERMINAL = ("done", "failed", "cancelled")
 
 
 class ServeError(RuntimeError):
@@ -42,26 +47,65 @@ class JobFailed(ServeError):
         self.payload = snapshot
 
 
+class EventGapError(ServeError):
+    """The server's bounded event ring aged events out before this
+    client saw them (raised only when the caller asked to be strict)."""
+
+    def __init__(self, job_id: str, dropped: int) -> None:
+        RuntimeError.__init__(
+            self, f"job {job_id}: {dropped} event(s) dropped before "
+                  "they could be streamed")
+        self.status = 0
+        self.payload = {"job_id": job_id, "dropped": dropped}
+        self.dropped = dropped
+
+
 class ServeClient:
-    """Thin JSON-over-HTTP client; one request per call."""
+    """Thin JSON-over-HTTP client with per-thread keep-alive."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8642,
                  timeout: float = 60.0) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self._local = threading.local()
+
+    # -- connection management -------------------------------------------
+
+    def _conn(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(self.host, self.port,
+                                              timeout=self.timeout)
+            self._local.conn = conn
+        return conn
+
+    def close(self) -> None:
+        """Drop this thread's persistent connection (if any)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            conn.close()
+            self._local.conn = None
 
     def _request(self, method: str, path: str,
                  body: dict | None = None) -> dict:
-        conn = http.client.HTTPConnection(self.host, self.port,
-                                          timeout=self.timeout)
-        try:
-            payload = json.dumps(body) if body is not None else None
-            conn.request(method, path, body=payload, headers={
-                "Content-Type": "application/json",
-                "Connection": "close"})
-            response = conn.getresponse()
-            raw = response.read()
+        payload = json.dumps(body) if body is not None else None
+        for attempt in (0, 1):
+            conn = self._conn()
+            try:
+                conn.request(method, path, body=payload, headers={
+                    "Content-Type": "application/json"})
+                response = conn.getresponse()
+                raw = response.read()
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # A keep-alive connection the server closed between
+                # requests looks exactly like this: retry once fresh.
+                self.close()
+                if attempt:
+                    raise
+                continue
+            if response.will_close:
+                self.close()
             try:
                 data = json.loads(raw) if raw else {}
             except json.JSONDecodeError:
@@ -69,8 +113,7 @@ class ServeClient:
             if response.status >= 400:
                 raise ServeError(response.status, data)
             return data
-        finally:
-            conn.close()
+        raise AssertionError("unreachable")
 
     # -- endpoints -------------------------------------------------------
 
@@ -85,7 +128,8 @@ class ServeClient:
 
     def submit(self, kind: str, **params) -> dict:
         """Submit one job; returns its snapshot (which may be an
-        already-running job when an identical request is in flight)."""
+        already-running job when an identical request is in flight
+        anywhere in the cluster)."""
         return self._request("POST", "/jobs",
                              {"kind": kind, "params": params})
 
@@ -104,16 +148,16 @@ class ServeClient:
     def shutdown(self) -> dict:
         return self._request("POST", "/shutdown")
 
-    # -- polling conveniences --------------------------------------------
+    # -- following jobs --------------------------------------------------
 
     def wait(self, job_id: str, timeout: float = 300.0,
              poll: float = 0.05, raise_on_failure: bool = True) -> dict:
         """Block until the job reaches a terminal state; returns the
-        final snapshot."""
+        final snapshot.  Works against any server in the cluster."""
         deadline = time.monotonic() + timeout
         while True:
             snapshot = self.job(job_id)
-            if snapshot["state"] in ("done", "failed", "cancelled"):
+            if snapshot["state"] in TERMINAL:
                 if snapshot["state"] == "failed" and raise_on_failure:
                     raise JobFailed(snapshot)
                 return snapshot
@@ -124,24 +168,132 @@ class ServeClient:
             time.sleep(poll)
 
     def stream(self, job_id: str, timeout: float = 300.0,
-               poll: float = 0.05):
+               poll: float = 0.05, mode: str = "sse", since: int = 0,
+               raise_on_gap: bool = False):
         """Yield the job's events incrementally until it terminates.
 
-        Each event dict carries a monotonic ``seq``; polling picks up
-        exactly the events past the last seen one, so no event is
-        yielded twice.
+        ``mode="sse"`` (the default) holds the server's
+        ``/jobs/<id>/events`` stream open and yields events the moment
+        the server pushes them, resuming with ``Last-Event-ID`` if the
+        connection drops.  ``mode="poll"`` is the legacy ``?since=``
+        loop.  Either way events carry a monotonic ``seq`` and are
+        never yielded twice; events that aged out of the server's
+        bounded ring before they could be seen surface as an explicit
+        ``{"type": "gap", "dropped": n}`` event — or as
+        :class:`EventGapError` with ``raise_on_gap=True`` — instead of
+        being silently skipped.
         """
+        if mode == "sse":
+            return self._stream_sse(job_id, timeout, since, raise_on_gap)
+        if mode == "poll":
+            return self._stream_poll(job_id, timeout, poll, since,
+                                     raise_on_gap)
+        raise ValueError(f"mode must be 'sse' or 'poll', got {mode!r}")
+
+    def _stream_poll(self, job_id: str, timeout: float, poll: float,
+                     since: int, raise_on_gap: bool):
         deadline = time.monotonic() + timeout
-        since = 0
         while True:
             snapshot = self.job(job_id, since=since)
-            for event in snapshot.get("events", ()):
+            events = snapshot.get("events", ())
+            if events and events[0]["seq"] > since + 1:
+                dropped = events[0]["seq"] - since - 1
+                if raise_on_gap:
+                    raise EventGapError(job_id, dropped)
+                yield {"type": "gap", "dropped": dropped}
+            for event in events:
                 since = max(since, event["seq"])
                 yield event
-            if snapshot["state"] in ("done", "failed", "cancelled") \
-                    and snapshot["last_seq"] <= since:
+            if snapshot["state"] in TERMINAL \
+                    and snapshot.get("last_seq", 0) <= since:
                 return
             if time.monotonic() > deadline:
                 raise TimeoutError(
                     f"job {job_id} still streaming after {timeout:.0f}s")
             time.sleep(poll)
+
+    def _stream_sse(self, job_id: str, timeout: float, since: int,
+                    raise_on_gap: bool):
+        deadline = time.monotonic() + timeout
+        while True:
+            conn = http.client.HTTPConnection(self.host, self.port,
+                                              timeout=self.timeout)
+            terminal = False
+            try:
+                headers = {"Accept": "text/event-stream"}
+                if since:
+                    headers["Last-Event-ID"] = str(since)
+                conn.request("GET", f"/jobs/{job_id}/events",
+                             headers=headers)
+                response = conn.getresponse()
+                if response.status >= 400:
+                    raw = response.read()
+                    try:
+                        data = json.loads(raw) if raw else {}
+                    except json.JSONDecodeError:
+                        data = {"error": raw.decode("utf-8", "replace")}
+                    raise ServeError(response.status, data)
+                for event, eid in self._parse_sse(response, deadline,
+                                                  job_id):
+                    if event.get("type") == "gap" and raise_on_gap:
+                        raise EventGapError(job_id,
+                                            int(event.get("dropped", 0)))
+                    if eid is not None:
+                        since = max(since, eid)
+                    yield event
+                    if event.get("type") == "state" \
+                            and event.get("state") in TERMINAL:
+                        terminal = True
+            finally:
+                conn.close()
+            if terminal:
+                return
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still streaming after {timeout:.0f}s")
+            time.sleep(0.2)  # dropped mid-stream: resume via Last-Event-ID
+
+    @staticmethod
+    def _parse_sse(response, deadline: float, job_id: str):
+        """Decode ``id:``/``event:``/``data:`` frames off one response;
+        ends (for the caller to reconnect) when the connection drops."""
+        eid: int | None = None
+        etype: str | None = None
+        data_lines: list[str] = []
+        while True:
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still streaming past its deadline")
+            try:
+                line = response.readline()
+            except (http.client.HTTPException, ConnectionError, OSError):
+                return
+            if not line:
+                return  # server closed the stream
+            text = line.decode("utf-8", "replace").rstrip("\r\n")
+            if not text:
+                if data_lines:
+                    try:
+                        payload = json.loads("\n".join(data_lines))
+                    except json.JSONDecodeError:
+                        payload = None
+                    if isinstance(payload, dict):
+                        if etype and "type" not in payload:
+                            payload["type"] = etype
+                        yield payload, eid
+                eid, etype, data_lines = None, None, []
+                continue
+            if text.startswith(":"):
+                continue  # keep-alive comment
+            name, _, value = text.partition(":")
+            if value.startswith(" "):
+                value = value[1:]
+            if name == "id":
+                try:
+                    eid = int(value)
+                except ValueError:
+                    eid = None
+            elif name == "event":
+                etype = value
+            elif name == "data":
+                data_lines.append(value)

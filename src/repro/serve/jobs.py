@@ -1,4 +1,5 @@
-"""Job identity, state machine, and the crash-safe registry.
+"""Job identity, state machine, the per-server registry, and the
+shared lease queue.
 
 One :class:`Job` is a client's request — an ``explore`` sweep or an
 ``optimize`` search — moving through a fixed lifecycle::
@@ -10,7 +11,8 @@ One :class:`Job` is a client's request — an ``explore`` sweep or an
 Transitions outside those edges raise :class:`JobStateError`; terminal
 states are final.  Every job also carries a monotonically-sequenced
 event feed (finished points, Pareto fronts, optimizer best-so-far) that
-clients poll incrementally with ``?since=<seq>``.
+clients poll incrementally with ``?since=<seq>`` or follow live over
+the server's SSE endpoint.
 
 Identity is content-addressed: :func:`job_content_key` digests
 ``(kind, params)``, and the job's resume journal lives under that key —
@@ -18,10 +20,20 @@ so resubmitting the same request after a crash (or on a warm store)
 replays journaled work instead of recomputing it, and two clients
 submitting the identical request while it is in flight share one job.
 
-The registry itself journals every submission and state change to
-``jobs.jsonl`` (the shared :mod:`repro.opt.journal` format, last record
-per job wins), which is what lets a restarted server re-queue the jobs
-a crash interrupted and still answer status queries for finished ones.
+Multi-server deployments coordinate through :class:`LeaseStore`: a
+WAL-mode SQLite queue (``<state>/queue.sqlite``) every server sharing
+one ``state_dir`` drains together.  Submissions insert queue rows
+(content-key dedup is cluster-wide), servers claim work inside
+``BEGIN IMMEDIATE`` transactions that stamp ``(server_id,
+lease_deadline)`` on the row, heartbeats extend live leases, and a
+lease that expires — the owning server crashed or stalled — makes the
+row claimable again.  The content-keyed resume journals make the
+re-claimed job warm, so kill -9 of any server loses no finished work.
+
+:class:`JobRegistry` remains the per-server view: the in-memory job
+table and bounded event feeds for jobs *this* server claimed, with an
+optional ``jobs.jsonl`` journal for embedded single-process use (the
+shared :mod:`repro.opt.journal` format, last record per job wins).
 """
 
 from __future__ import annotations
@@ -29,12 +41,15 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
+import os
 import threading
+import time
 from dataclasses import dataclass, field
 from enum import Enum
 from pathlib import Path
 
 from repro.opt.journal import append_record, load_journal, open_journal
+from repro.pipeline.index import wal_connect
 
 JOB_KINDS = ("explore", "optimize")
 
@@ -133,12 +148,21 @@ class Job:
 
 
 class JobRegistry:
-    """Thread-safe job table + lifecycle enforcement + crash journal."""
+    """Thread-safe job table + lifecycle enforcement + event feeds.
 
-    def __init__(self, journal_path: "str | Path | None" = None) -> None:
+    ``max_events`` bounds each job's in-memory feed ring;
+    ``on_event`` (called outside the lock, with the job) lets the
+    server wake SSE streams the moment anything is pushed.
+    """
+
+    def __init__(self, journal_path: "str | Path | None" = None, *,
+                 max_events: int = MAX_EVENTS,
+                 on_event=None) -> None:
         self._lock = threading.Lock()
         self._jobs: dict[str, Job] = {}
         self._ids = itertools.count(1)
+        self.max_events = max(1, int(max_events))
+        self._on_event = on_event
         self._journal_path = (Path(journal_path)
                               if journal_path is not None else None)
         self._journal = None
@@ -248,6 +272,27 @@ class JobRegistry:
             except KeyError:
                 raise UnknownJobError(job_id) from None
 
+    def find(self, job_id: str) -> "Job | None":
+        """Like :meth:`get`, but ``None`` for an unknown id — the lookup
+        a lease-queue server makes for jobs other servers may own."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def adopt(self, row: "JobRow") -> Job:
+        """Mirror a just-claimed queue row as this server's local job.
+
+        The queue assigned the id; the local job starts ``queued`` so
+        the ordinary ``queued -> running`` transition (and its feed
+        event) still happens.  Re-adopting an id this server ran before
+        (a lease it lost and re-claimed) starts a fresh feed.
+        """
+        with self._lock:
+            job = Job(id=row.id, kind=row.kind, params=dict(row.params),
+                      key=row.key)
+            job.cancel_requested = bool(row.cancel_requested)
+            self._jobs[row.id] = job
+            return job
+
     def jobs(self) -> list[Job]:
         with self._lock:
             return list(self._jobs.values())
@@ -284,6 +329,7 @@ class JobRegistry:
             self._persist(job)
             self._push(job, {"type": "state", "state": to.value,
                              **({"error": error} if error else {})})
+        self._notify(job)
 
     def request_cancel(self, job: Job) -> bool:
         """Ask for cancellation; ``True`` if it took effect immediately
@@ -298,21 +344,433 @@ class JobRegistry:
                 self._persist(job)
                 self._push(job, {"type": "state",
                                  "state": JobState.CANCELLED.value})
-                return True
-            return False
+            else:
+                return False
+        self._notify(job)
+        return True
 
     # -- event feed ------------------------------------------------------
 
     def push(self, job: Job, event: dict) -> int:
         """Append one event to the job's feed; returns its seq."""
         with self._lock:
-            return self._push(job, event)
+            seq = self._push(job, event)
+        self._notify(job)
+        return seq
 
     def _push(self, job: Job, event: dict) -> int:
         job.last_seq += 1
         job.events.append({"seq": job.last_seq, **event})
-        if len(job.events) > MAX_EVENTS:
-            drop = len(job.events) - MAX_EVENTS
+        if len(job.events) > self.max_events:
+            drop = len(job.events) - self.max_events
             del job.events[:drop]
             job.events_dropped += drop
         return job.last_seq
+
+    def _notify(self, job: Job) -> None:
+        if self._on_event is not None:
+            self._on_event(job)
+
+    def events_since(self, job: Job, since: int) -> tuple[list[dict], int]:
+        """Feed events past ``since`` plus the count that aged out of
+        the ring before they could be seen (the gap an honest stream
+        must surface instead of silently skipping)."""
+        with self._lock:
+            events = [e for e in job.events if e["seq"] > since]
+            dropped = 0
+            if events and events[0]["seq"] > since + 1:
+                dropped = events[0]["seq"] - since - 1
+            return events, dropped
+
+
+# -- the shared lease queue ----------------------------------------------
+
+
+TERMINAL_STATES = tuple(state.value for state in _TERMINAL)
+
+ACTIVE_STATES = (JobState.QUEUED.value, JobState.RUNNING.value)
+
+QUEUE_NAME = "queue.sqlite"
+
+QUEUE_FORMAT = 1
+
+_QUEUE_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id TEXT PRIMARY KEY,
+    n INTEGER NOT NULL UNIQUE,
+    key TEXT NOT NULL,
+    kind TEXT NOT NULL,
+    params TEXT NOT NULL,
+    state TEXT NOT NULL DEFAULT 'queued',
+    error TEXT,
+    result TEXT,
+    total INTEGER,
+    completed INTEGER NOT NULL DEFAULT 0,
+    resumed INTEGER NOT NULL DEFAULT 0,
+    cancel_requested INTEGER NOT NULL DEFAULT 0,
+    server_id TEXT,
+    lease_deadline REAL,
+    claims INTEGER NOT NULL DEFAULT 0
+);
+CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs(state, n);
+CREATE INDEX IF NOT EXISTS jobs_by_key ON jobs(key);
+CREATE TABLE IF NOT EXISTS qmeta (
+    k TEXT PRIMARY KEY,
+    v INTEGER NOT NULL
+);
+INSERT OR IGNORE INTO qmeta (k, v) VALUES ('format', {format});
+INSERT OR IGNORE INTO qmeta (k, v) VALUES ('n', 0);
+""".format(format=QUEUE_FORMAT)
+
+_ROW_COLUMNS = ("id, n, key, kind, params, state, error, result, total, "
+                "completed, resumed, cancel_requested, server_id, "
+                "lease_deadline, claims")
+
+
+@dataclass(frozen=True)
+class JobRow:
+    """One queue row: the cluster-wide truth about a job."""
+
+    id: str
+    n: int
+    key: str
+    kind: str
+    params: dict
+    state: str
+    error: str | None
+    result: dict | None
+    total: int | None
+    completed: int
+    resumed: int
+    cancel_requested: bool
+    server_id: str | None
+    lease_deadline: float | None
+    claims: int
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def snapshot(self) -> dict:
+        """The JSON view every server answers for this job, local or
+        not (feed fields ride along only where the feed lives)."""
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "key": self.key,
+            "state": self.state,
+            "error": self.error,
+            "total": self.total,
+            "completed": self.completed,
+            "resumed": self.resumed,
+            "cancel_requested": self.cancel_requested,
+            "result": self.result,
+            "server_id": self.server_id,
+            "claims": self.claims,
+        }
+
+
+def _row(raw) -> JobRow:
+    return JobRow(
+        id=raw[0], n=raw[1], key=raw[2], kind=raw[3],
+        params=json.loads(raw[4]), state=raw[5], error=raw[6],
+        result=json.loads(raw[7]) if raw[7] else None,
+        total=raw[8], completed=raw[9], resumed=raw[10],
+        cancel_requested=bool(raw[11]), server_id=raw[12],
+        lease_deadline=raw[13], claims=raw[14])
+
+
+class LeaseStore:
+    """The shared job queue N servers drain over one ``state_dir``.
+
+    Every mutation is one SQLite transaction against a WAL database,
+    so any number of server processes (or threads) coordinate through
+    the filesystem alone:
+
+    * :meth:`submit` dedups in-flight requests cluster-wide by content
+      key and assigns the job id;
+    * :meth:`claim` picks the oldest claimable row — ``queued``, or
+      ``running`` with an expired lease — inside ``BEGIN IMMEDIATE``,
+      stamping ``(server_id, lease_deadline)`` before returning, so two
+      servers can never claim the same job;
+    * :meth:`heartbeat` extends the caller's live leases and reports
+      which jobs it still owns (a lost lease means a stalled server
+      should abandon the work — someone else owns it now);
+    * :meth:`finish` and :meth:`progress` are ownership-guarded: a
+      server that lost its lease cannot clobber the re-claimant's row;
+    * :meth:`release` re-queues a gracefully-stopping server's running
+      jobs immediately, without waiting out their leases.
+
+    ``now`` parameters default to ``time.time()`` and exist so tests
+    can drive lease expiry deterministically.
+    """
+
+    def __init__(self, path: "str | Path", *,
+                 lease_s: float = 30.0) -> None:
+        if lease_s <= 0:
+            raise ValueError(f"lease_s must be > 0, got {lease_s}")
+        self.path = Path(path)
+        self.lease_s = float(lease_s)
+        self._lock = threading.Lock()
+        self._conn = None
+        self._conn_pid: int | None = None
+
+    def _db(self):
+        pid = os.getpid()
+        if self._conn is None or self._conn_pid != pid:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            # One connection shared across this server's threads (the
+            # event loop plus its executor), serialized by self._lock.
+            self._conn = wal_connect(self.path, check_same_thread=False)
+            self._conn.executescript(_QUEUE_SCHEMA)
+            self._conn_pid = pid
+        return self._conn
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None and self._conn_pid == os.getpid():
+                self._conn.close()
+            self._conn = None
+            self._conn_pid = None
+
+    def _transaction(self, body):
+        """Run ``body(conn)`` inside one BEGIN IMMEDIATE transaction."""
+        with self._lock:
+            conn = self._db()
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                outcome = body(conn)
+                conn.execute("COMMIT")
+                return outcome
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, kind: str, params: dict) -> tuple[JobRow, bool]:
+        """Enqueue one request; returns ``(row, created)``.
+
+        ``created`` is ``False`` when an identical request (same
+        content key) is queued or running anywhere in the cluster —
+        the callers share that job instead of racing two copies.
+        """
+        if kind not in JOB_KINDS:
+            raise JobError(f"unknown job kind {kind!r}; choose from "
+                           f"{JOB_KINDS}")
+        if not isinstance(params, dict):
+            raise JobError(f"params must be an object, got {type(params)!r}")
+        key = job_content_key(kind, params)
+
+        def body(conn):
+            raw = conn.execute(
+                f"SELECT {_ROW_COLUMNS} FROM jobs WHERE key=? AND state"
+                " IN (?, ?) ORDER BY n LIMIT 1",
+                (key, *ACTIVE_STATES)).fetchone()
+            if raw is not None:
+                return _row(raw), False
+            conn.execute("UPDATE qmeta SET v = v + 1 WHERE k='n'")
+            n = conn.execute(
+                "SELECT v FROM qmeta WHERE k='n'").fetchone()[0]
+            job_id = f"j-{n}-{key[:8]}"
+            conn.execute(
+                "INSERT INTO jobs (id, n, key, kind, params) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (job_id, n, key, kind,
+                 json.dumps(params, sort_keys=True, default=str)))
+            raw = conn.execute(
+                f"SELECT {_ROW_COLUMNS} FROM jobs WHERE id=?",
+                (job_id,)).fetchone()
+            return _row(raw), True
+
+        return self._transaction(body)
+
+    # -- claiming and leases ---------------------------------------------
+
+    def claim(self, server_id: str,
+              now: float | None = None) -> JobRow | None:
+        """Claim the oldest claimable job for ``server_id``, or None.
+
+        Claimable: ``queued``, or ``running`` with an expired lease held
+        by *another* server (a server never steals a job from itself —
+        its own stalled lease still has a live local task behind it).
+        Claiming resets the progress counters: the new run re-counts
+        journal replays itself.
+        """
+        now = time.time() if now is None else now
+
+        def body(conn):
+            raw = conn.execute(
+                f"SELECT {_ROW_COLUMNS} FROM jobs WHERE state=? OR "
+                "(state=? AND lease_deadline < ? AND server_id != ?) "
+                "ORDER BY n LIMIT 1",
+                (JobState.QUEUED.value, JobState.RUNNING.value, now,
+                 server_id)).fetchone()
+            if raw is None:
+                return None
+            conn.execute(
+                "UPDATE jobs SET state=?, server_id=?, lease_deadline=?, "
+                "claims=claims+1, completed=0, resumed=0 WHERE id=?",
+                (JobState.RUNNING.value, server_id, now + self.lease_s,
+                 raw[0]))
+            fresh = conn.execute(
+                f"SELECT {_ROW_COLUMNS} FROM jobs WHERE id=?",
+                (raw[0],)).fetchone()
+            return _row(fresh)
+
+        return self._transaction(body)
+
+    def heartbeat(self, server_id: str,
+                  now: float | None = None) -> list[str]:
+        """Extend every lease ``server_id`` holds; returns the ids it
+        still owns (a job missing from the list was re-claimed)."""
+        now = time.time() if now is None else now
+
+        def body(conn):
+            conn.execute(
+                "UPDATE jobs SET lease_deadline=? WHERE server_id=? "
+                "AND state=?",
+                (now + self.lease_s, server_id, JobState.RUNNING.value))
+            return [job_id for (job_id,) in conn.execute(
+                "SELECT id FROM jobs WHERE server_id=? AND state=?",
+                (server_id, JobState.RUNNING.value))]
+
+        return self._transaction(body)
+
+    def release(self, server_id: str) -> int:
+        """Re-queue every running job ``server_id`` owns (graceful
+        shutdown: no reason to make the peers wait out the lease)."""
+
+        def body(conn):
+            return conn.execute(
+                "UPDATE jobs SET state=?, server_id=NULL, "
+                "lease_deadline=NULL WHERE server_id=? AND state=?",
+                (JobState.QUEUED.value, server_id,
+                 JobState.RUNNING.value)).rowcount
+
+        return self._transaction(body)
+
+    # -- ownership-guarded progress --------------------------------------
+
+    def progress(self, job_id: str, server_id: str, *,
+                 completed: int | None = None,
+                 resumed: int | None = None,
+                 total: int | None = None) -> bool:
+        """Mirror live counters onto the row so any server can answer
+        status queries; a no-op unless ``server_id`` owns the job."""
+        sets, values = [], []
+        for column, value in (("completed", completed),
+                              ("resumed", resumed), ("total", total)):
+            if value is not None:
+                sets.append(f"{column}=?")
+                values.append(int(value))
+        if not sets:
+            return False
+
+        def body(conn):
+            return conn.execute(
+                f"UPDATE jobs SET {', '.join(sets)} WHERE id=? AND "
+                "server_id=? AND state=?",
+                (*values, job_id, server_id,
+                 JobState.RUNNING.value)).rowcount > 0
+
+        return self._transaction(body)
+
+    def finish(self, job_id: str, server_id: str, state: JobState, *,
+               error: str | None = None, result: dict | None = None,
+               completed: int | None = None, resumed: int | None = None,
+               total: int | None = None) -> bool:
+        """Terminal transition, guarded by lease ownership.
+
+        Returns ``False`` when ``server_id`` no longer owns the row
+        (its lease expired and another server re-claimed the job) —
+        the caller must abandon the work, not record it.
+        """
+        if state not in _TERMINAL:
+            raise JobStateError(f"finish() needs a terminal state, "
+                                f"got {state.value}")
+        sets = ["state=?", "error=?", "result=?", "lease_deadline=NULL"]
+        values: list = [state.value, error,
+                        json.dumps(result) if result is not None else None]
+        for column, value in (("completed", completed),
+                              ("resumed", resumed), ("total", total)):
+            if value is not None:
+                sets.append(f"{column}=?")
+                values.append(int(value))
+
+        def body(conn):
+            return conn.execute(
+                f"UPDATE jobs SET {', '.join(sets)} WHERE id=? AND "
+                "server_id=? AND state=?",
+                (*values, job_id, server_id,
+                 JobState.RUNNING.value)).rowcount > 0
+
+        return self._transaction(body)
+
+    def request_cancel(self, job_id: str) -> "str | None":
+        """Flag a job for cancellation, wherever it runs.
+
+        Returns ``"immediate"`` (was queued — cancelled on the spot),
+        ``"cooperative"`` (running — its owner stops at the next chunk
+        boundary), ``"noop"`` (already terminal), or ``None`` for an
+        unknown id.
+        """
+
+        def body(conn):
+            raw = conn.execute(
+                "SELECT state FROM jobs WHERE id=?", (job_id,)).fetchone()
+            if raw is None:
+                return None
+            state = raw[0]
+            if state == JobState.QUEUED.value:
+                conn.execute(
+                    "UPDATE jobs SET state=?, cancel_requested=1, "
+                    "server_id=NULL, lease_deadline=NULL WHERE id=?",
+                    (JobState.CANCELLED.value, job_id))
+                return "immediate"
+            if state == JobState.RUNNING.value:
+                conn.execute(
+                    "UPDATE jobs SET cancel_requested=1 WHERE id=?",
+                    (job_id,))
+                return "cooperative"
+            return "noop"
+
+        return self._transaction(body)
+
+    # -- lookup ----------------------------------------------------------
+
+    def get(self, job_id: str) -> JobRow | None:
+        with self._lock:
+            raw = self._db().execute(
+                f"SELECT {_ROW_COLUMNS} FROM jobs WHERE id=?",
+                (job_id,)).fetchone()
+        return _row(raw) if raw is not None else None
+
+    def jobs(self) -> list[JobRow]:
+        """Every job in the cluster, oldest first."""
+        with self._lock:
+            rows = self._db().execute(
+                f"SELECT {_ROW_COLUMNS} FROM jobs ORDER BY n").fetchall()
+        return [_row(raw) for raw in rows]
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            rows = self._db().execute(
+                "SELECT state, COUNT(*) FROM jobs GROUP BY state"
+            ).fetchall()
+        return {state: count for state, count in rows}
+
+    def active_keys(self) -> set[str]:
+        """Content keys of queued/running jobs anywhere in the cluster
+        (their journals must not be compacted under the writers)."""
+        with self._lock:
+            rows = self._db().execute(
+                "SELECT key FROM jobs WHERE state IN (?, ?)",
+                ACTIVE_STATES).fetchall()
+        return {key for (key,) in rows}
+
+    def checkpoint(self) -> dict[str, int]:
+        """Fold the WAL back into the database (maintenance)."""
+        with self._lock:
+            self._db().execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        return self.counts()

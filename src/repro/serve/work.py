@@ -57,6 +57,7 @@ def run_optimize_job(payload: dict) -> dict:
 
         def progress(step, score, candidate):
             _emit({
+                "type": "best",
                 "step": step,
                 "score": score,
                 "n_steps": candidate.n_steps,

@@ -1,0 +1,431 @@
+"""The multi-server serving tier: lease queue, SSE streams, HTTP caps.
+
+LeaseStore tests drive lease expiry with injected clocks (no sleeps);
+the recovery tests run two real servers over one ``state_dir`` and
+kill one mid-job; the HTTP tests talk raw sockets to exercise the
+keep-alive loop and the slowloris/size guards.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.opt.journal import open_journal
+from repro.serve import (
+    EventGapError,
+    JobState,
+    LeaseStore,
+    ServeClient,
+    ServeError,
+    start_in_thread,
+)
+
+EXPLORE = {"circuits": ["gcd"], "budgets": [6, 7]}
+PARAMS = {"circuits": ["gcd"], "budgets": [6]}
+
+
+@pytest.fixture()
+def queue(tmp_path):
+    store = LeaseStore(tmp_path / "queue.sqlite", lease_s=10.0)
+    yield store
+    store.close()
+
+
+class TestLeaseStore:
+    def test_submit_dedups_active_jobs_only(self, queue):
+        row, created = queue.submit("explore", PARAMS)
+        assert created and row.state == "queued"
+        again, created = queue.submit("explore", PARAMS)
+        assert not created and again.id == row.id
+        queue.claim("a", now=100.0)
+        running, created = queue.submit("explore", PARAMS)
+        assert not created and running.id == row.id
+        assert queue.finish(row.id, "a", JobState.DONE, result={"n": 1})
+        fresh, created = queue.submit("explore", PARAMS)
+        assert created and fresh.id != row.id
+        assert fresh.key == row.key  # same content, same journal
+
+    def test_claim_is_oldest_first_and_lease_stamped(self, queue):
+        first, _ = queue.submit("explore", PARAMS)
+        second, _ = queue.submit("explore", {"circuits": ["gcd"],
+                                             "budgets": [7]})
+        claimed = queue.claim("a", now=100.0)
+        assert claimed.id == first.id
+        assert claimed.server_id == "a"
+        assert claimed.lease_deadline == pytest.approx(110.0)
+        assert claimed.claims == 1
+        assert queue.claim("a", now=100.0).id == second.id
+        assert queue.claim("a", now=100.0) is None  # queue drained
+
+    def test_expired_lease_is_reclaimed_but_never_self_stolen(self, queue):
+        row, _ = queue.submit("explore", PARAMS)
+        queue.claim("a", now=100.0)
+        assert queue.claim("b", now=105.0) is None   # lease still live
+        assert queue.claim("a", now=200.0) is None   # own lease: no steal
+        stolen = queue.claim("b", now=200.0)
+        assert stolen.id == row.id
+        assert stolen.server_id == "b"
+        assert stolen.claims == 2
+        assert stolen.completed == 0  # counters reset for the re-run
+
+    def test_heartbeat_extends_leases_and_reports_ownership(self, queue):
+        row, _ = queue.submit("explore", PARAMS)
+        queue.claim("a", now=100.0)                  # deadline 110
+        assert queue.heartbeat("a", now=108.0) == [row.id]
+        assert queue.claim("b", now=115.0) is None   # extended to 118
+        assert queue.heartbeat("b", now=116.0) == []
+        assert queue.claim("b", now=119.0).id == row.id
+        assert queue.heartbeat("a", now=119.5) == []  # lease lost
+
+    def test_finish_and_progress_are_ownership_guarded(self, queue):
+        row, _ = queue.submit("explore", PARAMS)
+        queue.claim("a", now=100.0)
+        assert queue.progress(row.id, "a", completed=3, total=9)
+        assert not queue.progress(row.id, "b", completed=99)
+        queue.claim("b", now=200.0)                  # a's lease expired
+        assert not queue.finish(row.id, "a", JobState.DONE,
+                                result={"n": 1})
+        assert queue.get(row.id).state == "running"  # a could not clobber
+        assert queue.finish(row.id, "b", JobState.DONE, result={"n": 1},
+                            completed=9)
+        final = queue.get(row.id)
+        assert final.state == "done" and final.result == {"n": 1}
+        assert final.completed == 9
+
+    def test_release_requeues_without_waiting_out_the_lease(self, queue):
+        row, _ = queue.submit("explore", PARAMS)
+        queue.claim("a", now=100.0)
+        assert queue.release("a") == 1
+        requeued = queue.get(row.id)
+        assert requeued.state == "queued" and requeued.server_id is None
+        assert queue.claim("b", now=100.0).id == row.id  # no expiry wait
+
+    def test_cancel_paths(self, queue):
+        row, _ = queue.submit("explore", PARAMS)
+        assert queue.request_cancel(row.id) == "immediate"
+        assert queue.get(row.id).state == "cancelled"
+        other, _ = queue.submit("explore", {"circuits": ["gcd"],
+                                            "budgets": [8]})
+        queue.claim("a", now=100.0)
+        assert queue.request_cancel(other.id) == "cooperative"
+        assert queue.get(other.id).cancel_requested
+        queue.finish(other.id, "a", JobState.CANCELLED)
+        assert queue.request_cancel(other.id) == "noop"
+        assert queue.request_cancel("j-404-missing") is None
+
+    def test_counts_and_active_keys(self, queue):
+        row, _ = queue.submit("explore", PARAMS)
+        other, _ = queue.submit("explore", {"circuits": ["gcd"],
+                                            "budgets": [8]})
+        queue.claim("a", now=100.0)
+        assert queue.counts() == {"queued": 1, "running": 1}
+        assert queue.active_keys() == {row.key, other.key}
+        queue.finish(row.id, "a", JobState.DONE)
+        assert queue.active_keys() == {other.key}
+
+
+class TestMultiServerRecovery:
+    def test_two_servers_drain_one_queue(self, tmp_path):
+        state = tmp_path / "state"
+        a = start_in_thread(state, workers=1, lease_s=5.0)
+        b = start_in_thread(state, workers=1, lease_s=5.0)
+        try:
+            client = ServeClient(port=a.port)
+            jobs = [client.submit("explore", circuits=["gcd"],
+                                  budgets=[budget])["id"]
+                    for budget in (5, 6, 7, 8)]
+            peer = ServeClient(port=b.port)
+            finals = [peer.wait(job_id, timeout=180) for job_id in jobs]
+            assert all(f["state"] == "done" for f in finals)
+            assert all(f["result"]["points"] == 1 for f in finals)
+            # Both servers see the same cluster-wide queue.
+            assert {j["id"] for j in client.jobs()} == set(jobs)
+            assert {j["id"] for j in peer.jobs()} == set(jobs)
+        finally:
+            a.stop()
+            b.stop()
+
+    def test_kill_one_server_survivor_recovers_without_recompute(
+            self, tmp_path):
+        state = tmp_path / "state"
+        a = start_in_thread(state, workers=2, lease_s=2.0)
+        b = start_in_thread(state, workers=2, lease_s=2.0)
+        try:
+            client = ServeClient(port=a.port)
+            params = {"circuits": ["gcd", "dealer", "vender"],
+                      "budgets": [5, 6, 7]}
+            job = client.submit("explore", **params)
+            row = None
+            for _ in range(200):  # wait for a server to claim the job
+                row = a.server.queue.get(job["id"])
+                if row.server_id is not None:
+                    break
+                time.sleep(0.05)
+            assert row is not None and row.server_id is not None
+            victim, survivor = ((a, b)
+                                if row.server_id == a.server.server_id
+                                else (b, a))
+            # Let at least one fresh point land, then kill the owner.
+            owner = ServeClient(port=victim.port)
+            for event in owner.stream(job["id"], timeout=120):
+                if event["type"] == "point" and not event.get("resumed"):
+                    break
+            victim.kill()
+
+            journal = state / "journals" / f"{job['key']}.jsonl"
+            with open(journal, encoding="utf-8") as handle:
+                banked = sum(1 for _ in handle) - 1  # minus meta line
+            assert banked >= 1
+
+            peer = ServeClient(port=survivor.port)
+            final = peer.wait(job["id"], timeout=180)
+            assert final["state"] == "done"
+            assert final["result"]["points"] == 9
+            assert final["server_id"] == survivor.server.server_id
+            assert final["claims"] >= 2                # lease re-claimed
+            assert final["resumed"] == banked          # replayed, not redone
+            # Zero recompute: every point was journaled exactly once.
+            with open(journal, encoding="utf-8") as handle:
+                assert sum(1 for _ in handle) - 1 == 9
+        finally:
+            a.stop()
+            b.stop()
+
+    def test_graceful_stop_releases_leases_immediately(self, tmp_path):
+        state = tmp_path / "state"
+        # Long lease: a released job must NOT wait out the lease.
+        a = start_in_thread(state, workers=1, lease_s=120.0)
+        client = ServeClient(port=a.port)
+        job = client.submit("explore", circuits=["gcd", "dealer"],
+                            budgets=[5, 6, 7])
+        for event in client.stream(job["id"], timeout=120):
+            if event["type"] == "point":
+                break
+        a.stop()
+        b = start_in_thread(state, workers=1, lease_s=120.0)
+        try:
+            final = ServeClient(port=b.port).wait(job["id"], timeout=180)
+            assert final["state"] == "done"
+            assert final["result"]["points"] == 6
+        finally:
+            b.stop()
+
+
+class TestServerSentEvents:
+    def test_sse_matches_poll_and_resumes_by_last_event_id(self, tmp_path):
+        handle = start_in_thread(tmp_path / "state", workers=2)
+        try:
+            client = ServeClient(port=handle.port)
+            job = client.submit("explore", **EXPLORE)
+            events = list(client.stream(job["id"], timeout=120))
+            kinds = [e["type"] for e in events]
+            assert kinds.count("point") == 2
+            assert "pareto" in kinds
+            assert kinds[-1] == "state" and events[-1]["state"] == "done"
+            # The finished feed replays identically over both modes.
+            replayed = list(client.stream(job["id"], timeout=60,
+                                          mode="poll"))
+            assert [e for e in replayed if e["type"] != "state"] == \
+                   [e for e in events if e["type"] != "state"]
+            # Resume: events up to seq N are not replayed.
+            seqs = [e["seq"] for e in events if "seq" in e]
+            midpoint = seqs[len(seqs) // 2]
+            tail = list(client.stream(job["id"], timeout=60,
+                                      since=midpoint))
+            assert all(e["seq"] > midpoint for e in tail if "seq" in e)
+            assert tail  # the terminal state event always replays
+        finally:
+            handle.stop()
+
+    def test_sse_streams_remote_jobs_as_state_transitions(self, tmp_path):
+        state = tmp_path / "state"
+        a = start_in_thread(state, workers=1, lease_s=5.0)
+        b = start_in_thread(state, workers=1, lease_s=5.0)
+        try:
+            client = ServeClient(port=a.port)
+            job = client.submit("explore", **EXPLORE)
+            # Follow from whichever server does NOT own the job.
+            row = None
+            for _ in range(200):
+                row = a.server.queue.get(job["id"])
+                if row.server_id is not None or row.terminal:
+                    break
+                time.sleep(0.05)
+            follower = ServeClient(
+                port=b.port if row.server_id == a.server.server_id
+                else a.port)
+            events = list(follower.stream(job["id"], timeout=120))
+            states = [e["state"] for e in events if e["type"] == "state"]
+            assert states[-1] == "done"
+        finally:
+            a.stop()
+            b.stop()
+
+    def test_event_ring_overflow_surfaces_as_gap(self, tmp_path):
+        handle = start_in_thread(tmp_path / "state", workers=1)
+        try:
+            handle.server.registry.max_events = 2  # tiny ring
+            client = ServeClient(port=handle.port)
+            job = client.submit("explore", circuits=["gcd"],
+                                budgets=[5, 6, 7])
+            client.wait(job["id"], timeout=120)
+            # The feed outgrew the ring; a from-zero poll must say so.
+            events = list(client.stream(job["id"], timeout=60,
+                                        mode="poll"))
+            assert events[0]["type"] == "gap"
+            assert events[0]["dropped"] >= 1
+            with pytest.raises(EventGapError):
+                list(client.stream(job["id"], timeout=60, mode="poll",
+                                   raise_on_gap=True))
+            # The SSE replay surfaces the same gap.
+            sse = list(client.stream(job["id"], timeout=60))
+            assert sse[0]["type"] == "gap"
+        finally:
+            handle.stop()
+
+
+def _raw(port: int, payload: bytes, timeout: float = 10.0) -> bytes:
+    with socket.create_connection(("127.0.0.1", port),
+                                  timeout=timeout) as sock:
+        sock.sendall(payload)
+        chunks = []
+        try:
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        except TimeoutError:
+            pass
+        return b"".join(chunks)
+
+
+class TestHTTPHardening:
+    @pytest.fixture(scope="class")
+    def served(self, tmp_path_factory):
+        handle = start_in_thread(tmp_path_factory.mktemp("http-state"),
+                                 workers=1)
+        yield handle
+        handle.stop()
+
+    def test_keep_alive_serves_many_requests_per_connection(self, served):
+        request = (b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n")
+        with socket.create_connection(("127.0.0.1", served.port),
+                                      timeout=10.0) as sock:
+            reader = sock.makefile("rb")
+            for _ in range(3):
+                sock.sendall(request)
+                status = reader.readline()
+                assert b"200" in status
+                length = 0
+                while True:
+                    line = reader.readline()
+                    if line in (b"\r\n", b""):
+                        break
+                    name, _, value = line.decode().partition(":")
+                    if name.lower() == "connection":
+                        assert value.strip() == "keep-alive"
+                    if name.lower() == "content-length":
+                        length = int(value)
+                body = reader.read(length)
+                assert json.loads(body)["ok"] is True
+
+    def test_connection_close_is_honored(self, served):
+        raw = _raw(served.port,
+                   b"GET /health HTTP/1.1\r\nHost: x\r\n"
+                   b"Connection: close\r\n\r\n")
+        head = raw.split(b"\r\n\r\n", 1)[0].lower()
+        assert b"connection: close" in head  # and recv saw EOF
+
+    def test_slowloris_header_trickle_times_out(self, served):
+        served.server.request_timeout_s = 0.4
+        try:
+            start = time.monotonic()
+            raw = _raw(served.port,
+                       b"GET /health HTTP/1.1\r\nHost: x\r\n"
+                       b"X-Trickle: never-finished")  # no terminator
+            elapsed = time.monotonic() - start
+            assert b"408" in raw.split(b"\r\n", 1)[0]
+            assert elapsed < 5.0
+        finally:
+            served.server.request_timeout_s = 30.0
+
+    def test_header_count_cap(self, served):
+        headers = b"".join(b"X-H%d: v\r\n" % i for i in range(80))
+        raw = _raw(served.port,
+                   b"GET /health HTTP/1.1\r\n" + headers + b"\r\n")
+        assert b"431" in raw.split(b"\r\n", 1)[0]
+
+    def test_header_line_size_cap(self, served):
+        raw = _raw(served.port,
+                   b"GET /health HTTP/1.1\r\nX-Big: " + b"a" * 9000
+                   + b"\r\n\r\n")
+        assert b"431" in raw.split(b"\r\n", 1)[0]
+
+    def test_oversized_body_is_rejected(self, served):
+        raw = _raw(served.port,
+                   b"POST /jobs HTTP/1.1\r\nHost: x\r\n"
+                   b"Content-Length: 999999999\r\n\r\n")
+        assert b"413" in raw.split(b"\r\n", 1)[0]
+
+    def test_chunk_size_validation(self, served):
+        client = ServeClient(port=served.port)
+        for bad in (0, -3, "2", True):
+            with pytest.raises(ServeError) as err:
+                client.submit("explore", circuits=["gcd"], budgets=[6],
+                              chunk_size=bad)
+            assert err.value.status == 400
+        job = client.submit("explore", circuits=["gcd"], budgets=[5, 6],
+                            chunk_size=2)
+        final = client.wait(job["id"], timeout=120)
+        assert final["result"]["points"] == 2  # no point dropped
+
+    def test_maintenance_guard_matches_journals_exactly(self, tmp_path):
+        # No started server (no claim loop): the queued row stays
+        # queued, so its journal is deterministically "in flight".
+        from repro.serve import JobServer
+
+        server = JobServer(tmp_path / "state", workers=1)
+        try:
+            row, _ = server.queue.submit(
+                "explore", {"circuits": ["zz-no-claim"], "budgets": [1]})
+            # A sibling journal whose name merely STARTS with the active
+            # key must still be compacted; only <key>.jsonl is guarded.
+            active = server.journal_dir / f"{row.key}.jsonl"
+            sibling = server.journal_dir / f"{row.key}-old.jsonl"
+            for path in (active, sibling):
+                open_journal(path, "explore-points").close()
+            report = server.maintenance()
+            assert report["journals"][active.name] == {
+                "skipped": "job in flight"}
+            assert "kept" in report["journals"][sibling.name]
+            assert "queue" in report
+        finally:
+            server.queue.close()
+            server.store.close()
+
+
+class TestConcurrentSubmitters:
+    def test_racing_identical_submissions_share_one_row(self, tmp_path):
+        queue = LeaseStore(tmp_path / "queue.sqlite", lease_s=10.0)
+        ids: list[str] = []
+        created_flags: list[bool] = []
+        lock = threading.Lock()
+
+        def submitter():
+            row, created = queue.submit("explore", PARAMS)
+            with lock:
+                ids.append(row.id)
+                created_flags.append(created)
+
+        threads = [threading.Thread(target=submitter) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(ids)) == 1
+        assert created_flags.count(True) == 1
+        queue.close()

@@ -168,7 +168,9 @@ class TestConcurrentClients:
 class TestCrashRecovery:
     def test_kill_and_restart_resumes_without_recompute(self, tmp_path):
         state = tmp_path / "state"
-        handle = start_in_thread(state, workers=2)
+        # Short lease: the kill leaves the row leased to a dead server,
+        # and the restart can only re-claim it once that lease expires.
+        handle = start_in_thread(state, workers=2, lease_s=2.0)
         client = ServeClient(port=handle.port)
         params = {"circuits": ["gcd", "dealer", "vender"],
                   "budgets": [5, 6, 7]}
@@ -183,7 +185,7 @@ class TestCrashRecovery:
         banked = len(load_point_journal(journal))
         assert banked >= 1  # the crash left journaled work behind
 
-        restarted = start_in_thread(state, workers=2)
+        restarted = start_in_thread(state, workers=2, lease_s=2.0)
         try:
             client = ServeClient(port=restarted.port)
             revived = client.job(job["id"])  # same id, re-queued
