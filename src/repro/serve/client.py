@@ -24,6 +24,12 @@ import time
 
 TERMINAL = ("done", "failed", "cancelled")
 
+#: Reopen rather than reuse a keep-alive connection idle this long.
+#: The server drops idle connections at 75 s; a POST racing that close
+#: would fail after it was fully sent — exactly the failure that must
+#: NOT be retried — so the client stays clear of the window.
+MAX_CONN_IDLE_S = 60.0
+
 
 class ServeError(RuntimeError):
     """An HTTP-level error response from the server."""
@@ -74,10 +80,15 @@ class ServeClient:
 
     def _conn(self) -> http.client.HTTPConnection:
         conn = getattr(self._local, "conn", None)
+        idle = time.monotonic() - getattr(self._local, "used_at", 0.0)
+        if conn is not None and idle > MAX_CONN_IDLE_S:
+            self.close()  # probably reaped server-side: don't race it
+            conn = None
         if conn is None:
             conn = http.client.HTTPConnection(self.host, self.port,
                                               timeout=self.timeout)
             self._local.conn = conn
+            self._local.used_at = time.monotonic()
         return conn
 
     def close(self) -> None:
@@ -95,15 +106,28 @@ class ServeClient:
             try:
                 conn.request(method, path, body=payload, headers={
                     "Content-Type": "application/json"})
-                response = conn.getresponse()
-                raw = response.read()
             except (http.client.HTTPException, ConnectionError, OSError):
-                # A keep-alive connection the server closed between
-                # requests looks exactly like this: retry once fresh.
+                # The send itself failed, so no complete request
+                # reached the server and a retry cannot double-apply
+                # it — a keep-alive connection the server closed
+                # between requests dies exactly here.
                 self.close()
                 if attempt:
                     raise
                 continue
+            try:
+                response = conn.getresponse()
+                raw = response.read()
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # The request was fully sent and may have been acted
+                # on before the connection died; replaying it could
+                # apply a POST twice, so only idempotent GETs retry
+                # past this point.
+                self.close()
+                if attempt or method != "GET":
+                    raise
+                continue
+            self._local.used_at = time.monotonic()
             if response.will_close:
                 self.close()
             try:

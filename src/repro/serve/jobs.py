@@ -59,6 +59,16 @@ REGISTRY_JOURNAL_KIND = "serve-jobs"
 #: (the count survives on ``events_dropped`` so pollers can tell).
 MAX_EVENTS = 4096
 
+#: How far a re-claimed job's event sequence jumps past the queue row's
+#: mirrored high-water mark.  The mirror (progress/heartbeat writes)
+#: can lag the dead owner's live feed by the events pushed since its
+#: last write; a full ring of headroom keeps every new seq above
+#: anything a client of the dead owner can have seen, so old
+#: ``Last-Event-ID``/``since`` cursors stay valid — at worst they see
+#: an explicit ``gap`` followed by the new owner's replay, never a
+#: silent skip.
+SEQ_REBASE_MARGIN = MAX_EVENTS
+
 
 class JobError(Exception):
     """Base class for job bookkeeping errors."""
@@ -120,6 +130,10 @@ class Job:
     completed: int = 0
     resumed: int = 0
     cancel_requested: bool = False
+    #: Set when this server lost the job's lease: work stops, but no
+    #: terminal transition happens locally — the job is alive under
+    #: its new owner, whose queue row is now the truth.
+    abandoned: bool = False
     result: dict | None = None
     events: list[dict] = field(default_factory=list)
     events_dropped: int = 0
@@ -283,13 +297,18 @@ class JobRegistry:
 
         The queue assigned the id; the local job starts ``queued`` so
         the ordinary ``queued -> running`` transition (and its feed
-        event) still happens.  Re-adopting an id this server ran before
-        (a lease it lost and re-claimed) starts a fresh feed.
+        event) still happens.  The feed's sequence continues from the
+        row's ``last_seq`` — which :meth:`LeaseStore.claim` rebased
+        past the previous owner's high-water mark on a re-claim — so a
+        client cursor from the old owner's feed is always *behind* the
+        new feed and resumes with an explicit gap + replay instead of
+        silently filtering the new owner's events out.
         """
         with self._lock:
             job = Job(id=row.id, kind=row.kind, params=dict(row.params),
                       key=row.key)
             job.cancel_requested = bool(row.cancel_requested)
+            job.last_seq = int(row.last_seq)
             self._jobs[row.id] = job
             return job
 
@@ -392,7 +411,7 @@ ACTIVE_STATES = (JobState.QUEUED.value, JobState.RUNNING.value)
 
 QUEUE_NAME = "queue.sqlite"
 
-QUEUE_FORMAT = 1
+QUEUE_FORMAT = 2
 
 _QUEUE_SCHEMA = """
 CREATE TABLE IF NOT EXISTS jobs (
@@ -410,7 +429,8 @@ CREATE TABLE IF NOT EXISTS jobs (
     cancel_requested INTEGER NOT NULL DEFAULT 0,
     server_id TEXT,
     lease_deadline REAL,
-    claims INTEGER NOT NULL DEFAULT 0
+    claims INTEGER NOT NULL DEFAULT 0,
+    last_seq INTEGER NOT NULL DEFAULT 0
 );
 CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs(state, n);
 CREATE INDEX IF NOT EXISTS jobs_by_key ON jobs(key);
@@ -424,7 +444,7 @@ INSERT OR IGNORE INTO qmeta (k, v) VALUES ('n', 0);
 
 _ROW_COLUMNS = ("id, n, key, kind, params, state, error, result, total, "
                 "completed, resumed, cancel_requested, server_id, "
-                "lease_deadline, claims")
+                "lease_deadline, claims, last_seq")
 
 
 @dataclass(frozen=True)
@@ -446,6 +466,11 @@ class JobRow:
     server_id: str | None
     lease_deadline: float | None
     claims: int
+    #: Mirrored feed high-water mark: the owner writes its event seq
+    #: here with progress/heartbeat updates, and a re-claim rebases it
+    #: (``+ SEQ_REBASE_MARGIN``) so feed seqs never rewind across
+    #: owners.
+    last_seq: int
 
     @property
     def terminal(self) -> bool:
@@ -477,7 +502,7 @@ def _row(raw) -> JobRow:
         result=json.loads(raw[7]) if raw[7] else None,
         total=raw[8], completed=raw[9], resumed=raw[10],
         cancel_requested=bool(raw[11]), server_id=raw[12],
-        lease_deadline=raw[13], claims=raw[14])
+        lease_deadline=raw[13], claims=raw[14], last_seq=raw[15])
 
 
 class LeaseStore:
@@ -493,9 +518,12 @@ class LeaseStore:
       ``running`` with an expired lease — inside ``BEGIN IMMEDIATE``,
       stamping ``(server_id, lease_deadline)`` before returning, so two
       servers can never claim the same job;
-    * :meth:`heartbeat` extends the caller's live leases and reports
-      which jobs it still owns (a lost lease means a stalled server
-      should abandon the work — someone else owns it now);
+    * :meth:`heartbeat` extends the leases of exactly the jobs the
+      caller says it is running — never every row stamped with its
+      name, so a server restarted under the same identity cannot keep
+      a dead predecessor's leases fresh — and reports which of them it
+      still owns (a lost lease means a stalled server should abandon
+      the work: someone else owns it now);
     * :meth:`finish` and :meth:`progress` are ownership-guarded: a
       server that lost its lease cannot clobber the re-claimant's row;
     * :meth:`release` re-queues a gracefully-stopping server's running
@@ -523,6 +551,12 @@ class LeaseStore:
             # event loop plus its executor), serialized by self._lock.
             self._conn = wal_connect(self.path, check_same_thread=False)
             self._conn.executescript(_QUEUE_SCHEMA)
+            have = {row[1] for row in self._conn.execute(
+                "PRAGMA table_info(jobs)")}
+            if "last_seq" not in have:  # format-1 queue: migrate in place
+                self._conn.execute(
+                    "ALTER TABLE jobs ADD COLUMN last_seq INTEGER "
+                    "NOT NULL DEFAULT 0")
             self._conn_pid = pid
         return self._conn
 
@@ -595,7 +629,10 @@ class LeaseStore:
         by *another* server (a server never steals a job from itself —
         its own stalled lease still has a live local task behind it).
         Claiming resets the progress counters: the new run re-counts
-        journal replays itself.
+        journal replays itself.  A *re*-claim also rebases ``last_seq``
+        to the mirrored high-water mark plus :data:`SEQ_REBASE_MARGIN`,
+        so the new owner's event feed continues strictly above every
+        seq the old owner's clients can have seen.
         """
         now = time.time() if now is None else now
 
@@ -610,9 +647,11 @@ class LeaseStore:
                 return None
             conn.execute(
                 "UPDATE jobs SET state=?, server_id=?, lease_deadline=?, "
-                "claims=claims+1, completed=0, resumed=0 WHERE id=?",
+                "claims=claims+1, completed=0, resumed=0, "
+                "last_seq=last_seq + "
+                "(CASE WHEN claims > 0 THEN ? ELSE 0 END) WHERE id=?",
                 (JobState.RUNNING.value, server_id, now + self.lease_s,
-                 raw[0]))
+                 SEQ_REBASE_MARGIN, raw[0]))
             fresh = conn.execute(
                 f"SELECT {_ROW_COLUMNS} FROM jobs WHERE id=?",
                 (raw[0],)).fetchone()
@@ -620,20 +659,40 @@ class LeaseStore:
 
         return self._transaction(body)
 
-    def heartbeat(self, server_id: str,
+    def heartbeat(self, server_id: str, jobs,
                   now: float | None = None) -> list[str]:
-        """Extend every lease ``server_id`` holds; returns the ids it
-        still owns (a job missing from the list was re-claimed)."""
+        """Extend the leases on the given jobs; returns the ids among
+        them ``server_id`` still owns (missing = re-claimed by a peer).
+
+        ``jobs`` is the ids of the jobs the caller is *actually
+        running* — either an iterable of ids, or a mapping of id to
+        the job's feed high-water ``last_seq``, which is mirrored onto
+        the row so a later re-claim can rebase the event sequence.
+        Only the listed rows are touched: a row stamped with this
+        ``server_id`` by a crashed predecessor (a server restarted
+        under a stable identity) keeps its old deadline, expires on
+        schedule, and becomes re-claimable instead of being kept
+        fresh forever.
+        """
         now = time.time() if now is None else now
+        leases = (dict(jobs) if isinstance(jobs, dict)
+                  else {job_id: None for job_id in jobs})
 
         def body(conn):
-            conn.execute(
-                "UPDATE jobs SET lease_deadline=? WHERE server_id=? "
-                "AND state=?",
-                (now + self.lease_s, server_id, JobState.RUNNING.value))
-            return [job_id for (job_id,) in conn.execute(
-                "SELECT id FROM jobs WHERE server_id=? AND state=?",
-                (server_id, JobState.RUNNING.value))]
+            owned = []
+            for job_id, last_seq in leases.items():
+                sets = "lease_deadline=?"
+                values: list = [now + self.lease_s]
+                if last_seq is not None:
+                    sets += ", last_seq=?"
+                    values.append(int(last_seq))
+                if conn.execute(
+                        f"UPDATE jobs SET {sets} WHERE id=? AND "
+                        "server_id=? AND state=?",
+                        (*values, job_id, server_id,
+                         JobState.RUNNING.value)).rowcount:
+                    owned.append(job_id)
+            return owned
 
         return self._transaction(body)
 
@@ -655,12 +714,16 @@ class LeaseStore:
     def progress(self, job_id: str, server_id: str, *,
                  completed: int | None = None,
                  resumed: int | None = None,
-                 total: int | None = None) -> bool:
-        """Mirror live counters onto the row so any server can answer
-        status queries; a no-op unless ``server_id`` owns the job."""
+                 total: int | None = None,
+                 last_seq: int | None = None) -> bool:
+        """Mirror live counters (and the event-feed high-water mark)
+        onto the row so any server can answer status queries and a
+        re-claim can rebase the feed; a no-op unless ``server_id``
+        owns the job."""
         sets, values = [], []
         for column, value in (("completed", completed),
-                              ("resumed", resumed), ("total", total)):
+                              ("resumed", resumed), ("total", total),
+                              ("last_seq", last_seq)):
             if value is not None:
                 sets.append(f"{column}=?")
                 values.append(int(value))
@@ -679,7 +742,8 @@ class LeaseStore:
     def finish(self, job_id: str, server_id: str, state: JobState, *,
                error: str | None = None, result: dict | None = None,
                completed: int | None = None, resumed: int | None = None,
-               total: int | None = None) -> bool:
+               total: int | None = None,
+               last_seq: int | None = None) -> bool:
         """Terminal transition, guarded by lease ownership.
 
         Returns ``False`` when ``server_id`` no longer owns the row
@@ -693,7 +757,8 @@ class LeaseStore:
         values: list = [state.value, error,
                         json.dumps(result) if result is not None else None]
         for column, value in (("completed", completed),
-                              ("resumed", resumed), ("total", total)):
+                              ("resumed", resumed), ("total", total),
+                              ("last_seq", last_seq)):
             if value is not None:
                 sets.append(f"{column}=?")
                 values.append(int(value))

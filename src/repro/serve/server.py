@@ -178,6 +178,13 @@ class JobServer:
         self._loop = asyncio.get_running_loop()
         self._maintenance_lock = asyncio.Lock()
         self.pool = ProcessPoolExecutor(max_workers=self.workers)
+        # A dead predecessor that ran under the same --server-id (a
+        # stable identity is the documented fleet setup) left running
+        # rows stamped with our name.  claim() never self-steals and
+        # the heartbeat only extends jobs we actually run, so re-queue
+        # them now — nothing of ours is live yet — or they would sit
+        # "running" until some *other* server outlives their lease.
+        await self._q(self.queue.release, self.server_id)
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
@@ -265,23 +272,53 @@ class JobServer:
                 await asyncio.sleep(self._claim_poll)
 
     async def _heartbeat_loop(self) -> None:
-        """Extend this server's leases; abandon any job whose lease was
-        lost (another server owns it now — running on would duplicate
-        work and clobber nothing, but burn the pool for no reason)."""
+        """Extend the leases of the jobs this server is actually
+        running — never every row stamped with its name, so a zombie
+        row from a crashed same-id predecessor expires on schedule —
+        and abandon any job whose lease was lost (another server owns
+        it now; running on would duplicate work and clobber nothing,
+        but burn the pool for no reason).  Each beat also mirrors the
+        feed high-water seq onto the row, so a later re-claim rebases
+        the event sequence past everything our clients saw."""
         while True:
             await asyncio.sleep(self.lease_s / 3.0)
+            leases = {}
+            for job_id in list(self._active):
+                local = self.registry.find(job_id)
+                leases[job_id] = (local.last_seq
+                                  if local is not None else None)
+            if not leases:
+                continue
             try:
                 owned = set(await self._q(self.queue.heartbeat,
-                                          self.server_id))
+                                          self.server_id, leases))
             except asyncio.CancelledError:
                 raise
             except Exception:  # noqa: BLE001 - retry next beat
                 continue
-            for job_id in list(self._active):
+            for job_id in leases:
                 if job_id not in owned:
-                    task = self._job_tasks.get(job_id)
-                    if task is not None and not task.done():
-                        task.cancel()
+                    local = self.registry.find(job_id)
+                    if local is not None:
+                        self._abandon(local)
+                    else:
+                        task = self._job_tasks.get(job_id)
+                        if task is not None and not task.done():
+                            task.cancel()
+
+    def _abandon(self, job: Job) -> None:
+        """Stop work on a job whose lease this server lost.
+
+        No terminal transition and no ``state`` event: the job is
+        alive under its new owner, and a local ``cancelled`` would
+        read as the job's end to stream followers.  SSE streams are
+        woken instead; they notice ``abandoned`` and fall back to the
+        queue-row state stream (the new owner has the full feed)."""
+        job.abandoned = True
+        task = self._job_tasks.get(job.id)
+        if task is not None and not task.done():
+            task.cancel()
+        self._on_job_event(job)
 
     # -- job scheduling --------------------------------------------------
 
@@ -321,12 +358,12 @@ class JobServer:
                 await self._q(self.queue.finish, job.id, self.server_id,
                               JobState.FAILED, error=detail,
                               completed=job.completed, resumed=job.resumed,
-                              total=job.total)
+                              total=job.total, last_seq=job.last_seq)
 
     async def _cancelled(self, job: Job) -> bool:
         """Local cancel flag, or — checked at chunk boundaries — the
         cluster-wide flag a cancel sent to any peer set on the row."""
-        if job.state.terminal:
+        if job.state.terminal or job.abandoned:
             return True
         if not job.cancel_requested:
             row = await self._q(self.queue.get, job.id)
@@ -335,14 +372,18 @@ class JobServer:
                     job.cancel_requested = True
                 elif (row.state == JobState.RUNNING.value
                         and row.server_id != self.server_id):
-                    # Lease lost between heartbeats: stop quietly; the
-                    # ownership guard voids our queue writes anyway.
-                    job.cancel_requested = True
+                    # Lease lost between heartbeats: abandon quietly —
+                    # no terminal event (the job lives on under its new
+                    # owner), and the ownership guard voids our queue
+                    # writes anyway.
+                    self._abandon(job)
+                    return True
         if job.cancel_requested and not job.state.terminal:
             self.registry.transition(job, JobState.CANCELLED)
             await self._q(self.queue.finish, job.id, self.server_id,
                           JobState.CANCELLED, completed=job.completed,
-                          resumed=job.resumed, total=job.total)
+                          resumed=job.resumed, total=job.total,
+                          last_seq=job.last_seq)
             return True
         return False
 
@@ -389,7 +430,7 @@ class JobServer:
             self._push_pareto(job, points)
         await self._q(self.queue.progress, job.id, self.server_id,
                       completed=job.completed, resumed=job.resumed,
-                      total=job.total)
+                      total=job.total, last_seq=job.last_seq)
 
         # A non-positive chunk_size used to slice empty chunks and drop
         # every planned point on the floor; _validate_params 400s the
@@ -423,7 +464,8 @@ class JobServer:
                             "point": point.to_dict()})
                     self._push_pareto(job, points)
                 await self._q(self.queue.progress, job.id, self.server_id,
-                              completed=job.completed)
+                              completed=job.completed,
+                              last_seq=job.last_seq)
         finally:
             for future in futures:  # a failed/cancelled job's leftovers
                 future.cancel()
@@ -450,7 +492,7 @@ class JobServer:
         await self._q(self.queue.finish, job.id, self.server_id,
                       JobState.DONE, result=payload,
                       completed=job.completed, resumed=job.resumed,
-                      total=job.total)
+                      total=job.total, last_seq=job.last_seq)
 
     def _push_pareto(self, job: Job,
                      points: dict[int, ExplorationPoint]) -> None:
@@ -506,7 +548,8 @@ class JobServer:
                 self.registry.push(job, {"type": "best", **record})
             if records:
                 await self._q(self.queue.progress, job.id, self.server_id,
-                              completed=job.completed)
+                              completed=job.completed,
+                              last_seq=job.last_seq)
             if future.done():
                 break
             if await self._cancelled(job):
@@ -529,7 +572,7 @@ class JobServer:
         await self._q(self.queue.finish, job.id, self.server_id,
                       JobState.DONE, result=summary,
                       completed=job.completed, resumed=job.resumed,
-                      total=job.total)
+                      total=job.total, last_seq=job.last_seq)
 
     # -- maintenance -----------------------------------------------------
 
@@ -893,12 +936,12 @@ class JobServer:
             row = await self._q(self.queue.get, job_id)
             if row is None:
                 break
-            if job is not None and row.server_id == self.server_id:
+            if (job is not None and not job.abandoned
+                    and row.server_id == self.server_id):
                 since = await self._stream_local(writer, job, since)
                 row = await self._q(self.queue.get, job_id)
-                if (row is None or row.terminal
-                        or row.server_id == self.server_id):
-                    break
+                if row is None or row.server_id == self.server_id:
+                    break  # finished here: terminal state already sent
                 continue  # lease moved mid-stream: fall back to remote
             if row.state != last_remote_state:
                 self._write_frame(writer, None, "state", {
@@ -915,8 +958,11 @@ class JobServer:
 
     async def _stream_local(self, writer: asyncio.StreamWriter,
                             job: Job, since: int) -> int:
-        """Stream a local job's feed until it goes terminal; returns
-        the last seq sent (for the remote fallback's resume)."""
+        """Stream a local job's feed until it goes terminal — or until
+        this server loses the job's lease, so a client attached to a
+        deposed server falls back to the queue-row stream instead of
+        hanging on keep-alives forever; returns the last seq sent (for
+        the remote fallback's resume)."""
         waiter = asyncio.Event()
         waiters = self._waiters.setdefault(job.id, set())
         waiters.add(waiter)
@@ -933,7 +979,7 @@ class JobServer:
                                       event.get("type", "event"), event)
                 if events or dropped:
                     await writer.drain()
-                if job.state.terminal:
+                if job.state.terminal or job.abandoned:
                     return since
                 try:
                     await asyncio.wait_for(waiter.wait(),
@@ -941,6 +987,11 @@ class JobServer:
                 except asyncio.TimeoutError:
                     self._write_chunk(writer, b": keep-alive\n\n")
                     await writer.drain()
+                    # Belt and braces for a heartbeat that cannot reach
+                    # the queue: notice a moved lease ourselves.
+                    row = await self._q(self.queue.get, job.id)
+                    if row is None or row.server_id != self.server_id:
+                        return since
         finally:
             waiters.discard(waiter)
             if not waiters:

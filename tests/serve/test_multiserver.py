@@ -74,11 +74,46 @@ class TestLeaseStore:
     def test_heartbeat_extends_leases_and_reports_ownership(self, queue):
         row, _ = queue.submit("explore", PARAMS)
         queue.claim("a", now=100.0)                  # deadline 110
-        assert queue.heartbeat("a", now=108.0) == [row.id]
+        assert queue.heartbeat("a", [row.id], now=108.0) == [row.id]
         assert queue.claim("b", now=115.0) is None   # extended to 118
-        assert queue.heartbeat("b", now=116.0) == []
+        assert queue.heartbeat("b", [row.id], now=116.0) == []
         assert queue.claim("b", now=119.0).id == row.id
-        assert queue.heartbeat("a", now=119.5) == []  # lease lost
+        assert queue.heartbeat("a", [row.id], now=119.5) == []  # lost
+
+    def test_heartbeat_extends_only_the_listed_jobs(self, queue):
+        # A server restarted under the same --server-id must not keep
+        # its dead predecessor's leases fresh: only the jobs the
+        # caller actually runs are extended, so the zombie row expires
+        # on schedule and any peer can re-claim it.
+        mine, _ = queue.submit("explore", PARAMS)
+        zombie, _ = queue.submit("explore", {"circuits": ["gcd"],
+                                             "budgets": [7]})
+        queue.claim("a", now=100.0)
+        queue.claim("a", now=100.0)                  # both leased by "a"
+        assert queue.heartbeat("a", [mine.id], now=109.0) == [mine.id]
+        stolen = queue.claim("b", now=112.0)
+        assert stolen.id == zombie.id                # expired on time
+        assert queue.claim("b", now=112.0) is None   # mine was extended
+
+    def test_heartbeat_mirrors_the_feed_high_water(self, queue):
+        row, _ = queue.submit("explore", PARAMS)
+        queue.claim("a", now=100.0)
+        assert queue.heartbeat("a", {row.id: 17}, now=101.0) == [row.id]
+        assert queue.get(row.id).last_seq == 17
+
+    def test_reclaim_rebases_the_event_sequence(self, queue):
+        from repro.serve.jobs import SEQ_REBASE_MARGIN
+
+        row, _ = queue.submit("explore", PARAMS)
+        first = queue.claim("a", now=100.0)
+        assert first.last_seq == 0                   # fresh claim: seqs 1..
+        assert queue.progress(row.id, "a", completed=3, last_seq=41)
+        stolen = queue.claim("b", now=200.0)
+        # The new owner's feed starts strictly past anything a client
+        # of "a" can have seen, so an old Last-Event-ID/since cursor
+        # resumes with an explicit gap + replay — never a silent skip
+        # of events whose seqs restarted below the cursor.
+        assert stolen.last_seq == 41 + SEQ_REBASE_MARGIN
 
     def test_finish_and_progress_are_ownership_guarded(self, queue):
         row, _ = queue.submit("explore", PARAMS)
@@ -193,6 +228,65 @@ class TestMultiServerRecovery:
         finally:
             a.stop()
             b.stop()
+
+    def test_restart_with_same_server_id_recovers_own_jobs(self, tmp_path):
+        state = tmp_path / "state"
+        # Long lease: recovery must come from the restart itself —
+        # start() re-queues rows stamped with its own id — because
+        # claim() never self-steals and no peer exists to outwait it.
+        a = start_in_thread(state, workers=1, lease_s=300.0,
+                            server_id="box-1")
+        try:
+            client = ServeClient(port=a.port)
+            job = client.submit("explore", circuits=["gcd", "dealer"],
+                                budgets=[5, 6, 7])
+            for event in client.stream(job["id"], timeout=120):
+                if event["type"] == "point" and not event.get("resumed"):
+                    break
+            a.kill()  # row left "running", stamped server_id="box-1"
+        finally:
+            a.stop()
+        b = start_in_thread(state, workers=1, lease_s=300.0,
+                            server_id="box-1")
+        try:
+            final = ServeClient(port=b.port).wait(job["id"], timeout=180)
+            assert final["state"] == "done"
+            assert final["result"]["points"] == 6
+            assert final["resumed"] >= 1  # journaled points replayed
+        finally:
+            b.stop()
+
+    def test_deposed_server_stream_falls_back_instead_of_hanging(
+            self, tmp_path):
+        state = tmp_path / "state"
+        a = start_in_thread(state, workers=1, lease_s=1.0)
+        thief = LeaseStore(state / "queue.sqlite", lease_s=60.0)
+        try:
+            client = ServeClient(port=a.port)
+            job = client.submit("explore",
+                                circuits=["gcd", "dealer", "vender"],
+                                budgets=[5, 6, 7])
+            stream = client.stream(job["id"], timeout=120)
+            for event in stream:
+                if event["type"] == "point":
+                    break
+            # Steal the lease out from under the live server (as a
+            # peer would after a stall) and finish the job as the new
+            # owner.  The deposed server's heartbeat notices the loss,
+            # abandons its run, and the SSE stream must fall back to
+            # the queue-row state stream instead of hanging on
+            # keep-alive comments until the client times out.
+            stolen = thief.claim("thief", now=time.time() + 3600.0)
+            assert stolen is not None and stolen.id == job["id"]
+            assert thief.finish(job["id"], "thief", JobState.DONE,
+                                result={"points": 0})
+            tail = list(stream)  # must terminate well within timeout
+            states = [e for e in tail if e["type"] == "state"]
+            assert states and states[-1]["state"] == "done"
+            assert states[-1]["server_id"] == "thief"
+        finally:
+            thief.close()
+            a.stop()
 
     def test_graceful_stop_releases_leases_immediately(self, tmp_path):
         state = tmp_path / "state"
