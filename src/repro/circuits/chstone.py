@@ -1,0 +1,174 @@
+"""CHStone-class kernels as a registered scenario family (``chstone:*``).
+
+Three kernels ported from the CHStone HLS benchmark suite's application
+mix, sized and idiomatized for this flow (bit-true at any datapath
+width, so simulated results wrap like the real RTL does):
+
+* ``chstone:adpcm[:bits]`` — :func:`adpcm_predictor`: one step of an
+  IMA-ADPCM encoder — successive-approximation quantizer (``bits``
+  compare/subtract rungs), vpdiff reconstruction, predictor update and
+  step-size adaptation.  Conditional-heavy: every quantizer rung is a
+  compare whose taken branch (a subtract and an add) is mutex with the
+  not-taken one, so the PM pass finds real gating work here.
+* ``chstone:jpeg`` — :func:`jpeg_dct8`: the 8-point 1-D scaled DCT from
+  the JPEG flow in its Loeffler/LLM shape (11 multiplies, ~29
+  add/subs).  Pure dataflow with heavy multiplier pressure: a negative
+  control for gating and the main stress for modulo-scheduler resource
+  bounds (ResMII is multiplier-dominated).
+* ``chstone:mips[:ops]`` — :func:`mips_datapath`: a MIPS-subset
+  single-instruction ALU datapath — opcode equality decodes select one
+  of ``ops`` candidate results through a mux chain.  Every deselected
+  candidate is a shut-down cone, the family's mux-richest member.
+
+Family specs are resolved by :func:`build_spec`; importing this module
+registers the family (``repro.circuits.suite`` lists it lazily, like
+``gen:*``).
+"""
+
+from __future__ import annotations
+
+from repro.circuits.suite import register_family
+from repro.ir.builder import GraphBuilder
+from repro.ir.graph import CDFG
+
+
+def adpcm_predictor(bits: int = 3) -> CDFG:
+    """One IMA-ADPCM encode step with a ``bits``-rung quantizer."""
+    if not 2 <= bits <= 6:
+        raise ValueError(
+            f"adpcm quantizer depth must be in [2, 6], got {bits}")
+    b = GraphBuilder(f"adpcm{bits}")
+    sample = b.input("sample")
+    predicted = b.input("predicted")
+    step = b.input("step")
+
+    sign = b.gt(predicted, sample, name="sign")
+    diff_neg = b.sub(predicted, sample, name="diff_neg")
+    diff_pos = b.sub(sample, predicted, name="diff_pos")
+    absdiff = b.select(sign, diff_neg, diff_pos, name="absdiff")
+
+    # Successive approximation: compare the residual against step,
+    # step/2, ... — each taken rung subtracts the threshold and adds it
+    # into the reconstructed difference.
+    vpdiff = b.shr(step, bits, name="vp0")
+    residual = absdiff
+    threshold = step
+    code = sign
+    first_bit = None
+    for rung in range(bits):
+        bit = b.ge(residual, threshold, name=f"bit{rung}")
+        if first_bit is None:
+            first_bit = bit
+        vpdiff = b.select(bit, b.add(vpdiff, threshold), vpdiff,
+                          name=f"vp{rung + 1}")
+        code = b.or_(b.shl(code, 1), bit, name=f"code{rung}")
+        if rung < bits - 1:  # the final residual feeds nothing
+            residual = b.select(bit, b.sub(residual, threshold), residual,
+                                name=f"res{rung}")
+            threshold = b.shr(threshold, 1)
+
+    newpred = b.select(sign, b.sub(predicted, vpdiff),
+                       b.add(predicted, vpdiff), name="newpred")
+    # Step adaptation: grow on a full-scale top bit, shrink otherwise.
+    grown = b.add(step, b.shr(step, 1), name="grown")
+    newstep = b.select(first_bit, grown, b.shr(step, 1), name="newstep")
+
+    b.output(code, "code")
+    b.output(newpred, "predicted_out")
+    b.output(newstep, "step_out")
+    return b.build()
+
+
+def jpeg_dct8() -> CDFG:
+    """8-point 1-D scaled DCT in the Loeffler/LLM dataflow shape."""
+    b = GraphBuilder("jpeg_dct8")
+    x = [b.input(f"x{i}") for i in range(8)]
+
+    # Stage 1 butterflies.
+    s = [b.add(x[i], x[7 - i], name=f"s{i}") for i in range(4)]
+    d = [b.sub(x[i], x[7 - i], name=f"d{i}") for i in range(4)]
+
+    # Even part: two more butterfly levels plus the rotated pair.
+    t0 = b.add(s[0], s[3], name="t0")
+    t1 = b.add(s[1], s[2], name="t1")
+    t2 = b.sub(s[0], s[3], name="t2")
+    t3 = b.sub(s[1], s[2], name="t3")
+    y0 = b.add(t0, t1, name="y0")
+    y4 = b.sub(t0, t1, name="y4")
+    z1 = b.mul(b.add(t2, t3), 2, name="z1")
+    y2 = b.add(z1, b.mul(t2, 3), name="y2")
+    y6 = b.sub(z1, b.mul(t3, 7), name="y6")
+
+    # Odd part: shared cross terms, then one rotation per output.
+    oz1 = b.mul(b.add(d[0], d[3]), 2, name="oz1")
+    oz2 = b.mul(b.add(d[1], d[2]), 3, name="oz2")
+    oz3 = b.mul(b.add(d[0], d[2]), 5, name="oz3")
+    oz4 = b.mul(b.add(d[1], d[3]), 4, name="oz4")
+    y1 = b.add(b.add(b.mul(d[0], 6), oz1), oz3, name="y1")
+    y3 = b.add(b.sub(b.mul(d[1], 7), oz2), oz4, name="y3")
+    y5 = b.add(b.add(b.mul(d[2], 2), oz2), oz3, name="y5")
+    y7 = b.sub(b.add(b.mul(d[3], 3), oz1), oz4, name="y7")
+
+    for i, y in enumerate((y0, y1, y2, y3, y4, y5, y6, y7)):
+        b.output(y, f"y{i}")
+    return b.build()
+
+
+def mips_datapath(n_ops: int = 6) -> CDFG:
+    """MIPS-subset ALU: opcode-decoded selection over ``n_ops`` results."""
+    if not 2 <= n_ops <= 8:
+        raise ValueError(f"mips ALU op count must be in [2, 8], got {n_ops}")
+    b = GraphBuilder(f"mips{n_ops}")
+    op = b.input("op")
+    rs = b.input("rs")
+    rt = b.input("rt")
+    # The immediate port exists only once an I-format op uses it, or the
+    # input would be dead and validation would reject the circuit.
+    imm = b.input("imm") if n_ops >= 7 else None
+
+    alu = [
+        lambda: b.add(rs, rt, name="alu_add"),
+        lambda: b.sub(rs, rt, name="alu_sub"),
+        lambda: b.and_(rs, rt, name="alu_and"),
+        lambda: b.or_(rs, rt, name="alu_or"),
+        lambda: b.xor(rs, rt, name="alu_xor"),
+        lambda: b.lt(rs, rt, name="alu_slt"),
+        lambda: b.add(rs, imm, name="alu_addi"),
+        lambda: b.shl(imm, 4, name="alu_lui"),
+    ]
+    candidates = [make() for make in alu[:n_ops]]
+
+    result = candidates[0]
+    for code, candidate in enumerate(candidates[1:], start=1):
+        is_code = b.eq(op, code, name=f"dec{code}")
+        result = b.select(is_code, candidate, result, name=f"r{code}")
+    zero = b.eq(result, 0, name="zero")
+
+    b.output(result, "result")
+    b.output(zero, "zero_flag")
+    return b.build()
+
+
+def build_spec(param: str) -> CDFG:
+    """Family builder for ``chstone:<kernel>[:arg]`` specs."""
+    kernel, _, arg = param.partition(":")
+    try:
+        if kernel == "adpcm":
+            return adpcm_predictor(int(arg) if arg else 3)
+        if kernel == "jpeg":
+            if arg:
+                raise ValueError(
+                    f"chstone:jpeg takes no parameter, got {arg!r}")
+            return jpeg_dct8()
+        if kernel == "mips":
+            return mips_datapath(int(arg) if arg else 6)
+    except ValueError as exc:
+        raise ValueError(f"bad chstone spec {param!r}: {exc}") from None
+    raise ValueError(
+        f"unknown chstone kernel {kernel!r}; choose adpcm[:bits], jpeg "
+        "or mips[:ops]")
+
+
+register_family("chstone", build_spec)
+
+__all__ = ["adpcm_predictor", "build_spec", "jpeg_dct8", "mips_datapath"]

@@ -33,7 +33,10 @@ FAMILIES: dict[str, Callable[[str], CDFG]] = {}
 #: Families registered on first use: ``prefix -> module`` whose import
 #: calls :func:`register_family`.  Keeps ``repro.circuits`` importable
 #: without its family providers (and vice versa).
-LAZY_FAMILIES: dict[str, str] = {"gen": "repro.gen"}
+LAZY_FAMILIES: dict[str, str] = {
+    "gen": "repro.gen",
+    "chstone": "repro.circuits.chstone",
+}
 
 
 def register_family(prefix: str, builder: Callable[[str], CDFG]) -> None:

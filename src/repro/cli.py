@@ -94,6 +94,8 @@ def _flow_config(graph: CDFG, args: argparse.Namespace) -> FlowConfig:
         n_steps=_steps_for(graph, args),
         pm=_pm_options(args),
         scheduler=args.scheduler,
+        initiation_interval=args.ii,
+        pipelined_gating=args.pipelined_gating,
         verify=args.verify,
         sim_backend=args.sim_backend,
     )
@@ -167,6 +169,8 @@ def cmd_explore(args: argparse.Namespace) -> int:
         raise SystemExit("error: --budgets needs a comma-separated list "
                          "of control-step counts, e.g. 5,6,7")
     configs = [FlowConfig(pm=_pm_options(args), scheduler=args.scheduler,
+                          initiation_interval=args.ii,
+                          pipelined_gating=args.pipelined_gating,
                           verify=args.verify,
                           sim_backend=args.sim_backend)]
     circuits = [_explore_spec(spec) for spec in args.circuits]
@@ -490,6 +494,16 @@ def make_parser() -> argparse.ArgumentParser:
         p.add_argument("--scheduler", default="list",
                        choices=available_schedulers(),
                        help="base scheduling strategy (default: list)")
+        p.add_argument("--ii", type=int, default=None, metavar="N",
+                       help="initiation-interval cap for pipelined "
+                            "schedulers; --scheduler pipeline searches "
+                            "for the smallest feasible II at or below it "
+                            "(default: the step budget)")
+        p.add_argument("--pipelined-gating", default="per_sample",
+                       choices=("per_sample", "drop"),
+                       help="guards that cross a stage boundary: carry "
+                            "per-sample register copies, or drop them "
+                            "conservatively (default: per_sample)")
         p.add_argument("--verify", action="store_true",
                        help="run the gating-soundness check")
         p.add_argument("--sim-backend", default="auto",

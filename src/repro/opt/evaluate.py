@@ -237,6 +237,10 @@ class Evaluator:
         metrics["area"] = float(result.design.area().total)
         metrics["controller_literals"] = \
             float(result.design.controller.literal_count)
+        metrics["pipelined_gated_weight"] = float(
+            result.pipelined_gating.pipelined_gated_weight
+            if result.pipelined_gating is not None
+            else metrics["gated_weight"])
         if level >= NEEDS_PAIR:
             from repro.power.simulated import compare_designs
 

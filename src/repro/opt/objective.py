@@ -77,6 +77,9 @@ METRICS: dict[str, Metric] = {m.name: m for m in (
            "static datapath power reduction %% (Table II model)"),
     Metric("area", MINIMIZE, NEEDS_DESIGN,
            "execution-unit + register + mux area of the managed design"),
+    Metric("pipelined_gated_weight", MAXIMIZE, NEEDS_DESIGN,
+           "expected gated weight still valid under pipelined overlap "
+           "(equals gated_weight for unpipelined runs)"),
     Metric("controller_literals", MINIMIZE, NEEDS_DESIGN,
            "two-level literal count of the managed controller"),
     Metric("sim_power", MAXIMIZE, NEEDS_PAIR,

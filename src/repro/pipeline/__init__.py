@@ -41,7 +41,9 @@ from repro.pipeline.registry import (
     UnknownSchedulerError,
     available_schedulers,
     get_scheduler,
+    ii_capable_schedulers,
     register_scheduler,
+    supports_initiation_interval,
     unregister_scheduler,
 )
 from repro.pipeline.result import SynthesisPair, SynthesisResult
@@ -93,6 +95,7 @@ __all__ = [
     "explore",
     "get_scheduler",
     "graph_fingerprint",
+    "ii_capable_schedulers",
     "job_key",
     "journal_point",
     "load_point_journal",
@@ -102,5 +105,6 @@ __all__ = [
     "run_chunk",
     "run_flow",
     "run_pair",
+    "supports_initiation_interval",
     "unregister_scheduler",
 ]

@@ -26,7 +26,17 @@ class FlowConfig:
                           anything registered via
                           :func:`repro.pipeline.register_scheduler`).
     width:                datapath bit width.
-    initiation_interval:  pipelined initiation interval (``list`` only).
+    initiation_interval:  pipelined initiation interval.  The ``list``
+                          strategy schedules at exactly this II; the
+                          ``pipeline`` strategy treats it as an upper
+                          bound and searches down toward MII (see
+                          :mod:`repro.sched.modulo`).  Other strategies
+                          reject it.
+    pipelined_gating:     what to do with PM gating whose guard crosses
+                          an II boundary under overlap (see
+                          :mod:`repro.core.pipelined_gating`):
+                          ``per_sample`` keeps it via stage-indexed
+                          guard-register copies, ``drop`` removes it.
     mutex_sharing:        share units between mutually-exclusive ops.
     verify:               run the structural gating-soundness check.
     sim_backend:          batch-simulation engine for verification and
@@ -43,6 +53,7 @@ class FlowConfig:
     scheduler: str = "list"
     width: int = 8
     initiation_interval: int | None = None
+    pipelined_gating: str = "per_sample"
     mutex_sharing: bool = False
     verify: bool = False
     sim_backend: str = "auto"

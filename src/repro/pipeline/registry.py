@@ -24,6 +24,7 @@ from repro.sched.schedule import Schedule
 SchedulerStrategy = Callable[[CDFG, FlowConfig], tuple[Schedule, Allocation]]
 
 _SCHEDULERS: dict[str, SchedulerStrategy] = {}
+_II_CAPABLE: set[str] = set()
 
 
 class UnknownSchedulerError(KeyError):
@@ -31,14 +32,23 @@ class UnknownSchedulerError(KeyError):
 
 
 def register_scheduler(name: str,
-                       fn: SchedulerStrategy | None = None):
+                       fn: SchedulerStrategy | None = None,
+                       *, supports_ii: bool = False):
     """Register a strategy under ``name`` (usable as a decorator).
 
     Re-registering a name replaces the previous strategy, so tests and
-    downstream packages can override the built-ins.
+    downstream packages can override the built-ins.  ``supports_ii``
+    declares that the strategy honours
+    :attr:`FlowConfig.initiation_interval`; strategies that do not should
+    reject pipelined configs with :func:`reject_initiation_interval`, so
+    the error always names the capable alternatives.
     """
     def _register(strategy: SchedulerStrategy) -> SchedulerStrategy:
         _SCHEDULERS[name] = strategy
+        if supports_ii:
+            _II_CAPABLE.add(name)
+        else:
+            _II_CAPABLE.discard(name)
         return strategy
 
     return _register(fn) if fn is not None else _register
@@ -46,6 +56,7 @@ def register_scheduler(name: str,
 
 def unregister_scheduler(name: str) -> None:
     _SCHEDULERS.pop(name, None)
+    _II_CAPABLE.discard(name)
 
 
 def get_scheduler(name: str) -> SchedulerStrategy:
@@ -61,7 +72,26 @@ def available_schedulers() -> tuple[str, ...]:
     return tuple(sorted(_SCHEDULERS))
 
 
-@register_scheduler("list")
+def ii_capable_schedulers() -> tuple[str, ...]:
+    """Strategies that honour ``FlowConfig.initiation_interval``."""
+    return tuple(sorted(_II_CAPABLE))
+
+
+def supports_initiation_interval(name: str) -> bool:
+    return name in _II_CAPABLE
+
+
+def reject_initiation_interval(name: str) -> None:
+    """Raise the canonical error for a non-pipelining strategy handed an
+    ``initiation_interval`` — always listing the capable alternatives, so
+    the message cannot rot as strategies come and go."""
+    capable = ", ".join(repr(n) for n in ii_capable_schedulers())
+    raise ValueError(
+        f"the {name!r} scheduler does not support pipelining; drop "
+        f"initiation_interval or use an II-capable strategy ({capable})")
+
+
+@register_scheduler("list", supports_ii=True)
 def _list_strategy(graph: CDFG, config: FlowConfig):
     """List scheduling inside the minimum-resource search (the default;
     this is the paper's step 11)."""
@@ -79,9 +109,7 @@ def _force_directed_strategy(graph: CDFG, config: FlowConfig):
     from repro.sched.force_directed import force_directed_schedule
 
     if config.initiation_interval is not None:
-        raise ValueError(
-            "the 'force_directed' scheduler does not support pipelining; "
-            "drop initiation_interval or use scheduler='list'")
+        reject_initiation_interval("force_directed")
     schedule = force_directed_schedule(graph, config.require_steps())
     return schedule, schedule.resource_usage()
 
@@ -92,8 +120,23 @@ def _exact_strategy(graph: CDFG, config: FlowConfig):
     from repro.sched.exact import exact_minimum_schedule
 
     if config.initiation_interval is not None:
-        raise ValueError(
-            "the 'exact' scheduler does not support pipelining; "
-            "drop initiation_interval or use scheduler='list'")
+        reject_initiation_interval("exact")
     found = exact_minimum_schedule(graph, config.require_steps())
+    return found.schedule, found.allocation
+
+
+@register_scheduler("pipeline", supports_ii=True)
+def _pipeline_strategy(graph: CDFG, config: FlowConfig):
+    """Iterative modulo scheduling with II minimization (paper §IV-B).
+
+    ``config.initiation_interval`` is an *upper bound*: the strategy
+    searches down from it toward MII and returns the smallest feasible
+    II (never worse than the ceil-division list schedule).  When unset,
+    the cap is the step budget itself — an unpipelined incumbent the
+    search then tries to overlap.
+    """
+    from repro.sched.modulo import minimize_initiation_interval
+
+    found = minimize_initiation_interval(
+        graph, config.require_steps(), max_ii=config.initiation_interval)
     return found.schedule, found.allocation

@@ -16,11 +16,17 @@ from repro.sched.schedule import Schedule
 
 @dataclass
 class SynthesisResult:
-    """Everything produced for one circuit at one step budget."""
+    """Everything produced for one circuit at one step budget.
+
+    ``pipelined_gating`` carries the overlap analysis of a pipelined run
+    (see :mod:`repro.core.pipelined_gating`); ``None`` when the schedule
+    has no initiation interval below its length.
+    """
 
     design: SynthesizedDesign
     pm: PMResult
     schedule: Schedule
+    pipelined_gating: "object | None" = None
 
     @property
     def allocation(self):

@@ -56,6 +56,16 @@ class Stage:
         return f"<{type(self).__name__} {self.name!r}>"
 
 
+def effective_pm(ctx: FlowContext):
+    """The PM result downstream stages should build on: the schedule
+    stage's overlap-adjusted one when the run is pipelined (identical to
+    the original outside ``pipelined_gating="drop"``), else the PM pass
+    output itself."""
+    report = ctx.get("pipelined_gating") if ctx.has("pipelined_gating") \
+        else None
+    return report.adjusted if report is not None else ctx.get("pm")
+
+
 class ValidateStage(Stage):
     """Structural well-formedness of the input CDFG."""
 
@@ -99,21 +109,37 @@ class PowerManageStage(Stage):
 
 
 class ScheduleStage(Stage):
-    """Resource-minimizing scheduling via the registered strategy."""
+    """Resource-minimizing scheduling via the registered strategy.
+
+    For pipelined schedules (an II on the result) this stage also
+    re-checks every PM gating decision against the overlap condition
+    (see :mod:`repro.core.pipelined_gating`) and publishes the analysis
+    as the ``pipelined_gating`` artifact — ``None`` when unpipelined.
+    """
 
     name = "schedule"
     requires = ("pm",)
-    provides = ("schedule", "allocation")
+    provides = ("schedule", "allocation", "pipelined_gating")
     # "pm" options shape the augmented graph this stage schedules, so
     # they are part of the key even though the stage reads them only
     # through the pm artifact.
-    config_fields = ("n_steps", "pm", "scheduler", "initiation_interval")
+    config_fields = ("n_steps", "pm", "scheduler", "initiation_interval",
+                     "pipelined_gating")
     cacheable = True
 
     def run(self, ctx: FlowContext) -> dict[str, object]:
         strategy = get_scheduler(ctx.config.scheduler)
-        schedule, allocation = strategy(ctx.get("pm").graph, ctx.config)
-        return {"schedule": schedule, "allocation": allocation}
+        pm = ctx.get("pm")
+        schedule, allocation = strategy(pm.graph, ctx.config)
+        gating = None
+        if schedule.initiation_interval \
+                and schedule.initiation_interval < schedule.n_steps:
+            from repro.core.pipelined_gating import analyze_pipelined_gating
+
+            gating = analyze_pipelined_gating(
+                pm, schedule, mode=ctx.config.pipelined_gating)
+        return {"schedule": schedule, "allocation": allocation,
+                "pipelined_gating": gating}
 
 
 class AllocateStage(Stage):
@@ -138,19 +164,25 @@ class AllocateStage(Stage):
 
 
 class ElaborateStage(Stage):
-    """Interconnect, guards, FSM controller: the finished RTL design."""
+    """Interconnect, guards, FSM controller: the finished RTL design.
+
+    Elaborates from the overlap-adjusted PM result when the schedule is
+    pipelined, so ``pipelined_gating="drop"`` actually removes the broken
+    guards from the controller.
+    """
 
     name = "elaborate"
-    requires = ("pm", "schedule", "binding", "registers")
+    requires = ("pm", "schedule", "binding", "registers",
+                "pipelined_gating")
     provides = ("design",)
     config_fields = ("n_steps", "pm", "scheduler", "initiation_interval",
-                     "mutex_sharing", "width")
+                     "pipelined_gating", "mutex_sharing", "width")
     cacheable = True
 
     def run(self, ctx: FlowContext) -> dict[str, object]:
         from repro.rtl.design import elaborate
 
-        design = elaborate(ctx.get("pm"), ctx.get("schedule"),
+        design = elaborate(effective_pm(ctx), ctx.get("schedule"),
                            width=ctx.config.width,
                            binding=ctx.get("binding"),
                            registers=ctx.get("registers"))
@@ -164,7 +196,7 @@ class VerifyStage(Stage):
     vector set, with power management on and off."""
 
     name = "verify"
-    requires = ("pm", "design")
+    requires = ("pm", "design", "pipelined_gating")
     provides = ("verified",)
 
     #: Vectors simulated per power-management mode by the functional check.
@@ -178,7 +210,7 @@ class VerifyStage(Stage):
         from repro.sim.reference import evaluate
         from repro.sim.vectors import random_vectors
 
-        verify_gating(ctx.get("pm"))
+        verify_gating(effective_pm(ctx))
         design = ctx.get("design")
         vectors = random_vectors(ctx.graph, self.n_check_vectors,
                                  width=design.width, seed=1996)
@@ -196,16 +228,23 @@ class VerifyStage(Stage):
 
 
 class ReportStage(Stage):
-    """Assemble the public :class:`SynthesisResult`."""
+    """Assemble the public :class:`SynthesisResult`.
+
+    ``result.pm`` is the PM result the design was elaborated from (the
+    overlap-adjusted one for pipelined ``drop``-mode runs), so static
+    power reports agree with the controller's actual guards.
+    """
 
     name = "report"
-    requires = ("pm", "schedule", "design")
+    requires = ("pm", "schedule", "design", "pipelined_gating")
     provides = ("result",)
 
     def run(self, ctx: FlowContext) -> dict[str, object]:
-        return {"result": SynthesisResult(design=ctx.get("design"),
-                                          pm=ctx.get("pm"),
-                                          schedule=ctx.get("schedule"))}
+        return {"result": SynthesisResult(
+            design=ctx.get("design"),
+            pm=effective_pm(ctx),
+            schedule=ctx.get("schedule"),
+            pipelined_gating=ctx.get("pipelined_gating"))}
 
 
 def default_stages() -> tuple[Stage, ...]:

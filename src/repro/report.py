@@ -107,4 +107,6 @@ def full_report(result: SynthesisResult,
     sections.append(
         f"controller: {design.controller.literal_count} literals over "
         f"{design.controller.n_states} states")
+    if result.pipelined_gating is not None:
+        sections.append(result.pipelined_gating.describe())
     return "\n".join(sections)

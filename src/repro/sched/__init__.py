@@ -4,7 +4,20 @@ from repro.sched.exact import ExactResult, exact_minimum_schedule
 from repro.sched.force_directed import force_directed_schedule
 from repro.sched.list_scheduler import ListSchedulingFailure, list_schedule
 from repro.sched.minimize import MinimizeResult, minimize_resources
-from repro.sched.pipeline import PipelineSpec, pipelined_minimize, slack_gained
+from repro.sched.modulo import (
+    ModuloResult,
+    ModuloSchedulingError,
+    minimize_initiation_interval,
+    modulo_schedule,
+    recurrence_mii,
+    resource_mii,
+)
+from repro.sched.pipeline import (
+    PipelineSpec,
+    pipelined_minimize,
+    require_feasible,
+    slack_gained,
+)
 from repro.sched.resources import (
     Allocation,
     UNIT_COST,
@@ -27,6 +40,8 @@ __all__ = [
     "InfeasibleScheduleError",
     "ListSchedulingFailure",
     "MinimizeResult",
+    "ModuloResult",
+    "ModuloSchedulingError",
     "PipelineSpec",
     "Schedule",
     "ScheduleError",
@@ -40,8 +55,13 @@ __all__ = [
     "force_directed_schedule",
     "list_schedule",
     "lower_bound_allocation",
+    "minimize_initiation_interval",
     "minimize_resources",
+    "modulo_schedule",
     "pipelined_minimize",
+    "recurrence_mii",
+    "require_feasible",
+    "resource_mii",
     "single_unit_allocation",
     "slack_gained",
     "try_timing",

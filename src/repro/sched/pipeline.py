@@ -45,13 +45,33 @@ class PipelineSpec:
         return self.initiation_interval
 
 
+def require_feasible(graph: CDFG, spec: PipelineSpec) -> int:
+    """Validate that ``spec``'s step budget can hold ``graph`` at all.
+
+    Returns the critical path length; raises :class:`ValueError` naming it
+    when ``n_steps`` falls short, so callers fail at the spec instead of
+    deep inside the list scheduler.
+    """
+    cp = critical_path_length(graph)
+    if spec.n_steps < cp:
+        raise ValueError(
+            f"pipeline spec of {spec.n_steps} steps cannot hold "
+            f"{graph.name!r}: its critical path needs {cp} control steps")
+    return cp
+
+
 def pipelined_minimize(graph: CDFG, spec: PipelineSpec) -> MinimizeResult:
     """Minimum-resource schedule of ``graph`` under a pipeline spec."""
+    require_feasible(graph, spec)
     return minimize_resources(graph, spec.n_steps,
                               initiation_interval=spec.initiation_interval)
 
 
 def slack_gained(graph: CDFG, spec: PipelineSpec) -> int:
     """Extra control steps pipelining makes available over the critical
-    path at the same (or better) throughput."""
-    return spec.n_steps - critical_path_length(graph)
+    path at the same (or better) throughput.
+
+    Raises :class:`ValueError` (naming the critical path) when the spec is
+    infeasible for ``graph`` — slack can never be negative.
+    """
+    return spec.n_steps - require_feasible(graph, spec)

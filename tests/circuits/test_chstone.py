@@ -1,0 +1,95 @@
+"""CHStone-class kernel family (``chstone:*``)."""
+
+import pytest
+
+from repro.circuits import build
+from repro.circuits.chstone import adpcm_predictor, jpeg_dct8, mips_datapath
+from repro.core.pm_pass import apply_power_management
+from repro.ir.ops import Op
+from repro.ir.validate import validate
+from repro.pipeline.cache import graph_fingerprint
+from repro.sched.timing import critical_path_length
+from repro.sim.reference import evaluate
+
+ALL_SPECS = ("chstone:adpcm", "chstone:adpcm:5", "chstone:jpeg",
+             "chstone:mips", "chstone:mips:3", "chstone:mips:8")
+
+
+class TestFamilyRegistration:
+    @pytest.mark.parametrize("spec", ALL_SPECS)
+    def test_builds_and_validates(self, spec):
+        graph = build(spec)
+        validate(graph)
+        assert critical_path_length(graph) >= 2
+
+    @pytest.mark.parametrize("spec", ALL_SPECS)
+    def test_deterministic_by_spec(self, spec):
+        assert graph_fingerprint(build(spec)) == \
+            graph_fingerprint(build(spec))
+
+    def test_default_args(self):
+        assert graph_fingerprint(build("chstone:adpcm")) == \
+            graph_fingerprint(adpcm_predictor(3))
+        assert graph_fingerprint(build("chstone:mips")) == \
+            graph_fingerprint(mips_datapath(6))
+
+    @pytest.mark.parametrize("spec", [
+        "chstone:adpcm:1", "chstone:adpcm:9", "chstone:mips:1",
+        "chstone:mips:99", "chstone:jpeg:4", "chstone:adpcm:x",
+    ])
+    def test_bad_parameters_rejected(self, spec):
+        with pytest.raises(ValueError, match="chstone"):
+            build(spec)
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValueError, match="adpcm"):
+            build("chstone:fft")
+
+
+class TestKernelShapes:
+    def test_adpcm_quantizer_depth_sets_code_width(self):
+        for bits in (2, 4, 6):
+            graph = adpcm_predictor(bits)
+            rungs = [n for n in graph.operations()
+                     if n.op is Op.GE and n.name.startswith("bit")]
+            assert len(rungs) == bits
+
+    def test_adpcm_is_gating_rich(self):
+        graph = adpcm_predictor()
+        pm = apply_power_management(graph, critical_path_length(graph) + 2)
+        assert pm.managed_count >= 3
+
+    def test_jpeg_has_the_llm_multiply_count(self):
+        graph = jpeg_dct8()
+        muls = [n for n in graph.operations() if n.op is Op.MUL]
+        assert len(muls) == 11
+        assert len(list(graph.outputs())) == 8
+
+    def test_jpeg_is_a_negative_control_for_gating(self):
+        graph = jpeg_dct8()
+        assert not any(n.is_mux for n in graph.operations())
+
+    def test_mips_mux_chain_depth_tracks_op_count(self):
+        for n_ops in (2, 5, 8):
+            graph = mips_datapath(n_ops)
+            muxes = [n for n in graph.operations() if n.is_mux]
+            assert len(muxes) == n_ops - 1
+
+    def test_mips_decodes_each_opcode(self):
+        """Functional sanity via the reference model: every opcode
+        routes its own ALU result to the output."""
+        graph = mips_datapath(4)
+        rs, rt = 12, 5
+        expected = {0: rs + rt, 1: rs - rt, 2: rs & rt, 3: rs | rt}
+        for code, want in expected.items():
+            out = evaluate(graph, {"op": code, "rs": rs, "rt": rt})
+            assert out["result"] == want, code
+            assert out["zero_flag"] == int(want == 0)
+
+    def test_adpcm_reconstruction_is_signed(self):
+        """sign path: predicted > sample must *decrease* the predictor."""
+        graph = adpcm_predictor()
+        out = evaluate(graph, {"sample": 10, "predicted": 90, "step": 16})
+        assert out["predicted_out"] < 90
+        out = evaluate(graph, {"sample": 90, "predicted": 10, "step": 16})
+        assert out["predicted_out"] > 10

@@ -1,0 +1,180 @@
+"""Gating validity under pipelined overlap (paper §IV-B, re-derived).
+
+With an initiation interval below the schedule length, a MUX select
+register is rewritten every II steps; a guard read ``distance >= II``
+steps after its driver finishes sees the *next* sample's select.  The
+analysis must find exactly those guards, quantify the surviving weight,
+and — in ``drop`` mode — produce an adjusted PM result downstream
+stages can elaborate safely.
+"""
+
+import pytest
+
+from repro.circuits import build
+from repro.core.pipelined_gating import (
+    PIPELINED_GATING_MODES,
+    REASON_OVERLAP,
+    analyze_pipelined_gating,
+    pipelined_gated_weight,
+)
+from repro.opt.objective import gated_weight
+from repro.pipeline import FlowConfig, Pipeline
+
+
+def pipelined_context(graph, n_steps, cap=None, mode="per_sample"):
+    return Pipeline().run_context(graph, FlowConfig(
+        n_steps=n_steps, scheduler="pipeline", initiation_interval=cap,
+        pipelined_gating=mode))
+
+
+@pytest.fixture(scope="module")
+def broken_case():
+    """vender at II=2: deterministic, with mux 16's guards crossing a
+    stage boundary (found by the II search, pinned here)."""
+    graph = build("vender")
+    ctx = pipelined_context(graph, 6, cap=2)
+    return ctx.get("pm"), ctx.get("schedule"), ctx.get("pipelined_gating")
+
+
+class TestAnalysis:
+    def test_unknown_mode_rejected(self, broken_case):
+        pm, schedule, _ = broken_case
+        with pytest.raises(ValueError, match="mode"):
+            analyze_pipelined_gating(pm, schedule, mode="hope")
+        assert set(PIPELINED_GATING_MODES) == {"per_sample", "drop"}
+
+    def test_unpipelined_schedule_rejected(self, vender_graph):
+        ctx = Pipeline().run_context(vender_graph, FlowConfig(n_steps=6))
+        with pytest.raises(ValueError, match="initiation_interval"):
+            analyze_pipelined_gating(ctx.get("pm"), ctx.get("schedule"))
+
+    def test_finds_the_broken_guard(self, broken_case):
+        pm, schedule, report = broken_case
+        assert report.initiation_interval == 2
+        assert report.broken_muxes  # at least one guard crosses a stage
+        assert set(report.broken_muxes) <= set(pm.selected_muxes)
+        assert set(report.surviving_muxes).isdisjoint(report.broken_muxes)
+        broken = [f for f in report.fates if not f.survives]
+        assert broken and all(f.distance >= 2 for f in broken)
+        assert all(f.copies == f.distance // 2 for f in broken)
+        assert report.guard_copies == sum(f.copies for f in report.fates)
+
+    def test_surviving_guards_are_within_one_interval(self, broken_case):
+        _, _, report = broken_case
+        for fate in report.fates:
+            if fate.survives:
+                assert fate.distance < report.initiation_interval
+                assert fate.copies == 0
+
+    def test_weight_accounting(self, broken_case):
+        pm, schedule, report = broken_case
+        assert report.gated_weight == pytest.approx(gated_weight(pm))
+        assert report.pipelined_gated_weight < report.gated_weight
+        assert report.lost_weight == pytest.approx(
+            report.gated_weight - report.pipelined_gated_weight)
+        assert 0 < report.lost_pct < 100
+        assert str(report.initiation_interval) in report.describe()
+
+    def test_both_modes_agree_on_surviving_weight(self, broken_case):
+        pm, schedule, _ = broken_case
+        per_sample = analyze_pipelined_gating(pm, schedule, "per_sample")
+        drop = analyze_pipelined_gating(pm, schedule, "drop")
+        assert per_sample.pipelined_gated_weight == \
+            pytest.approx(drop.pipelined_gated_weight)
+        assert pipelined_gated_weight(pm, schedule) == \
+            pytest.approx(drop.pipelined_gated_weight)
+
+
+class TestAdjustedResult:
+    def test_per_sample_keeps_the_pm_result(self, broken_case):
+        pm, schedule, report = broken_case
+        assert report.mode == "per_sample"
+        assert report.adjusted is pm
+
+    def test_drop_strips_exactly_the_broken_guards(self, broken_case):
+        pm, schedule, _ = broken_case
+        report = analyze_pipelined_gating(pm, schedule, "drop")
+        adjusted = report.adjusted
+        assert adjusted is not pm
+        broken = set(report.broken_muxes)
+        for nid, guards in adjusted.gating.items():
+            assert guards  # empty entries are removed outright
+            assert set(guards) <= set(pm.gating[nid])
+            assert all(mux not in broken for mux, _ in guards)
+        # The adjusted result's own static score IS the surviving weight.
+        assert gated_weight(adjusted) == \
+            pytest.approx(report.pipelined_gated_weight)
+
+    def test_drop_deselects_fully_emptied_decisions(self, broken_case):
+        pm, schedule, _ = broken_case
+        report = analyze_pipelined_gating(pm, schedule, "drop")
+        adjusted = report.adjusted
+        emptied = set(pm.selected_muxes) - set(adjusted.selected_muxes)
+        for decision in adjusted.decisions:
+            if decision.mux in emptied:
+                assert not decision.selected
+                assert decision.reason == REASON_OVERLAP
+                assert not decision.gated
+
+    def test_nothing_broken_means_nothing_dropped(self, vender_graph):
+        # At II=3 every vender guard stays within one interval.
+        ctx = pipelined_context(vender_graph, 6, cap=3, mode="drop")
+        report = ctx.get("pipelined_gating")
+        assert not report.broken_muxes
+        assert report.adjusted is ctx.get("pm")
+        assert report.pipelined_gated_weight == \
+            pytest.approx(report.gated_weight)
+
+
+class TestFlowWiring:
+    def test_unpipelined_run_reports_none(self, gcd_graph):
+        result = Pipeline().run(gcd_graph, FlowConfig(n_steps=7))
+        assert result.pipelined_gating is None
+
+    def test_pipelined_run_carries_the_report(self, vender_graph):
+        ctx = pipelined_context(vender_graph, 6, cap=2)
+        report = ctx.get("result").pipelined_gating
+        assert report is ctx.get("pipelined_gating")
+        assert report.initiation_interval == \
+            ctx.get("schedule").initiation_interval
+
+    @pytest.mark.parametrize("mode", PIPELINED_GATING_MODES)
+    def test_both_modes_verify_end_to_end(self, vender_graph, mode):
+        result = Pipeline().run(vender_graph, FlowConfig(
+            n_steps=6, scheduler="pipeline", initiation_interval=2,
+            pipelined_gating=mode, verify=True))
+        assert result.pipelined_gating.mode == mode
+
+    def test_mode_is_part_of_the_cache_key(self, vender_graph):
+        from repro.pipeline import ArtifactCache
+
+        pipeline = Pipeline(cache=ArtifactCache())
+        base = FlowConfig(n_steps=6, scheduler="pipeline",
+                          initiation_interval=2)
+        pipeline.run(vender_graph, base)
+        ctx = pipeline.run_context(
+            vender_graph, FlowConfig(n_steps=6, scheduler="pipeline",
+                                     initiation_interval=2,
+                                     pipelined_gating="drop"))
+        assert "schedule" not in ctx.cache_hits
+        assert "power_manage" in ctx.cache_hits  # PM itself is shared
+
+
+class TestMetric:
+    def test_metric_registered_at_design_level(self):
+        from repro.opt.objective import METRICS, NEEDS_DESIGN, Objective
+
+        assert "pipelined_gated_weight" in METRICS
+        assert Objective.parse("pipelined_gated_weight").requires \
+            == NEEDS_DESIGN
+
+    def test_equals_gated_weight_for_unpipelined_runs(self, gcd_graph):
+        from repro.opt.evaluate import Evaluator
+        from repro.opt.space import Candidate
+
+        evaluator = Evaluator(gcd_graph, "pipelined_gated_weight")
+        order = tuple(sorted(
+            n.nid for n in gcd_graph.operations() if n.is_mux))
+        _, metrics = evaluator.evaluate(Candidate(order=order, n_steps=7))
+        assert metrics["pipelined_gated_weight"] == \
+            pytest.approx(metrics["gated_weight"])

@@ -50,6 +50,36 @@ class TestSchedulerFlag:
                      "--verify"]) == 0
 
 
+class TestPipelineFlags:
+    def test_ii_cap_reaches_the_modulo_scheduler(self, capsys):
+        assert main(["synthesize", "vender", "--steps", "6",
+                     "--scheduler", "pipeline", "--ii", "2",
+                     "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "pipelined gating (II=2, mode=per_sample)" in out
+
+    def test_gating_mode_flag(self, capsys):
+        assert main(["synthesize", "vender", "--steps", "6",
+                     "--scheduler", "pipeline", "--ii", "2",
+                     "--pipelined-gating", "drop", "--verify"]) == 0
+        assert "mode=drop" in capsys.readouterr().out
+
+    def test_bad_gating_mode_rejected_by_argparse(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["synthesize", "vender", "--steps", "6",
+                  "--pipelined-gating", "optimistic"])
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_ii_on_a_non_pipelining_scheduler_is_an_error(self):
+        with pytest.raises(ValueError, match="pipeline"):
+            main(["synthesize", "gcd", "--steps", "7",
+                  "--scheduler", "exact", "--ii", "3"])
+
+    def test_unpipelined_run_prints_no_gating_section(self, capsys):
+        assert main(["synthesize", "vender", "--steps", "6"]) == 0
+        assert "pipelined gating" not in capsys.readouterr().out
+
+
 class TestExploreCommand:
     def test_sweep_prints_table_and_best_point(self, capsys):
         assert main(["explore", "dealer", "gcd", "--budgets", "5,6"]) == 0

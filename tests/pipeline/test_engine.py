@@ -45,7 +45,7 @@ class TestWiring:
     def test_stage_lookup_by_name(self):
         pipeline = Pipeline()
         assert pipeline.stage("schedule").provides == \
-            ("schedule", "allocation")
+            ("schedule", "allocation", "pipelined_gating")
         with pytest.raises(KeyError):
             pipeline.stage("nonesuch")
 

@@ -8,14 +8,16 @@ from repro.pipeline import (
     UnknownSchedulerError,
     available_schedulers,
     get_scheduler,
+    ii_capable_schedulers,
     register_scheduler,
+    supports_initiation_interval,
     unregister_scheduler,
 )
 
 
 class TestLookup:
     def test_builtins_registered(self):
-        assert {"list", "force_directed", "exact"} <= \
+        assert {"list", "force_directed", "exact", "pipeline"} <= \
             set(available_schedulers())
 
     def test_unknown_name_raises_with_suggestions(self):
@@ -48,6 +50,19 @@ class TestSelectionByName:
             with pytest.raises(ValueError, match="pipelining"):
                 Pipeline().run(gcd_graph, FlowConfig(
                     n_steps=7, scheduler=name, initiation_interval=3))
+
+    def test_pipeline_strategy_finds_an_ii_at_or_below_the_cap(
+            self, small_circuit):
+        result = Pipeline().run(small_circuit, FlowConfig(
+            n_steps=7, scheduler="pipeline", initiation_interval=4))
+        result.schedule.verify(result.allocation)
+        assert 1 <= result.schedule.initiation_interval <= 4
+
+    def test_pipeline_strategy_without_cap_uses_step_budget(self, gcd_graph):
+        result = Pipeline().run(gcd_graph, FlowConfig(
+            n_steps=7, scheduler="pipeline"))
+        result.schedule.verify(result.allocation)
+        assert result.schedule.initiation_interval <= 7
 
     def test_scheduler_choice_is_part_of_the_cache_key(self, gcd_graph):
         from repro.pipeline import ArtifactCache
@@ -85,3 +100,47 @@ class TestRegistration:
             assert get_scheduler("sentinel") is sentinel
         finally:
             unregister_scheduler("sentinel")
+
+
+class TestInitiationIntervalCapability:
+    """Issue 10 satellite: the 'does not support pipelining' error must
+    list every II-capable strategy, derived from the registry so the
+    message cannot rot as strategies come and go."""
+
+    def test_capability_flags(self):
+        assert supports_initiation_interval("list")
+        assert supports_initiation_interval("pipeline")
+        assert not supports_initiation_interval("force_directed")
+        assert not supports_initiation_interval("exact")
+        assert {"list", "pipeline"} <= set(ii_capable_schedulers())
+
+    def test_rejection_names_all_capable_strategies(self, gcd_graph):
+        config = FlowConfig(n_steps=7, scheduler="exact",
+                            initiation_interval=3)
+        with pytest.raises(ValueError, match=r"'list'") as err:
+            Pipeline().run(gcd_graph, config)
+        for name in ii_capable_schedulers():
+            assert repr(name) in str(err.value)
+        assert "'pipeline'" in str(err.value)
+
+    def test_message_tracks_registrations(self, gcd_graph):
+        """A newly registered II-capable strategy appears in the error
+        without anyone editing the message."""
+        register_scheduler("warp", lambda g, c: None, supports_ii=True)
+        try:
+            assert "warp" in ii_capable_schedulers()
+            with pytest.raises(ValueError, match=r"'warp'"):
+                Pipeline().run(gcd_graph, FlowConfig(
+                    n_steps=7, scheduler="force_directed",
+                    initiation_interval=2))
+        finally:
+            unregister_scheduler("warp")
+        assert "warp" not in ii_capable_schedulers()
+
+    def test_reregistration_can_drop_capability(self):
+        register_scheduler("warp", lambda g, c: None, supports_ii=True)
+        register_scheduler("warp", lambda g, c: None)
+        try:
+            assert not supports_initiation_interval("warp")
+        finally:
+            unregister_scheduler("warp")

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.sched.pipeline import PipelineSpec, pipelined_minimize, slack_gained
+from repro.sched.pipeline import (
+    PipelineSpec,
+    pipelined_minimize,
+    require_feasible,
+    slack_gained,
+)
 from repro.sched.timing import critical_path_length
 
 
@@ -44,3 +49,35 @@ class TestPipelinedSynthesis:
         cp = critical_path_length(dealer_graph)
         spec = PipelineSpec(n_steps=cp + 4, n_stages=2)
         assert slack_gained(dealer_graph, spec) == 4
+
+
+class TestFeasibilityValidation:
+    """Issue 10 satellite: a spec too short for the graph fails at the
+    spec, with an error naming the critical path — not deep inside the
+    list scheduler, and never as a negative slack."""
+
+    def test_require_feasible_returns_critical_path(self, dealer_graph):
+        cp = critical_path_length(dealer_graph)
+        assert require_feasible(
+            dealer_graph, PipelineSpec(n_steps=cp, n_stages=2)) == cp
+
+    def test_too_few_steps_names_the_critical_path(self, dealer_graph):
+        cp = critical_path_length(dealer_graph)
+        spec = PipelineSpec(n_steps=cp - 1, n_stages=2)
+        with pytest.raises(ValueError,
+                           match=rf"critical path needs {cp} control steps"):
+            require_feasible(dealer_graph, spec)
+
+    def test_slack_gained_never_goes_negative(self, vender_graph):
+        cp = critical_path_length(vender_graph)
+        spec = PipelineSpec(n_steps=cp - 1, n_stages=1)
+        with pytest.raises(ValueError, match="critical path"):
+            slack_gained(vender_graph, spec)
+
+    def test_pipelined_minimize_rejects_infeasible_spec(self, gcd_graph):
+        cp = critical_path_length(gcd_graph)
+        spec = PipelineSpec(n_steps=cp - 1, n_stages=2)
+        with pytest.raises(ValueError, match=str(cp)):
+            pipelined_minimize(gcd_graph, spec)
+        with pytest.raises(ValueError, match=gcd_graph.name):
+            pipelined_minimize(gcd_graph, spec)
